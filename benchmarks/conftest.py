@@ -1,0 +1,116 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Every benchmark pulls its configuration from :mod:`repro.experiments.registry`
+(the single source of truth mapping paper figures to workloads), executes the
+training runs once inside ``benchmark.pedantic``, prints a paper-style summary
+table to stdout, and asserts the *qualitative* shape of the result (who wins,
+roughly by how much) rather than absolute numbers — the substrate here is a
+simulator, not the authors' 44-node GPU cluster.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+import pytest
+
+from repro.experiments.registry import ExperimentSpec
+from repro.experiments.results import ResultsTable
+from repro.experiments.run import RunResult
+from repro.experiments.reporting import format_comparison, format_results_table
+from repro.experiments.setup import WorkloadConfig, build_cluster
+from repro.experiments.sweep import SweepPoint
+
+#: Set REPRO_BENCH_FULL=1 to run the figures at their full (slow) grids.
+QUICK_MODE = os.environ.get("REPRO_BENCH_FULL", "0") != "1"
+
+
+def run_workload(workload: WorkloadConfig, strategy_factory, run) -> RunResult:
+    """Build a fresh cluster for the workload and execute one training run."""
+    cluster, test_dataset = build_cluster(workload)
+    return run.execute(
+        strategy_factory(),
+        cluster,
+        test_dataset,
+        train_dataset=workload.train_dataset,
+        workload_name=workload.name,
+    )
+
+
+def run_spec(spec: ExperimentSpec) -> Dict[str, List[RunResult]]:
+    """Run every strategy of an :class:`ExperimentSpec` on every workload.
+
+    Returns results grouped by workload label.
+    """
+    grouped: Dict[str, List[RunResult]] = {}
+    for label, workload in spec.workloads.items():
+        results = []
+        for strategy_name, factory in spec.strategy_factories.items():
+            result = run_workload(workload, factory, spec.run)
+            result.workload = f"{workload.name}[{label}]"
+            results.append(result)
+        grouped[label] = results
+    return grouped
+
+
+def print_grouped_results(title: str, grouped: Dict[str, List[RunResult]]) -> None:
+    """Print one summary table per workload label."""
+    print(f"\n=== {title} ===")
+    for label, results in grouped.items():
+        print(f"\n--- setting: {label} ---")
+        print(format_results_table(results, reached_only=False))
+        fda_names = [r.strategy for r in results if "FDA" in r.strategy]
+        baselines = [r.strategy for r in results if "FDA" not in r.strategy]
+        for fda_name in fda_names[:1]:
+            for baseline in baselines:
+                try:
+                    print(format_comparison(results, fda_name, baseline))
+                except Exception:  # noqa: BLE001 - reporting must never break a bench
+                    pass
+
+
+def print_sweep(title: str, points: List[SweepPoint]) -> None:
+    """Print a one-line-per-grid-point summary of a sweep."""
+    print(f"\n--- {title} ---")
+    for point in points:
+        result = point.result
+        print(
+            f"{point.parameter}={point.value:<8g} strategy={result.strategy:<12} "
+            f"reached={str(result.reached_target):<5} comm={result.communication_bytes:>12} B  "
+            f"steps={result.parallel_steps:>6}  syncs={result.synchronizations}"
+        )
+
+
+def strategies_by_name(results: List[RunResult]) -> Dict[str, RunResult]:
+    """Index a list of results by strategy name (first occurrence wins)."""
+    indexed: Dict[str, RunResult] = {}
+    for result in results:
+        indexed.setdefault(result.strategy, result)
+    return indexed
+
+
+def assert_fda_communication_advantage(
+    results: List[RunResult], factor_vs_sync: float = 5.0
+) -> None:
+    """The shape check shared by Figures 3-6: FDA ≪ Synchronous in communication."""
+    by_name = strategies_by_name(results)
+    sync = by_name.get("Synchronous")
+    assert sync is not None, "benchmark must include the Synchronous baseline"
+    for name, result in by_name.items():
+        if "FDA" not in name:
+            continue
+        assert result.communication_bytes < sync.communication_bytes / factor_vs_sync, (
+            f"{name} used {result.communication_bytes} bytes, expected at least "
+            f"{factor_vs_sync}x less than Synchronous ({sync.communication_bytes})"
+        )
+
+
+@pytest.fixture()
+def quick() -> bool:
+    """Whether the benchmarks run with the reduced (default) grids."""
+    return QUICK_MODE

@@ -1,0 +1,90 @@
+"""Shared runner for the K-and-Θ sweep figures (Figures 8-11).
+
+Each of those figures has the same structure: the top half varies the number
+of workers K at a fixed Θ for all strategies, the bottom half varies Θ at a
+fixed K for the two FDA variants.  The shape checks shared by all four:
+
+* communication decreases (weakly) as Θ grows, for both FDA variants;
+* the number of synchronizations decreases (weakly) as Θ grows;
+* Synchronous communication dwarfs FDA communication at every worker count;
+* FDA/FedOpt communication grows with K while Synchronous per-step volume is
+  flat in the paper's accounting (total volume may still vary with convergence).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from benchmarks.conftest import print_sweep, run_workload
+from repro.experiments.registry import ExperimentSpec
+from repro.experiments.sweep import SweepPoint, sweep_theta, sweep_workers
+from repro.strategies.fda_strategy import FDAStrategy
+
+
+def run_theta_sweeps(spec: ExperimentSpec) -> Dict[str, List[SweepPoint]]:
+    """Θ sweep at fixed K for both FDA variants."""
+    workload = next(iter(spec.workloads.values()))
+    sweeps = {}
+    for variant in ("linear", "sketch"):
+        sweeps[variant] = sweep_theta(
+            workload, list(spec.fda_thetas), spec.run, variant=variant
+        )
+    return sweeps
+
+
+def run_worker_sweeps(spec: ExperimentSpec) -> Dict[str, List[SweepPoint]]:
+    """K sweep at the spec's central Θ for every strategy in the line-up."""
+    workload = next(iter(spec.workloads.values()))
+    sweeps = {}
+    for name, factory in spec.strategy_factories.items():
+        sweeps[name] = sweep_workers(
+            workload, list(spec.worker_counts), spec.run, factory
+        )
+    return sweeps
+
+
+def check_theta_trends(sweeps: Dict[str, List[SweepPoint]]) -> None:
+    """Larger Θ ⇒ (weakly) fewer synchronizations and no more sync traffic."""
+    for variant, points in sweeps.items():
+        ordered = sorted(points, key=lambda p: p.value)
+        syncs = [p.synchronizations for p in ordered]
+        assert all(b <= a + 1 for a, b in zip(syncs, syncs[1:])), (
+            f"{variant}: synchronizations should not grow with Theta, got {syncs}"
+        )
+        model_bytes = [p.result.model_bytes for p in ordered]
+        assert model_bytes[-1] <= model_bytes[0] + 1, (
+            f"{variant}: model-sync traffic should shrink as Theta grows, got {model_bytes}"
+        )
+
+
+def check_worker_trends(sweeps: Dict[str, List[SweepPoint]]) -> None:
+    """FDA stays far below Synchronous in communication at every K."""
+    sync_points = {int(p.value): p for p in sweeps.get("Synchronous", [])}
+    for name, points in sweeps.items():
+        if "FDA" not in name:
+            continue
+        for point in points:
+            sync = sync_points.get(int(point.value))
+            if sync is None:
+                continue
+            assert point.communication_bytes < sync.communication_bytes, (
+                f"{name} at K={point.value} used {point.communication_bytes} bytes, "
+                f"Synchronous used {sync.communication_bytes}"
+            )
+
+
+def print_figure(title: str, theta_sweeps, worker_sweeps) -> None:
+    print(f"\n=== {title} ===")
+    for variant, points in theta_sweeps.items():
+        print_sweep(f"Theta sweep ({variant}FDA)", points)
+    for name, points in worker_sweeps.items():
+        print_sweep(f"K sweep ({name})", points)
+
+
+def run_figure_sweeps(spec: ExperimentSpec):
+    """Run both sweeps for one figure spec."""
+    theta_sweeps = run_theta_sweeps(spec)
+    worker_sweeps = run_worker_sweeps(spec)
+    return theta_sweeps, worker_sweeps

@@ -1,0 +1,35 @@
+"""Figure 5 — DenseNet121 on CIFAR-10 (IID): communication vs computation.
+
+The paper's Figure 5 compares LinearFDA, SketchFDA, FedAvgM and Synchronous
+on DenseNet121/CIFAR-10 with SGD-Nesterov-momentum local optimization.  The
+shape to reproduce: FDA reaches the target with a small fraction of the
+Synchronous communication while staying in the same computation ballpark.
+"""
+
+from benchmarks.conftest import (
+    assert_fda_communication_advantage,
+    print_grouped_results,
+    run_spec,
+    strategies_by_name,
+)
+from repro.experiments.registry import figure5
+
+
+def _run(quick):
+    return run_spec(figure5(quick=quick))
+
+
+def test_figure5_densenet121_cifar10(benchmark, quick):
+    grouped = benchmark.pedantic(_run, args=(quick,), rounds=1, iterations=1)
+    print_grouped_results("Figure 5: DenseNet121 on CIFAR-10 (IID)", grouped)
+
+    results = grouped["iid"]
+    assert_fda_communication_advantage(results, factor_vs_sync=3.0)
+
+    by_name = strategies_by_name(results)
+    # FDA computation is comparable to (not drastically worse than) Synchronous.
+    assert by_name["LinearFDA"].parallel_steps <= 5 * max(by_name["Synchronous"].parallel_steps, 1)
+    # FedAvgM communicates less than Synchronous but more than FDA (paper shape).
+    if "FedAvgM" in by_name:
+        assert by_name["FedAvgM"].communication_bytes < by_name["Synchronous"].communication_bytes
+        assert by_name["LinearFDA"].communication_bytes < by_name["FedAvgM"].communication_bytes

@@ -1,0 +1,38 @@
+"""Figure 6 — DenseNet201 on CIFAR-10 (IID): the deeper-model comparison.
+
+Identical structure to Figure 5 but on the larger DenseNet201 stand-in, where
+the absolute communication volumes are larger (Synchronous pays the model size
+every step) and the relative FDA advantage persists.
+"""
+
+from benchmarks.conftest import (
+    assert_fda_communication_advantage,
+    print_grouped_results,
+    run_spec,
+    strategies_by_name,
+)
+from repro.experiments.registry import figure5, figure6
+
+
+def _run(quick):
+    return run_spec(figure6(quick=quick)), run_spec(figure5(quick=quick))
+
+
+def test_figure6_densenet201_cifar10(benchmark, quick):
+    grouped_201, grouped_121 = benchmark.pedantic(_run, args=(quick,), rounds=1, iterations=1)
+    print_grouped_results("Figure 6: DenseNet201 on CIFAR-10 (IID)", grouped_201)
+
+    results = grouped_201["iid"]
+    assert_fda_communication_advantage(results, factor_vs_sync=3.0)
+
+    # The deeper model makes every synchronization more expensive, so the
+    # Synchronous baseline must communicate more than it did for DenseNet121.
+    sync_201 = strategies_by_name(results)["Synchronous"]
+    sync_121 = strategies_by_name(grouped_121["iid"])["Synchronous"]
+    comm_per_step_201 = sync_201.communication_bytes / max(sync_201.parallel_steps, 1)
+    comm_per_step_121 = sync_121.communication_bytes / max(sync_121.parallel_steps, 1)
+    print(
+        f"Synchronous bytes per step: DenseNet121 {comm_per_step_121:.0f}, "
+        f"DenseNet201 {comm_per_step_201:.0f}"
+    )
+    assert comm_per_step_201 > comm_per_step_121

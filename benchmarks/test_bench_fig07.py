@@ -1,0 +1,41 @@
+"""Figure 7 — Training-accuracy progression and the generalization gap.
+
+The paper's Figure 7 plots training accuracy over epochs for DenseNet on
+CIFAR-10 and highlights that the FDA variants show an almost-zero gap between
+training accuracy and the test-accuracy target when they reach it, whereas
+Synchronous and FedAvgM overfit (large gap).  This benchmark records the
+train/test accuracy history of every strategy and reports the final gaps.
+"""
+
+from benchmarks.conftest import print_grouped_results, run_spec, strategies_by_name
+from repro.experiments.registry import figure7
+from repro.experiments.reporting import format_run_history
+
+
+def _run(quick):
+    return run_spec(figure7(quick=quick))
+
+
+def test_figure7_training_accuracy_progression(benchmark, quick):
+    grouped = benchmark.pedantic(_run, args=(quick,), rounds=1, iterations=1)
+    print_grouped_results("Figure 7: training-accuracy progression", grouped)
+
+    results = grouped["iid"]
+    print()
+    for result in results:
+        print(format_run_history(result, max_rows=8))
+        gap = result.generalization_gap
+        print(f"  -> generalization gap (train - test accuracy): "
+              f"{'n/a' if gap is None else f'{gap:+.3f}'}\n")
+
+    by_name = strategies_by_name(results)
+    # Every strategy recorded a train-accuracy curve.
+    for result in results:
+        assert result.final_train_accuracy is not None
+
+    # Shape: the FDA generalization gap is not (meaningfully) worse than the
+    # Synchronous one — the paper reports it is typically much smaller.
+    fda_gap = by_name["LinearFDA"].generalization_gap
+    sync_gap = by_name["Synchronous"].generalization_gap
+    assert fda_gap is not None and sync_gap is not None
+    assert fda_gap <= sync_gap + 0.15

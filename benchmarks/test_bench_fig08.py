@@ -1,0 +1,20 @@
+"""Figure 8 — LeNet-5 on MNIST: varying the number of workers K and the threshold Θ."""
+
+from benchmarks.sweep_helpers import (
+    check_theta_trends,
+    check_worker_trends,
+    print_figure,
+    run_figure_sweeps,
+)
+from repro.experiments.registry import figure8
+
+
+def _run(quick):
+    return run_figure_sweeps(figure8(quick=quick))
+
+
+def test_figure8_lenet_varying_k_and_theta(benchmark, quick):
+    theta_sweeps, worker_sweeps = benchmark.pedantic(_run, args=(quick,), rounds=1, iterations=1)
+    print_figure("Figure 8: LeNet-5 on MNIST, varying K and Theta", theta_sweeps, worker_sweeps)
+    check_theta_trends(theta_sweeps)
+    check_worker_trends(worker_sweeps)

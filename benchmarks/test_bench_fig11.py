@@ -1,0 +1,22 @@
+"""Figure 11 — DenseNet201 on CIFAR-10: varying the number of workers K and Θ."""
+
+from benchmarks.sweep_helpers import (
+    check_theta_trends,
+    check_worker_trends,
+    print_figure,
+    run_figure_sweeps,
+)
+from repro.experiments.registry import figure11
+
+
+def _run(quick):
+    return run_figure_sweeps(figure11(quick=quick))
+
+
+def test_figure11_densenet201_varying_k_and_theta(benchmark, quick):
+    theta_sweeps, worker_sweeps = benchmark.pedantic(_run, args=(quick,), rounds=1, iterations=1)
+    print_figure(
+        "Figure 11: DenseNet201 on CIFAR-10, varying K and Theta", theta_sweeps, worker_sweeps
+    )
+    check_theta_trends(theta_sweeps)
+    check_worker_trends(worker_sweeps)

@@ -1,0 +1,37 @@
+"""Table 2 — Summary of experiments.
+
+Regenerates the reproduction's analogue of Table 2: one row per learning task
+with the model dimension ``d``, the dataset, the Θ grid, the batch size, the
+worker counts and the algorithms.  The shape check is that the model-size
+ordering of the paper (LeNet-5 < VGG16* < DenseNet121 < DenseNet201 <
+ConvNeXt head) is preserved by the miniatures.
+"""
+
+from repro.experiments.registry import table2
+
+
+def _build_table():
+    return table2()
+
+
+def test_table2_summary_of_experiments(benchmark):
+    rows = benchmark.pedantic(_build_table, rounds=1, iterations=1)
+
+    print("\n=== Table 2: Summary of Experiments (reproduction) ===")
+    header = f"{'model':<28}{'d':>8}  {'dataset':<24}{'b':>4}{'K':>4}  {'optimizer':<8}  theta grid"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['model']:<28}{row['d']:>8}  {row['dataset']:<24}"
+            f"{row['batch_size']:>4}{row['num_workers']:>4}  {row['optimizer']:<8}  "
+            f"{row['theta_grid']}"
+        )
+
+    assert len(rows) == 5
+    sizes = {row["model"]: row["d"] for row in rows}
+    assert sizes["LeNet-5 (mini)"] < sizes["VGG16* (mini)"]
+    assert sizes["DenseNet121 (mini)"] < sizes["DenseNet201 (mini)"]
+    for row in rows:
+        assert row["theta_grid"], "every learning task needs a Theta grid"
+        assert {"LinearFDA", "SketchFDA", "Synchronous"}.issubset(set(row["algorithms"]))

@@ -1,0 +1,82 @@
+"""Non-IID robustness: FDA under the paper's three data-heterogeneity settings.
+
+Federated deployments rarely see IID data.  The paper (Figures 3 and 4) shows
+that FDA's communication and computation costs barely change between IID and
+two Non-IID partitioning schemes.  This example reproduces that comparison on
+the miniature LeNet-5 workload: for each heterogeneity setting it trains
+LinearFDA, SketchFDA and FedAdam to the same accuracy target and prints the
+cost table, plus the per-worker label-skew statistics of each partition.
+
+Run with::
+
+    python examples/noniid_robustness.py
+"""
+
+from __future__ import annotations
+
+from repro import TrainingRun, build_cluster
+from repro.data.partition import partition_dataset, partition_statistics
+from repro.experiments.registry import default_strategies, lenet_mnist_workload
+from repro.experiments.reporting import format_results_table
+from repro.utils.formatting import format_bytes
+
+
+SETTINGS = {
+    "IID": ("iid", {}),
+    "Non-IID: Label 0": ("noniid-label", {"label": 0, "num_holders": 1}),
+    "Non-IID: 60%": ("noniid-fraction", {"fraction": 0.6}),
+}
+
+
+def describe_partition(workload) -> str:
+    """Summarize how skewed the worker shards are for a workload."""
+    parts = partition_dataset(
+        workload.train_dataset,
+        workload.num_workers,
+        scheme=workload.partition_scheme,
+        seed=workload.seed,
+        **workload.partition_kwargs,
+    )
+    stats = partition_statistics(parts)
+    return (
+        f"workers={stats['num_workers']} shard sizes={stats['sizes']} "
+        f"label-skew={stats['heterogeneity']:.3f}"
+    )
+
+
+def main() -> None:
+    print("FDA robustness to data heterogeneity")
+    print("=" * 60)
+    run = TrainingRun(accuracy_target=0.9, max_steps=400, eval_every_steps=20)
+
+    per_setting = {}
+    for title, (scheme, kwargs) in SETTINGS.items():
+        workload = lenet_mnist_workload(
+            num_workers=5, partition_scheme=scheme, partition_kwargs=kwargs
+        )
+        print(f"\n### {title}")
+        print("partition:", describe_partition(workload))
+
+        results = []
+        for name, factory in default_strategies(theta=8.0, fedopt="fedadam").items():
+            if name == "Synchronous":
+                continue  # keep the example fast; the quickstart covers Synchronous
+            cluster, test_dataset = build_cluster(workload)
+            result = run.execute(factory(), cluster, test_dataset, workload_name=title)
+            results.append(result)
+        per_setting[title] = results
+        print(format_results_table(results, reached_only=False))
+
+    print("\n### Cross-setting comparison (LinearFDA communication)")
+    for title, results in per_setting.items():
+        linear = next(r for r in results if r.strategy == "LinearFDA")
+        print(
+            f"  {title:<18} comm={format_bytes(linear.communication_bytes):>12}  "
+            f"steps={linear.parallel_steps:>5}  reached={linear.reached_target}"
+        )
+    print("\nThe FDA rows should stay within the same order of magnitude across "
+          "settings, mirroring the paper's Figure 3.")
+
+
+if __name__ == "__main__":
+    main()

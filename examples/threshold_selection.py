@@ -1,0 +1,96 @@
+"""Choosing the variance threshold Θ: trade-off sweep, guideline, and dynamic Θ.
+
+Θ is FDA's single tuning knob: larger values tolerate more model divergence
+before synchronizing (less communication, potentially more computation).  This
+example walks through the three ways the library supports choosing it:
+
+1. sweep a Θ grid and inspect the communication/computation trade-off
+   (Figures 8-11 of the paper);
+2. apply the paper's linear guideline Θ ≈ c·d for a deployment setting
+   (Figure 12), plus the workload-specific calibration helper;
+3. let the dynamic-Θ controller (the paper's future-work extension) adapt Θ
+   online toward a bandwidth budget.
+
+Run with::
+
+    python examples/threshold_selection.py
+"""
+
+from __future__ import annotations
+
+from repro import DynamicThetaController, FDAStrategy, TrainingRun, build_cluster
+from repro.core.theta import calibrate_theta, theta_guideline
+from repro.experiments.registry import lenet_mnist_workload
+from repro.experiments.sweep import sweep_theta
+from repro.strategies.synchronous import SynchronousStrategy
+from repro.utils.formatting import format_bytes
+
+
+def sweep_section(workload, run) -> None:
+    print("\n### 1. Θ sweep (communication vs computation trade-off)")
+    thetas = [1.0, 4.0, 16.0, 64.0]
+    points = sweep_theta(workload, thetas, run, variant="linear")
+    print(f"{'Theta':>8}  {'reached':>7}  {'comm':>12}  {'steps':>6}  {'syncs':>5}")
+    for point in points:
+        result = point.result
+        print(
+            f"{point.value:>8g}  {str(result.reached_target):>7}  "
+            f"{format_bytes(result.communication_bytes):>12}  "
+            f"{result.parallel_steps:>6}  {result.synchronizations:>5}"
+        )
+    print("Expected trend: synchronizations and model traffic drop as Θ grows.")
+
+
+def guideline_section(workload) -> None:
+    print("\n### 2. The paper's Θ guideline and workload calibration")
+    dimension = workload.model_factory().num_parameters
+    for setting in ("fl", "balanced", "hpc"):
+        print(f"  paper guideline ({setting:>8}): Θ ≈ {theta_guideline(dimension, setting):.4f}"
+              f"  (d = {dimension})")
+
+    # Workload-specific calibration: probe the per-step worker drift of a short
+    # synchronous run and target ~20 local steps between synchronizations.
+    cluster, _ = build_cluster(workload)
+    strategy = SynchronousStrategy().attach(cluster)
+    drift_norms = []
+    for _ in range(10):
+        reference = cluster.average_parameters()
+        cluster.step_all()
+        per_worker = [
+            float((worker.drift_from(reference) ** 2).sum()) for worker in cluster.workers
+        ]
+        drift_norms.append(sum(per_worker) / len(per_worker))
+        cluster.synchronize()
+    calibrated = calibrate_theta(drift_norms, target_sync_interval=20)
+    print(f"  calibrated from drift probe: Θ ≈ {calibrated:.3f} "
+          "(aimed at ~20 steps between synchronizations)")
+
+
+def dynamic_section(workload, run) -> None:
+    print("\n### 3. Dynamic Θ: tracking a bandwidth budget (future-work extension)")
+    controller = DynamicThetaController(
+        target_bytes_per_step=4000.0, window=10, adjustment=1.5
+    )
+    strategy = FDAStrategy(threshold=1.0, variant="linear", theta_controller=controller)
+    cluster, test_dataset = build_cluster(workload)
+    result = run.execute(strategy, cluster, test_dataset, workload_name="dynamic-theta")
+    per_step = result.communication_bytes / max(result.parallel_steps, 1)
+    print(f"  final Θ after adaptation: {strategy.current_threshold:.3f} "
+          f"(started at 1.0)")
+    print(f"  bytes per step: {per_step:.0f} (budget was 4000)")
+    print(f"  reached accuracy target: {result.reached_target} "
+          f"(accuracy {result.final_accuracy:.3f})")
+
+
+def main() -> None:
+    print("Selecting the FDA variance threshold Θ")
+    print("=" * 60)
+    workload = lenet_mnist_workload(num_workers=4)
+    run = TrainingRun(accuracy_target=0.9, max_steps=300, eval_every_steps=20)
+    sweep_section(workload, run)
+    guideline_section(workload)
+    dynamic_section(workload, run)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Transfer learning with FDA: fine-tuning a head over a frozen backbone.
+
+The paper's hardest scenario (Figure 13) fine-tunes a large pretrained model
+on CIFAR-100, where SketchFDA's tighter variance estimate pays off — it
+synchronizes less often than LinearFDA and saves roughly 1.5× communication.
+This example reproduces the pipeline end-to-end with the library's substitutes:
+
+* a frozen :class:`PretrainedFeatureExtractor` plays the ImageNet-pretrained
+  ConvNeXtLarge backbone,
+* a GELU head trained with AdamW plays the fine-tuned model,
+* LinearFDA, SketchFDA and Synchronous are compared at the same target.
+
+Run with::
+
+    python examples/transfer_learning.py
+"""
+
+from __future__ import annotations
+
+from repro import FDAStrategy, SynchronousStrategy, TrainingRun, build_cluster
+from repro.experiments.registry import (
+    REGISTRY_SKETCH_DEPTH,
+    REGISTRY_SKETCH_WIDTH,
+    transfer_learning_workload,
+)
+from repro.experiments.reporting import format_results_table
+from repro.utils.formatting import format_bytes
+
+
+def main() -> None:
+    print("Transfer learning (fine-tuning) with FDA")
+    print("=" * 60)
+
+    workload = transfer_learning_workload(num_workers=3)
+    head = workload.model_factory()
+    print(f"frozen backbone output -> trainable head with d = {head.num_parameters} parameters")
+    print(f"classes: {workload.train_dataset.num_classes}, workers: {workload.num_workers}, "
+          f"local optimizer: AdamW")
+
+    run = TrainingRun(accuracy_target=0.55, max_steps=500, eval_every_steps=40)
+    strategies = {
+        "LinearFDA": lambda: FDAStrategy(threshold=1.0, variant="linear"),
+        "SketchFDA": lambda: FDAStrategy(
+            threshold=1.0,
+            variant="sketch",
+            sketch_depth=REGISTRY_SKETCH_DEPTH,
+            sketch_width=REGISTRY_SKETCH_WIDTH,
+        ),
+        "Synchronous": lambda: SynchronousStrategy(),
+    }
+
+    results = []
+    for name, factory in strategies.items():
+        cluster, test_dataset = build_cluster(workload)
+        result = run.execute(factory(), cluster, test_dataset, workload_name=workload.name)
+        results.append(result)
+        print(
+            f"\n{name}: accuracy {result.final_accuracy:.3f} "
+            f"(target reached: {result.reached_target})"
+        )
+        print(f"  communication {format_bytes(result.communication_bytes)}  "
+              f"synchronizations {result.synchronizations}  steps {result.parallel_steps}")
+
+    print("\n" + format_results_table(results, reached_only=False))
+
+    linear = next(r for r in results if r.strategy == "LinearFDA")
+    sketch = next(r for r in results if r.strategy == "SketchFDA")
+    if sketch.synchronizations <= linear.synchronizations:
+        print(
+            "\nSketchFDA synchronized no more often than LinearFDA "
+            f"({sketch.synchronizations} vs {linear.synchronizations}), matching the paper's "
+            "finding that the tighter sketch estimate pays off in the fine-tuning scenario."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Package metadata lives in ``pyproject.toml``; this file exists so that
+``python setup.py develop`` works in fully offline environments where pip's
+PEP 660 editable-install path is unavailable (it requires the ``wheel``
+package, which may not be installed).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,144 @@
+"""Command-line interface: run any paper experiment from the terminal.
+
+Examples::
+
+    python -m repro.cli list
+    python -m repro.cli table2
+    python -m repro.cli figure3
+    python -m repro.cli figure8 --full
+    python -m repro.cli compare --workload lenet --theta 8 --workers 5
+
+``figureN`` commands run the strategies of the corresponding registry entry on
+its workloads and print the per-strategy cost table; ``compare`` runs a custom
+single comparison (FDA variants vs Synchronous vs the matching FedOpt
+baseline) for one of the named workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import registry
+from repro.experiments.reporting import format_comparison, format_results_table
+from repro.experiments.run import TrainingRun
+from repro.experiments.setup import build_cluster
+from repro.strategies.fda_strategy import FDAStrategy
+from repro.strategies.synchronous import SynchronousStrategy
+
+_WORKLOAD_BUILDERS = {
+    "lenet": registry.lenet_mnist_workload,
+    "vgg": registry.vgg_mnist_workload,
+    "densenet-small": lambda **kw: registry.densenet_cifar_workload(variant="small", **kw),
+    "densenet-large": lambda **kw: registry.densenet_cifar_workload(variant="large", **kw),
+    "transfer": registry.transfer_learning_workload,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Federated Dynamic Averaging (EDBT 2025)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+    subparsers.add_parser("table2", help="print the Table-2 summary of experiments")
+
+    for figure_name in sorted(registry.ALL_FIGURES):
+        figure_parser = subparsers.add_parser(
+            figure_name, help=f"run the {figure_name} strategy comparison"
+        )
+        figure_parser.add_argument(
+            "--full", action="store_true", help="use the full (slow) grids instead of quick mode"
+        )
+
+    compare = subparsers.add_parser("compare", help="run a custom FDA-vs-baselines comparison")
+    compare.add_argument("--workload", choices=sorted(_WORKLOAD_BUILDERS), default="lenet")
+    compare.add_argument("--theta", type=float, default=8.0, help="FDA variance threshold")
+    compare.add_argument("--workers", type=int, default=5, help="number of workers K")
+    compare.add_argument("--target", type=float, default=0.9, help="test-accuracy target")
+    compare.add_argument("--max-steps", type=int, default=400, help="step budget per run")
+    return parser
+
+
+def _command_list() -> int:
+    print("available experiments:")
+    print("  table2        summary of experiments")
+    for name in sorted(registry.ALL_FIGURES):
+        spec = registry.ALL_FIGURES[name](quick=True)
+        print(f"  {name:<12}  {spec.title}")
+    print("  compare       custom FDA vs baselines comparison (see --help)")
+    return 0
+
+
+def _command_table2() -> int:
+    rows = registry.table2()
+    header = f"{'model':<28}{'d':>8}  {'dataset':<22}{'b':>4}{'K':>4}  {'optimizer':<8}  algorithms"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['model']:<28}{row['d']:>8}  {row['dataset']:<22}"
+            f"{row['batch_size']:>4}{row['num_workers']:>4}  {row['optimizer']:<8}  "
+            f"{', '.join(row['algorithms'])}"
+        )
+    return 0
+
+
+def _command_figure(name: str, full: bool) -> int:
+    spec = registry.ALL_FIGURES[name](quick=not full)
+    print(f"{spec.experiment_id}: {spec.title}")
+    for label, workload in spec.workloads.items():
+        print(f"\n--- setting: {label} ---")
+        results = []
+        for strategy_name, factory in spec.strategy_factories.items():
+            cluster, test_dataset = build_cluster(workload)
+            result = spec.run.execute(
+                factory(), cluster, test_dataset,
+                train_dataset=workload.train_dataset, workload_name=workload.name,
+            )
+            results.append(result)
+        print(format_results_table(results, reached_only=False))
+        try:
+            print(format_comparison(results, "LinearFDA", "Synchronous"))
+        except Exception:  # noqa: BLE001 - reporting only
+            pass
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    workload = _WORKLOAD_BUILDERS[args.workload](num_workers=args.workers)
+    run = TrainingRun(
+        accuracy_target=args.target, max_steps=args.max_steps, eval_every_steps=20
+    )
+    fedopt = "fedavgm" if "densenet" in args.workload else "fedadam"
+    strategies = registry.default_strategies(args.theta, fedopt=fedopt)
+    results = []
+    for name, factory in strategies.items():
+        cluster, test_dataset = build_cluster(workload)
+        results.append(run.execute(factory(), cluster, test_dataset, workload_name=workload.name))
+    print(format_results_table(results, reached_only=False))
+    print(format_comparison(results, "LinearFDA", "Synchronous"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "table2":
+        return _command_table2()
+    if args.command == "compare":
+        return _command_compare(args)
+    if args.command in registry.ALL_FIGURES:
+        return _command_figure(args.command, full=getattr(args, "full", False))
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

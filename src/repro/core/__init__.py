@@ -1,0 +1,65 @@
+"""The paper's primary contribution: Federated Dynamic Averaging (FDA).
+
+``repro.core`` contains the drift/variance algebra (Section 3), the local
+states and variance monitors that define the SketchFDA and LinearFDA variants
+(Sections 3.1 and 3.2), the :class:`FDATrainer` implementing Algorithm 1, and
+the Θ-selection utilities corresponding to Figure 12 plus the dynamic-Θ
+controller sketched in the paper's future-work section.
+"""
+
+from repro.core.variance import (
+    drift_matrix,
+    model_variance,
+    variance_from_drifts,
+)
+from repro.core.state import (
+    ExactState,
+    LinearState,
+    LocalState,
+    SketchState,
+    average_states,
+)
+from repro.core.monitor import (
+    ExactMonitor,
+    LinearMonitor,
+    SketchMonitor,
+    VarianceMonitor,
+    make_monitor,
+)
+from repro.core.fda import FDATrainer, FdaStepResult
+from repro.core.async_fda import (
+    AsyncEvent,
+    AsynchronousFDATrainer,
+    StragglerProfile,
+)
+from repro.core.theta import (
+    DynamicThetaController,
+    ThetaGuideline,
+    fit_theta_slope,
+    theta_guideline,
+)
+
+__all__ = [
+    "model_variance",
+    "variance_from_drifts",
+    "drift_matrix",
+    "LocalState",
+    "SketchState",
+    "LinearState",
+    "ExactState",
+    "average_states",
+    "VarianceMonitor",
+    "SketchMonitor",
+    "LinearMonitor",
+    "ExactMonitor",
+    "make_monitor",
+    "FDATrainer",
+    "FdaStepResult",
+    "AsynchronousFDATrainer",
+    "AsyncEvent",
+    "StragglerProfile",
+    "theta_guideline",
+    "ThetaGuideline",
+    "fit_theta_slope",
+    "DynamicThetaController",
+]

@@ -1,0 +1,211 @@
+"""Asynchronous FDA (Section 3.3 of the paper).
+
+The synchronous FDA protocol assumes all workers advance in lockstep, which a
+single straggler can stall.  The paper sketches an asynchronous variant: one
+node acts as a *coordinator*, each worker sends its small local state to the
+coordinator whenever it finishes a local step, and the coordinator evaluates
+the variance over-estimate on the **most recent state from every worker**.
+When the estimate exceeds Θ the coordinator orders a synchronization; because
+local states are tiny, the benefit is not bandwidth but tolerance to stragglers
+— fast workers keep learning while slow workers catch up.
+
+:class:`AsynchronousFDATrainer` simulates that protocol with a virtual clock:
+every worker has its own step duration (drawn from a configurable straggler
+profile), worker step completions are processed in virtual-time order, and the
+communication/step accounting matches the synchronous trainer so results are
+directly comparable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.monitor import VarianceMonitor
+from repro.core.state import LocalState, average_states
+from repro.distributed.cluster import CATEGORY_STATE, SimulatedCluster
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import as_rng
+
+
+@dataclass(frozen=True)
+class AsyncEvent:
+    """One processed worker-step completion in the virtual timeline."""
+
+    time: float
+    worker_id: int
+    step_index: int
+    variance_estimate: float
+    synchronized: bool
+
+
+@dataclass(frozen=True)
+class StragglerProfile:
+    """Per-worker step-duration model.
+
+    Worker ``k``'s step duration is drawn once as
+    ``base * (1 + slowdown_k)`` where ``slowdown_k`` is 0 for regular workers
+    and ``straggler_factor − 1`` for the chosen stragglers; optional jitter
+    adds per-step log-normal noise.
+    """
+
+    base_step_seconds: float = 1.0
+    straggler_fraction: float = 0.0
+    straggler_factor: float = 4.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_step_seconds <= 0:
+            raise ConfigurationError(
+                f"base_step_seconds must be positive, got {self.base_step_seconds}"
+            )
+        if not 0.0 <= self.straggler_fraction <= 1.0:
+            raise ConfigurationError(
+                f"straggler_fraction must lie in [0, 1], got {self.straggler_fraction}"
+            )
+        if self.straggler_factor < 1.0:
+            raise ConfigurationError(
+                f"straggler_factor must be >= 1, got {self.straggler_factor}"
+            )
+        if self.jitter < 0:
+            raise ConfigurationError(f"jitter must be non-negative, got {self.jitter}")
+
+    def step_durations(self, num_workers: int, seed=None) -> np.ndarray:
+        """Base step duration per worker (before per-step jitter)."""
+        rng = as_rng(seed)
+        durations = np.full(num_workers, self.base_step_seconds, dtype=np.float64)
+        num_stragglers = int(round(num_workers * self.straggler_fraction))
+        if num_stragglers:
+            stragglers = rng.choice(num_workers, size=num_stragglers, replace=False)
+            durations[stragglers] *= self.straggler_factor
+        return durations
+
+
+class AsynchronousFDATrainer:
+    """Coordinator-based asynchronous FDA over a :class:`SimulatedCluster`."""
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        monitor: VarianceMonitor,
+        threshold: float,
+        profile: Optional[StragglerProfile] = None,
+        seed: int = 0,
+    ) -> None:
+        if threshold < 0:
+            raise ConfigurationError(f"threshold (Theta) must be non-negative, got {threshold}")
+        self.cluster = cluster
+        self.monitor = monitor
+        self.threshold = float(threshold)
+        self.profile = profile or StragglerProfile()
+        self._rng = as_rng(seed)
+        self.virtual_time = 0.0
+        self.synchronization_count = 0
+        self.events: List[AsyncEvent] = []
+        self._latest_states: Dict[int, LocalState] = {}
+        initial = cluster.workers[0].get_parameters()
+        cluster.broadcast_parameters(initial)
+        self._reference = initial
+        self._previous_reference = initial
+        self._durations = self.profile.step_durations(cluster.num_workers, seed=self._rng)
+        # Event queue of (completion_time, tiebreak, worker_id).
+        self._queue: List = []
+        for worker_id in range(cluster.num_workers):
+            heapq.heappush(self._queue, (self._next_duration(worker_id), worker_id, worker_id))
+
+    # -- internals -------------------------------------------------------------
+
+    def _next_duration(self, worker_id: int) -> float:
+        duration = float(self._durations[worker_id])
+        if self.profile.jitter:
+            duration *= float(np.exp(self._rng.normal(scale=self.profile.jitter)))
+        return duration
+
+    @property
+    def state_elements(self) -> int:
+        """Float32 elements uploaded to the coordinator per completed worker step."""
+        return self.monitor.state_num_elements(self.cluster.model_dimension)
+
+    # -- the protocol ------------------------------------------------------------
+
+    def process_next_completion(self) -> AsyncEvent:
+        """Advance virtual time to the next worker-step completion and handle it."""
+        completion_time, _, worker_id = heapq.heappop(self._queue)
+        self.virtual_time = completion_time
+        worker = self.cluster.workers[worker_id]
+        worker.local_step()
+
+        # The worker uploads its local state to the coordinator (point-to-point,
+        # one state's worth of traffic rather than a full AllReduce).
+        state = self.monitor.local_state(worker.drift_from(self._reference))
+        self._latest_states[worker_id] = state
+        self.cluster.tracker.record_broadcast(self.state_elements, 2, CATEGORY_STATE)
+
+        synchronized = False
+        estimate = float("nan")
+        if len(self._latest_states) == self.cluster.num_workers:
+            averaged = average_states(
+                [self._latest_states[w] for w in range(self.cluster.num_workers)]
+            )
+            estimate = float(self.monitor.estimate(averaged))
+            if estimate > self.threshold:
+                new_global = self.cluster.synchronize()
+                self.monitor.on_synchronization(new_global, self._previous_reference)
+                self._previous_reference = self._reference
+                self._reference = new_global
+                self._latest_states.clear()
+                self.synchronization_count += 1
+                synchronized = True
+
+        heapq.heappush(
+            self._queue,
+            (self.virtual_time + self._next_duration(worker_id), worker_id, worker_id),
+        )
+        event = AsyncEvent(
+            time=self.virtual_time,
+            worker_id=worker_id,
+            step_index=worker.steps_performed,
+            variance_estimate=estimate,
+            synchronized=synchronized,
+        )
+        self.events.append(event)
+        return event
+
+    def run_for(self, virtual_seconds: float) -> List[AsyncEvent]:
+        """Process completions until the virtual clock passes ``virtual_seconds``."""
+        if virtual_seconds <= 0:
+            raise ConfigurationError(
+                f"virtual_seconds must be positive, got {virtual_seconds}"
+            )
+        deadline = self.virtual_time + virtual_seconds
+        processed: List[AsyncEvent] = []
+        while self._queue and self._queue[0][0] <= deadline:
+            processed.append(self.process_next_completion())
+        self.virtual_time = max(self.virtual_time, deadline)
+        return processed
+
+    def run_events(self, num_events: int) -> List[AsyncEvent]:
+        """Process exactly ``num_events`` worker-step completions."""
+        if num_events < 0:
+            raise ConfigurationError(f"num_events must be non-negative, got {num_events}")
+        return [self.process_next_completion() for _ in range(num_events)]
+
+    # -- reporting ----------------------------------------------------------------
+
+    def steps_by_worker(self) -> Sequence[int]:
+        """Steps completed by each worker (unequal in the presence of stragglers)."""
+        return [worker.steps_performed for worker in self.cluster.workers]
+
+    @property
+    def total_steps(self) -> int:
+        """Total step completions processed so far (across all workers)."""
+        return int(sum(self.steps_by_worker()))
+
+    def __repr__(self) -> str:
+        return (
+            f"AsynchronousFDATrainer(theta={self.threshold}, t={self.virtual_time:.1f}, "
+            f"events={len(self.events)}, syncs={self.synchronization_count})"
+        )

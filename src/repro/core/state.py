@@ -1,0 +1,131 @@
+"""Local states transmitted by FDA workers (Figure 2 of the paper).
+
+Both FDA variants transmit the squared norm of the local drift plus a
+low-dimensional summary of the drift itself:
+
+* :class:`SketchState` — an AMS sketch of the drift (SketchFDA, Section 3.1);
+* :class:`LinearState` — the scalar projection ⟨ξ, u⟩ onto a shared unit
+  vector ξ (LinearFDA, Section 3.2);
+* :class:`ExactState` — the full drift vector; never used by FDA itself (it
+  would cost as much as synchronizing) but provided for ablation benchmarks
+  that measure how loose the two practical estimators are.
+
+States form a vector space: they can be averaged element-wise, which is what
+the AllReduce of local states computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import CommunicationError, ShapeError
+
+
+@dataclass(frozen=True)
+class LocalState:
+    """Base class: any FDA local state carries the squared drift norm."""
+
+    drift_sq_norm: float
+
+    @property
+    def num_elements(self) -> int:
+        """Number of float32 elements transmitted for this state (for cost accounting)."""
+        return 1
+
+    def _combine(self, states: Sequence["LocalState"]) -> "LocalState":
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LinearState(LocalState):
+    """LinearFDA state: (‖u‖², ⟨ξ, u⟩)."""
+
+    projection: float = 0.0
+
+    @property
+    def num_elements(self) -> int:
+        return 2
+
+    def _combine(self, states: Sequence["LocalState"]) -> "LinearState":
+        projections = []
+        norms = []
+        for state in states:
+            if not isinstance(state, LinearState):
+                raise CommunicationError("cannot average LinearState with other state types")
+            projections.append(state.projection)
+            norms.append(state.drift_sq_norm)
+        return LinearState(float(np.mean(norms)), float(np.mean(projections)))
+
+
+@dataclass(frozen=True)
+class SketchState(LocalState):
+    """SketchFDA state: (‖u‖², AMS sketch of u)."""
+
+    sketch: np.ndarray = None
+
+    def __post_init__(self) -> None:
+        if self.sketch is None:
+            raise ShapeError("SketchState requires a sketch matrix")
+        object.__setattr__(self, "sketch", np.asarray(self.sketch, dtype=np.float64))
+        if self.sketch.ndim != 2:
+            raise ShapeError(f"sketch must be a 2-D matrix, got shape {self.sketch.shape}")
+
+    @property
+    def num_elements(self) -> int:
+        return 1 + int(self.sketch.size)
+
+    def _combine(self, states: Sequence["LocalState"]) -> "SketchState":
+        norms = []
+        sketches = []
+        for state in states:
+            if not isinstance(state, SketchState):
+                raise CommunicationError("cannot average SketchState with other state types")
+            if state.sketch.shape != self.sketch.shape:
+                raise CommunicationError(
+                    f"sketch shapes differ: {state.sketch.shape} vs {self.sketch.shape}"
+                )
+            norms.append(state.drift_sq_norm)
+            sketches.append(state.sketch)
+        return SketchState(float(np.mean(norms)), np.mean(np.stack(sketches, axis=0), axis=0))
+
+
+@dataclass(frozen=True)
+class ExactState(LocalState):
+    """Ablation-only state carrying the full drift vector."""
+
+    drift: np.ndarray = None
+
+    def __post_init__(self) -> None:
+        if self.drift is None:
+            raise ShapeError("ExactState requires the drift vector")
+        object.__setattr__(self, "drift", np.asarray(self.drift, dtype=np.float64))
+        if self.drift.ndim != 1:
+            raise ShapeError(f"drift must be a 1-D vector, got shape {self.drift.shape}")
+
+    @property
+    def num_elements(self) -> int:
+        return 1 + int(self.drift.size)
+
+    def _combine(self, states: Sequence["LocalState"]) -> "ExactState":
+        norms = []
+        drifts = []
+        for state in states:
+            if not isinstance(state, ExactState):
+                raise CommunicationError("cannot average ExactState with other state types")
+            if state.drift.shape != self.drift.shape:
+                raise CommunicationError(
+                    f"drift shapes differ: {state.drift.shape} vs {self.drift.shape}"
+                )
+            norms.append(state.drift_sq_norm)
+            drifts.append(state.drift)
+        return ExactState(float(np.mean(norms)), np.mean(np.stack(drifts, axis=0), axis=0))
+
+
+def average_states(states: Sequence[LocalState]) -> LocalState:
+    """Element-wise average of per-worker states (the AllReduce of local states)."""
+    if not states:
+        raise CommunicationError("average_states requires at least one state")
+    return states[0]._combine(states)

@@ -1,0 +1,82 @@
+"""Frozen feature extractor for the transfer-learning scenario.
+
+The paper's Figure 13 fine-tunes an ImageNet-pretrained ConvNeXtLarge on
+CIFAR-100.  Without the pretrained weights (no network access) we substitute
+the backbone with a *frozen* random nonlinear projection: the classes remain
+linearly entangled enough that fine-tuning a multi-layer head with AdamW is a
+non-trivial optimization problem, which is the property the experiment needs
+(see DESIGN.md, substitution 5).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.exceptions import DataError
+from repro.utils.rng import as_rng
+
+
+class PretrainedFeatureExtractor:
+    """A frozen multi-layer random projection acting as a pretrained backbone.
+
+    The extractor flattens its input, applies ``len(hidden_dims)`` frozen
+    affine+tanh layers, and returns the final representation.  It never
+    trains; only the head built by :func:`repro.nn.architectures.transfer_head`
+    receives gradients, exactly as in a feature-extraction / fine-tuning
+    pipeline.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dims: Sequence[int] = (64, 48),
+        seed: int = 0,
+    ) -> None:
+        if input_dim <= 0:
+            raise DataError(f"input_dim must be positive, got {input_dim}")
+        if not hidden_dims:
+            raise DataError("hidden_dims must contain at least one layer size")
+        rng = as_rng(seed)
+        self.input_dim = int(input_dim)
+        self.hidden_dims = tuple(int(d) for d in hidden_dims)
+        self._weights = []
+        self._biases = []
+        previous = self.input_dim
+        for width in self.hidden_dims:
+            if width <= 0:
+                raise DataError(f"hidden layer widths must be positive, got {width}")
+            scale = 1.0 / np.sqrt(previous)
+            self._weights.append(rng.normal(scale=scale, size=(previous, width)))
+            self._biases.append(rng.normal(scale=0.1, size=width))
+            previous = width
+
+    @property
+    def output_dim(self) -> int:
+        """Dimension of the extracted feature vectors."""
+        return self.hidden_dims[-1]
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Extract features for a batch of samples (any shape; flattened first)."""
+        x = np.asarray(x, dtype=np.float64)
+        flat = x.reshape(x.shape[0], -1)
+        if flat.shape[1] != self.input_dim:
+            raise DataError(
+                f"expected flattened inputs of dimension {self.input_dim}, got {flat.shape[1]}"
+            )
+        hidden = flat
+        for weight, bias in zip(self._weights, self._biases):
+            hidden = np.tanh(hidden @ weight + bias)
+        return hidden
+
+    def transform_dataset(self, dataset: Dataset, name: str = None) -> Dataset:
+        """Return a new dataset of extracted features with the same labels."""
+        features = self.transform(dataset.x)
+        return Dataset(
+            features,
+            dataset.y.copy(),
+            dataset.num_classes,
+            name=name or f"{dataset.name}-features",
+        )

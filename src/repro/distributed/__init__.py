@@ -1,0 +1,34 @@
+"""Simulated distributed execution substrate.
+
+The paper runs on a 44-node GPU cluster; its evaluation, however, is
+infrastructure-agnostic and reports *communication cost in bytes* and
+*computation cost in mini-batch steps*.  This subpackage reproduces exactly
+those quantities with an in-process simulation: :class:`Worker` objects hold
+local models, data shards and optimizers, :class:`SimulatedCluster` implements
+AllReduce as an exact average plus byte accounting, and :class:`NetworkModel`
+translates byte counts into wall-clock time for the FL / balanced / HPC
+settings discussed in the paper.
+"""
+
+from repro.distributed.comm import (
+    CommunicationCostModel,
+    CommunicationTracker,
+    NAIVE_COST_MODEL,
+    RING_COST_MODEL,
+)
+from repro.distributed.network import NetworkModel, FL_NETWORK, HPC_NETWORK, BALANCED_NETWORK
+from repro.distributed.worker import Worker
+from repro.distributed.cluster import SimulatedCluster
+
+__all__ = [
+    "CommunicationCostModel",
+    "CommunicationTracker",
+    "NAIVE_COST_MODEL",
+    "RING_COST_MODEL",
+    "NetworkModel",
+    "FL_NETWORK",
+    "HPC_NETWORK",
+    "BALANCED_NETWORK",
+    "Worker",
+    "SimulatedCluster",
+]

@@ -1,0 +1,190 @@
+"""The simulated cluster: collectives, synchronization, and global evaluation.
+
+:class:`SimulatedCluster` owns the workers and implements the two collective
+operations FDA needs (AllReduce of local states and AllReduce of model
+parameters), charging their byte cost to a :class:`CommunicationTracker`.
+It also maintains an *evaluation model* used to measure the accuracy of the
+global (average) model without disturbing any worker's local state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.distributed.comm import CommunicationCostModel, CommunicationTracker, NAIVE_COST_MODEL
+from repro.distributed.worker import Worker
+from repro.exceptions import CommunicationError, ConfigurationError
+from repro.nn.losses import Loss, SoftmaxCrossEntropy
+
+#: Traffic categories used by the tracker.
+CATEGORY_MODEL = "model-sync"
+CATEGORY_STATE = "fda-state"
+CATEGORY_OTHER = "other"
+
+
+class SimulatedCluster:
+    """A set of workers plus exact-average collectives with byte accounting."""
+
+    def __init__(
+        self,
+        workers: Sequence[Worker],
+        cost_model: Optional[CommunicationCostModel] = None,
+        loss: Optional[Loss] = None,
+    ) -> None:
+        if not workers:
+            raise ConfigurationError("a cluster needs at least one worker")
+        dimensions = {worker.num_parameters for worker in workers}
+        if len(dimensions) != 1:
+            raise CommunicationError(
+                f"all workers must share the same model dimension, got {sorted(dimensions)}"
+            )
+        self.workers: List[Worker] = list(workers)
+        self.tracker = CommunicationTracker(cost_model or NAIVE_COST_MODEL)
+        self.loss = loss or SoftmaxCrossEntropy()
+        self.synchronization_count = 0
+        self._evaluation_model = self.workers[0].model.clone()
+
+    # -- basic properties ------------------------------------------------------
+
+    @property
+    def num_workers(self) -> int:
+        """``K`` in the paper."""
+        return len(self.workers)
+
+    @property
+    def model_dimension(self) -> int:
+        """``d`` in the paper."""
+        return self.workers[0].num_parameters
+
+    @property
+    def parallel_steps(self) -> int:
+        """In-parallel learning steps: the maximum steps performed by any worker.
+
+        All strategies in this library drive workers in lockstep, so this also
+        equals every individual worker's step count.
+        """
+        return max(worker.steps_performed for worker in self.workers)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total communication cost so far (bytes transmitted by all workers)."""
+        return self.tracker.total_bytes
+
+    # -- collectives -----------------------------------------------------------
+
+    def allreduce(self, vectors: Sequence[np.ndarray], category: str = CATEGORY_OTHER) -> np.ndarray:
+        """Exact element-wise average of one vector per worker, with byte accounting."""
+        if len(vectors) != self.num_workers:
+            raise CommunicationError(
+                f"allreduce needs one vector per worker ({self.num_workers}), got {len(vectors)}"
+            )
+        stacked = np.stack([np.asarray(v, dtype=np.float64) for v in vectors], axis=0)
+        self.tracker.record_allreduce(int(stacked[0].size), self.num_workers, category)
+        return stacked.mean(axis=0)
+
+    def allreduce_scalar(self, values: Sequence[float], category: str = CATEGORY_OTHER) -> float:
+        """AllReduce (average) of one scalar per worker."""
+        if len(values) != self.num_workers:
+            raise CommunicationError(
+                f"allreduce_scalar needs one value per worker ({self.num_workers}), got {len(values)}"
+            )
+        self.tracker.record_allreduce(1, self.num_workers, category)
+        return float(np.mean([float(v) for v in values]))
+
+    def broadcast_parameters(self, flat: np.ndarray, count_cost: bool = False) -> None:
+        """Set every worker's parameters to ``flat`` (optionally charging broadcast bytes)."""
+        flat = np.asarray(flat, dtype=np.float64)
+        if count_cost:
+            self.tracker.record_broadcast(int(flat.size), self.num_workers, CATEGORY_MODEL)
+        for worker in self.workers:
+            worker.set_parameters(flat)
+
+    # -- model synchronization ---------------------------------------------------
+
+    def average_parameters(self) -> np.ndarray:
+        """The global model ``w̄`` (average of worker parameters); free of charge.
+
+        This is a *bookkeeping* average used for evaluation — it does not
+        correspond to any network traffic in the simulated system.
+        """
+        stacked = np.stack([worker.get_parameters() for worker in self.workers], axis=0)
+        return stacked.mean(axis=0)
+
+    def average_buffers(self) -> np.ndarray:
+        """Average of the workers' non-trainable buffers (batch-norm statistics)."""
+        stacked = np.stack([worker.get_buffers() for worker in self.workers], axis=0)
+        return stacked.mean(axis=0)
+
+    def synchronize(self, include_buffers: bool = True) -> np.ndarray:
+        """Full model synchronization via AllReduce (Algorithm 1, line 9).
+
+        Averages the worker parameters (and, by default, the batch-norm
+        buffers), writes the average back into every worker, charges the
+        corresponding AllReduce traffic, and returns the new global parameters.
+        """
+        average = self.allreduce(
+            [worker.get_parameters() for worker in self.workers], CATEGORY_MODEL
+        )
+        for worker in self.workers:
+            worker.set_parameters(average)
+        if include_buffers and self.workers[0].model.num_buffers:
+            buffer_average = self.allreduce(
+                [worker.get_buffers() for worker in self.workers], CATEGORY_MODEL
+            )
+            for worker in self.workers:
+                worker.set_buffers(buffer_average)
+        self.synchronization_count += 1
+        return average
+
+    # -- training helpers ----------------------------------------------------------
+
+    def step_all(self) -> float:
+        """Run one local mini-batch step on every worker; returns the mean loss."""
+        losses = [worker.local_step() for worker in self.workers]
+        return float(np.mean(losses))
+
+    def epoch_all(self) -> float:
+        """Run one local epoch on every worker; returns the mean loss."""
+        losses = [worker.local_epoch() for worker in self.workers]
+        return float(np.mean(losses))
+
+    # -- evaluation -------------------------------------------------------------------
+
+    def evaluate_global(self, dataset: Dataset, batch_size: int = 256) -> Tuple[float, float]:
+        """Evaluate the *global* (average) model on ``dataset``.
+
+        The evaluation model receives the average parameters and the average
+        batch-norm buffers; worker state is untouched and no communication is
+        charged (evaluation is an observer operation of the simulation).
+        """
+        self._evaluation_model.set_parameters(self.average_parameters())
+        if self._evaluation_model.num_buffers:
+            self._evaluation_model.set_buffers(self.average_buffers())
+        return self._evaluation_model.evaluate(
+            dataset.x, dataset.y, loss=self.loss, batch_size=batch_size
+        )
+
+    def evaluate_worker(self, worker_index: int, dataset: Dataset, batch_size: int = 256) -> Tuple[float, float]:
+        """Evaluate a single worker's local model on ``dataset``."""
+        if not 0 <= worker_index < self.num_workers:
+            raise CommunicationError(
+                f"worker_index must lie in [0, {self.num_workers}), got {worker_index}"
+            )
+        worker = self.workers[worker_index]
+        return worker.model.evaluate(dataset.x, dataset.y, loss=self.loss, batch_size=batch_size)
+
+    def model_variance(self) -> float:
+        """The exact model variance Var(w_t) across workers (Equation 2)."""
+        parameters = np.stack([worker.get_parameters() for worker in self.workers], axis=0)
+        average = parameters.mean(axis=0)
+        deviations = parameters - average
+        return float(np.mean(np.sum(deviations * deviations, axis=1)))
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedCluster(K={self.num_workers}, d={self.model_dimension}, "
+            f"syncs={self.synchronization_count}, bytes={self.total_bytes})"
+        )

@@ -1,0 +1,142 @@
+"""A simulated federated worker.
+
+Each worker owns a local model replica, a local optimizer, and a shard of the
+training data.  ``local_step`` performs exactly one ``Optimize(w, B)`` update
+from the paper's Algorithm 1; ``local_epoch`` performs the full local pass
+used by the FedAvg/FedOpt baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.data.loaders import BatchSampler, EpochIterator
+from repro.exceptions import ConfigurationError, TrainingError
+from repro.nn.losses import Loss, SoftmaxCrossEntropy
+from repro.nn.model import Sequential
+from repro.optim.base import Optimizer
+
+
+class Worker:
+    """One simulated worker-node: local model + local data + local optimizer."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        model: Sequential,
+        dataset: Dataset,
+        optimizer: Optimizer,
+        batch_size: int = 32,
+        loss: Optional[Loss] = None,
+        seed=None,
+    ) -> None:
+        if worker_id < 0:
+            raise ConfigurationError(f"worker_id must be non-negative, got {worker_id}")
+        if batch_size <= 0:
+            raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
+        self.worker_id = int(worker_id)
+        self.model = model
+        self.dataset = dataset
+        self.optimizer = optimizer
+        self.batch_size = int(batch_size)
+        self.loss = loss or SoftmaxCrossEntropy()
+        self._sampler = BatchSampler(dataset, batch_size, seed=seed)
+        self._epoch_iterator = EpochIterator(dataset, batch_size, seed=seed)
+        self.steps_performed = 0
+        self.last_loss: Optional[float] = None
+
+    # -- parameter access -----------------------------------------------------
+
+    def get_parameters(self) -> np.ndarray:
+        """Flat copy of the local model parameters (``w_t^{(k)}``)."""
+        return self.model.get_parameters()
+
+    def set_parameters(self, flat: np.ndarray) -> None:
+        """Overwrite the local model parameters (synchronization)."""
+        self.model.set_parameters(flat)
+
+    def get_buffers(self) -> np.ndarray:
+        """Flat copy of the local model's non-trainable buffers."""
+        return self.model.get_buffers()
+
+    def set_buffers(self, flat: np.ndarray) -> None:
+        """Overwrite the local model's non-trainable buffers."""
+        self.model.set_buffers(flat)
+
+    def drift_from(self, reference: np.ndarray) -> np.ndarray:
+        """The local model drift ``u_t^{(k)} = w_t^{(k)} − reference``."""
+        return self.get_parameters() - np.asarray(reference, dtype=np.float64)
+
+    @property
+    def num_parameters(self) -> int:
+        """Model dimension ``d``."""
+        return self.model.num_parameters
+
+    # -- training -------------------------------------------------------------
+
+    def local_step(
+        self,
+        gradient_transform: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None,
+    ) -> float:
+        """One mini-batch optimization step; returns the batch loss.
+
+        ``gradient_transform(params, grads)`` — if given — may return a
+        modified gradient before the optimizer step.  The drift-control
+        baselines (FedProx's proximal term, SCAFFOLD's control variates) use
+        this hook; plain FDA/BSP/FedAvg leave it unset.
+        """
+        batch_x, batch_y = self._sampler.sample()
+        loss_value = self.model.train_batch(batch_x, batch_y, self.loss)
+        if not np.isfinite(loss_value):
+            raise TrainingError(
+                f"worker {self.worker_id}: loss became non-finite ({loss_value}); "
+                "reduce the learning rate or variance threshold"
+            )
+        params = self.model.get_parameters()
+        grads = self.model.get_gradients()
+        if gradient_transform is not None:
+            grads = gradient_transform(params, grads)
+        self.model.set_parameters(self.optimizer.step(params, grads))
+        self.steps_performed += 1
+        self.last_loss = float(loss_value)
+        return self.last_loss
+
+    def local_epoch(
+        self,
+        gradient_transform: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None,
+    ) -> float:
+        """One full pass over the local shard; returns the mean batch loss.
+
+        See :meth:`local_step` for the ``gradient_transform`` hook.
+        """
+        losses = []
+        for batch_x, batch_y in self._epoch_iterator.epoch():
+            loss_value = self.model.train_batch(batch_x, batch_y, self.loss)
+            if not np.isfinite(loss_value):
+                raise TrainingError(
+                    f"worker {self.worker_id}: loss became non-finite ({loss_value}) "
+                    "during a local epoch"
+                )
+            params = self.model.get_parameters()
+            grads = self.model.get_gradients()
+            if gradient_transform is not None:
+                grads = gradient_transform(params, grads)
+            self.model.set_parameters(self.optimizer.step(params, grads))
+            self.steps_performed += 1
+            losses.append(float(loss_value))
+        self.last_loss = float(np.mean(losses)) if losses else self.last_loss
+        return self.last_loss if self.last_loss is not None else 0.0
+
+    @property
+    def batches_per_epoch(self) -> int:
+        """Number of mini-batches in one local epoch."""
+        return self._epoch_iterator.batches_per_epoch
+
+    def __repr__(self) -> str:
+        return (
+            f"Worker(id={self.worker_id}, samples={len(self.dataset)}, "
+            f"steps={self.steps_performed})"
+        )

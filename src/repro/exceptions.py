@@ -1,0 +1,62 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while still distinguishing configuration problems from
+runtime training failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied by the caller.
+
+    Raised eagerly, at construction time, so that a misconfigured experiment
+    fails before any (potentially long) training work starts.
+    """
+
+
+class ShapeError(ReproError):
+    """A tensor had an unexpected shape.
+
+    Raised by :mod:`repro.nn` layers when the input rank or channel count does
+    not match what the layer was built for.
+    """
+
+
+class ModelNotBuiltError(ReproError):
+    """An operation required a built model but the model has no parameters yet.
+
+    :class:`repro.nn.model.Sequential` builds its layers lazily on the first
+    forward pass (or explicitly via ``build``); requesting the flat parameter
+    vector before that point raises this error.
+    """
+
+
+class DataError(ReproError):
+    """A dataset or partitioning request was invalid.
+
+    For example: asking for more workers than samples, a Non-IID fraction
+    outside ``[0, 1]``, or a label that does not exist in the dataset.
+    """
+
+
+class CommunicationError(ReproError):
+    """A simulated collective operation was used incorrectly.
+
+    For example: an AllReduce over vectors of mismatched dimensions, or a
+    worker index outside the cluster.
+    """
+
+
+class TrainingError(ReproError):
+    """Training could not proceed (e.g. loss became non-finite)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment definition or run request was inconsistent."""

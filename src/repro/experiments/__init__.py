@@ -1,0 +1,51 @@
+"""Experiment harness: the paper's evaluation methodology as code.
+
+A *training run* (Section 4.1) executes one DDL algorithm on one workload
+until the global model reaches a target test accuracy, and reports two costs:
+communication (total bytes transmitted by all workers) and computation
+(in-parallel learning steps).  This subpackage provides the workload builder,
+the run loop, sweeps over Θ and K, result aggregation, KDE summaries of the
+cost distributions, and the registry that maps every figure/table of the
+paper to a concrete configuration.
+"""
+
+from repro.experiments.setup import WorkloadConfig, build_cluster, make_optimizer
+from repro.experiments.run import RunResult, TrainingRun
+from repro.experiments.results import (
+    ResultsTable,
+    compare_strategies,
+    summarize_results,
+)
+from repro.experiments.sweep import SweepPoint, sweep_theta, sweep_workers
+from repro.experiments.kde import kde_density, log_kde_summary
+from repro.experiments.persistence import (
+    load_results,
+    load_sweep,
+    save_results,
+    save_sweep,
+)
+from repro.experiments.reporting import format_results_table, format_comparison
+from repro.experiments import registry
+
+__all__ = [
+    "WorkloadConfig",
+    "build_cluster",
+    "make_optimizer",
+    "TrainingRun",
+    "RunResult",
+    "ResultsTable",
+    "summarize_results",
+    "compare_strategies",
+    "SweepPoint",
+    "sweep_theta",
+    "sweep_workers",
+    "kde_density",
+    "log_kde_summary",
+    "save_results",
+    "load_results",
+    "save_sweep",
+    "load_sweep",
+    "format_results_table",
+    "format_comparison",
+    "registry",
+]

@@ -1,0 +1,125 @@
+"""Persisting experiment results to disk.
+
+The paper's evaluation aggregates over 1000 training runs; anyone extending
+this reproduction will want to run sweeps incrementally and keep the results.
+This module serializes :class:`~repro.experiments.run.RunResult` objects (and
+sweeps of them) to plain JSON — including the per-evaluation history — and
+loads them back into fully usable objects, so aggregation, KDE summaries, and
+reporting work identically on fresh and reloaded results.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from repro.exceptions import ExperimentError
+from repro.experiments.run import RunResult
+from repro.experiments.sweep import SweepPoint
+from repro.utils.runlog import RunLogger
+
+PathLike = Union[str, Path]
+
+_RESULT_FIELDS = (
+    "strategy",
+    "workload",
+    "reached_target",
+    "accuracy_target",
+    "final_accuracy",
+    "best_accuracy",
+    "communication_bytes",
+    "parallel_steps",
+    "synchronizations",
+    "evaluations",
+    "state_bytes",
+    "model_bytes",
+    "final_train_accuracy",
+)
+
+
+def result_to_dict(result: RunResult) -> Dict[str, object]:
+    """Convert a :class:`RunResult` (including its history) to plain JSON types."""
+    payload: Dict[str, object] = {field: getattr(result, field) for field in _RESULT_FIELDS}
+    payload["history"] = result.history.entries
+    return payload
+
+
+def result_from_dict(payload: Dict[str, object]) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`result_to_dict` output."""
+    missing = [field for field in _RESULT_FIELDS if field not in payload]
+    if missing:
+        raise ExperimentError(f"run-result payload is missing fields: {missing}")
+    history = RunLogger(name=f"{payload['strategy']}-{payload['workload']}")
+    for entry in payload.get("history", []):
+        history.log(**entry)
+    kwargs = {field: payload[field] for field in _RESULT_FIELDS}
+    return RunResult(history=history, **kwargs)
+
+
+def save_results(results: Iterable[RunResult], path: PathLike) -> Path:
+    """Write a list of run results to ``path`` as a JSON document."""
+    path = Path(path)
+    document = {
+        "format": "repro.run_results",
+        "version": 1,
+        "results": [result_to_dict(result) for result in results],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+    return path
+
+
+def load_results(path: PathLike) -> List[RunResult]:
+    """Load run results previously written by :func:`save_results`."""
+    path = Path(path)
+    if not path.exists():
+        raise ExperimentError(f"results file {path} does not exist")
+    with path.open("r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("format") != "repro.run_results":
+        raise ExperimentError(f"{path} is not a repro results file")
+    return [result_from_dict(item) for item in document.get("results", [])]
+
+
+def sweep_to_records(points: Iterable[SweepPoint]) -> List[Dict[str, object]]:
+    """Flatten sweep points into per-point records (for JSON or tabular export)."""
+    records = []
+    for point in points:
+        record = result_to_dict(point.result)
+        record["sweep_parameter"] = point.parameter
+        record["sweep_value"] = point.value
+        records.append(record)
+    return records
+
+
+def save_sweep(points: Iterable[SweepPoint], path: PathLike) -> Path:
+    """Write sweep points to ``path`` as JSON."""
+    path = Path(path)
+    document = {
+        "format": "repro.sweep",
+        "version": 1,
+        "points": sweep_to_records(points),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+    return path
+
+
+def load_sweep(path: PathLike) -> List[SweepPoint]:
+    """Load sweep points previously written by :func:`save_sweep`."""
+    path = Path(path)
+    if not path.exists():
+        raise ExperimentError(f"sweep file {path} does not exist")
+    with path.open("r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("format") != "repro.sweep":
+        raise ExperimentError(f"{path} is not a repro sweep file")
+    points = []
+    for record in document.get("points", []):
+        parameter = record.pop("sweep_parameter", "unknown")
+        value = record.pop("sweep_value", float("nan"))
+        points.append(SweepPoint(parameter=parameter, value=value, result=result_from_dict(record)))
+    return points

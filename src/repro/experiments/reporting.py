@@ -1,0 +1,100 @@
+"""Text reporting of experiment results in the paper's units.
+
+Benchmarks and examples print these tables so their stdout can be compared
+side-by-side with the paper's figures: strategies as rows, communication in
+GB, computation in in-parallel learning steps, plus the pairwise ratios the
+paper quotes ("1-2 orders of magnitude less communication").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.experiments.results import ResultsTable, StrategySummary, compare_strategies
+from repro.experiments.run import RunResult
+from repro.utils.formatting import format_bytes, format_count
+
+
+def format_results_table(results: Sequence[RunResult], reached_only: bool = True) -> str:
+    """Per-strategy summary table (one row per strategy)."""
+    table = ResultsTable(results)
+    summaries = table.summaries(reached_only=reached_only)
+    return format_summaries(summaries)
+
+
+def format_summaries(summaries: Iterable[StrategySummary]) -> str:
+    """Render :class:`StrategySummary` rows as a fixed-width text table."""
+    header = [
+        "strategy",
+        "runs",
+        "reach",
+        "comm (median)",
+        "steps (median)",
+        "syncs (median)",
+        "accuracy",
+    ]
+    rows: List[List[str]] = [header]
+    for summary in summaries:
+        rows.append(
+            [
+                summary.strategy,
+                str(summary.num_runs),
+                f"{summary.reach_rate:.0%}",
+                format_bytes(summary.median_communication_bytes),
+                format_count(summary.median_parallel_steps),
+                format_count(summary.median_synchronizations),
+                f"{summary.median_final_accuracy:.3f}",
+            ]
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_comparison(
+    results: Sequence[RunResult], candidate: str, baseline: str
+) -> str:
+    """One-line comparison: how much cheaper the candidate is than the baseline."""
+    ratios = compare_strategies(results, candidate, baseline)
+    return (
+        f"{candidate} vs {baseline}: "
+        f"{ratios['communication_ratio']:.1f}x less communication, "
+        f"{ratios['computation_ratio']:.1f}x less computation "
+        f"(reach rates: {ratios['candidate_reach_rate']:.0%} vs "
+        f"{ratios['baseline_reach_rate']:.0%})"
+    )
+
+
+def format_run_history(result: RunResult, max_rows: int = 12) -> str:
+    """Render a run's evaluation history (used by the Figure-7 style outputs)."""
+    entries = result.history.entries
+    if not entries:
+        return f"<no evaluations recorded for {result.strategy}>"
+    step = max(1, len(entries) // max_rows)
+    selected = entries[::step]
+    if entries[-1] not in selected:
+        selected.append(entries[-1])
+    lines = [f"{result.strategy} on {result.workload} (target {result.accuracy_target}):"]
+    for entry in selected:
+        parts = [
+            f"steps={entry.get('steps', 0):>6}",
+            f"comm={format_bytes(entry.get('communication_bytes', 0))}",
+            f"test_acc={entry.get('test_accuracy', 0.0):.3f}",
+        ]
+        if "train_accuracy" in entry:
+            parts.append(f"train_acc={entry['train_accuracy']:.3f}")
+        lines.append("  " + "  ".join(parts))
+    return "\n".join(lines)
+
+
+def comparison_ratios(
+    results: Sequence[RunResult], candidate: str, baselines: Sequence[str]
+) -> Dict[str, Dict[str, float]]:
+    """All pairwise comparisons of one candidate against several baselines."""
+    return {
+        baseline: compare_strategies(results, candidate, baseline) for baseline in baselines
+    }

@@ -1,0 +1,163 @@
+"""The training-run loop: execute a strategy until an accuracy target is hit.
+
+This mirrors the paper's evaluation methodology exactly: a *training run*
+executes one DDL algorithm on one workload until the final evaluation point at
+which the trained (global) model reaches the target test accuracy, and the
+run's cost is reported as (communication bytes, in-parallel learning steps) at
+that point.  Runs that never reach the target within the step budget are
+marked accordingly and report their best accuracy instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.data.datasets import Dataset
+from repro.distributed.cluster import SimulatedCluster
+from repro.exceptions import ConfigurationError
+from repro.strategies.base import Strategy
+from repro.utils.runlog import RunLogger
+
+
+@dataclass
+class RunResult:
+    """Outcome of one training run (one strategy on one workload)."""
+
+    strategy: str
+    workload: str
+    reached_target: bool
+    accuracy_target: float
+    final_accuracy: float
+    best_accuracy: float
+    communication_bytes: int
+    parallel_steps: int
+    synchronizations: int
+    evaluations: int
+    state_bytes: int = 0
+    model_bytes: int = 0
+    final_train_accuracy: Optional[float] = None
+    history: RunLogger = field(default_factory=RunLogger)
+
+    @property
+    def communication_gb(self) -> float:
+        """Communication cost in gigabytes (the unit used in the figures)."""
+        return self.communication_bytes / 1e9
+
+    @property
+    def generalization_gap(self) -> Optional[float]:
+        """Train-minus-test accuracy at the end of the run (Figure 7's metric)."""
+        if self.final_train_accuracy is None:
+            return None
+        return self.final_train_accuracy - self.final_accuracy
+
+    def summary(self) -> dict:
+        """Plain-dict view used by the results tables and benchmarks."""
+        return {
+            "strategy": self.strategy,
+            "workload": self.workload,
+            "reached_target": self.reached_target,
+            "accuracy_target": self.accuracy_target,
+            "final_accuracy": round(self.final_accuracy, 4),
+            "communication_bytes": self.communication_bytes,
+            "parallel_steps": self.parallel_steps,
+            "synchronizations": self.synchronizations,
+        }
+
+
+class TrainingRun:
+    """Runs a strategy until the accuracy target (or the step budget) is reached."""
+
+    def __init__(
+        self,
+        accuracy_target: float = 0.9,
+        max_steps: int = 2000,
+        eval_every_steps: int = 20,
+        track_train_accuracy: bool = False,
+        train_eval_samples: int = 512,
+    ) -> None:
+        if not 0.0 < accuracy_target <= 1.0:
+            raise ConfigurationError(
+                f"accuracy_target must lie in (0, 1], got {accuracy_target}"
+            )
+        if max_steps <= 0:
+            raise ConfigurationError(f"max_steps must be positive, got {max_steps}")
+        if eval_every_steps <= 0:
+            raise ConfigurationError(
+                f"eval_every_steps must be positive, got {eval_every_steps}"
+            )
+        self.accuracy_target = float(accuracy_target)
+        self.max_steps = int(max_steps)
+        self.eval_every_steps = int(eval_every_steps)
+        self.track_train_accuracy = bool(track_train_accuracy)
+        self.train_eval_samples = int(train_eval_samples)
+
+    def execute(
+        self,
+        strategy: Strategy,
+        cluster: SimulatedCluster,
+        test_dataset: Dataset,
+        train_dataset: Optional[Dataset] = None,
+        workload_name: str = "workload",
+    ) -> RunResult:
+        """Attach ``strategy`` to ``cluster`` and train until target or budget."""
+        strategy.attach(cluster)
+        history = RunLogger(name=f"{strategy.name}-{workload_name}")
+        best_accuracy = 0.0
+        final_accuracy = 0.0
+        final_train_accuracy: Optional[float] = None
+        reached = False
+        evaluations = 0
+
+        train_eval = None
+        if self.track_train_accuracy and train_dataset is not None:
+            subset_size = min(self.train_eval_samples, len(train_dataset))
+            train_eval = train_dataset.subset(range(subset_size), name="train-eval")
+
+        while cluster.parallel_steps < self.max_steps:
+            target_steps = min(
+                cluster.parallel_steps + self.eval_every_steps, self.max_steps
+            )
+            mean_loss = 0.0
+            while cluster.parallel_steps < target_steps:
+                round_result = strategy.run_round()
+                mean_loss = round_result.mean_loss
+
+            _, test_accuracy = cluster.evaluate_global(test_dataset)
+            evaluations += 1
+            final_accuracy = test_accuracy
+            best_accuracy = max(best_accuracy, test_accuracy)
+            entry = {
+                "steps": cluster.parallel_steps,
+                "communication_bytes": cluster.total_bytes,
+                "test_accuracy": test_accuracy,
+                "train_loss": mean_loss,
+                "synchronizations": cluster.synchronization_count,
+            }
+            if train_eval is not None:
+                _, train_accuracy = cluster.evaluate_global(train_eval)
+                entry["train_accuracy"] = train_accuracy
+                final_train_accuracy = train_accuracy
+            history.log(**entry)
+
+            if test_accuracy >= self.accuracy_target:
+                reached = True
+                break
+
+        strategy.finalize()
+        return RunResult(
+            strategy=strategy.name,
+            workload=workload_name,
+            reached_target=reached,
+            accuracy_target=self.accuracy_target,
+            final_accuracy=final_accuracy,
+            best_accuracy=best_accuracy,
+            communication_bytes=cluster.total_bytes,
+            parallel_steps=cluster.parallel_steps,
+            synchronizations=cluster.synchronization_count,
+            evaluations=evaluations,
+            state_bytes=cluster.tracker.bytes_for("fda-state"),
+            model_bytes=cluster.tracker.bytes_for("model-sync"),
+            final_train_accuracy=final_train_accuracy,
+            history=history,
+        )

@@ -1,0 +1,128 @@
+"""Workload configuration and cluster construction.
+
+A :class:`WorkloadConfig` bundles everything Table 2 of the paper specifies
+per experiment: the model (a factory), the dataset pair, the local optimizer,
+the batch size ``b``, the number of workers ``K``, and the data-distribution
+scheme.  :func:`build_cluster` turns a workload into a ready-to-train
+:class:`~repro.distributed.cluster.SimulatedCluster` with identically
+initialized worker models and per-worker data shards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.data.datasets import Dataset
+from repro.data.partition import partition_dataset
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.comm import CommunicationCostModel, NAIVE_COST_MODEL
+from repro.distributed.worker import Worker
+from repro.exceptions import ConfigurationError
+from repro.nn.losses import Loss, SoftmaxCrossEntropy
+from repro.nn.model import Sequential
+from repro.optim.adam import Adam, AdamW
+from repro.optim.base import Optimizer
+from repro.optim.sgd import SGD
+from repro.utils.rng import RngFactory
+
+ModelFactory = Callable[[], Sequential]
+OptimizerFactory = Callable[[], Optimizer]
+
+
+def make_optimizer(name: str, **kwargs) -> OptimizerFactory:
+    """Return a factory for one of the paper's local optimizers.
+
+    ``name`` is ``"adam"`` (LeNet-5 / VGG16* experiments), ``"sgd-nm"`` (the
+    DenseNet experiments: SGD with Nesterov momentum 0.9), ``"sgd"`` or
+    ``"adamw"`` (the ConvNeXt fine-tuning experiments).
+    """
+    name = name.lower()
+    if name == "adam":
+        return lambda: Adam(**{"learning_rate": 0.001, **kwargs})
+    if name == "adamw":
+        return lambda: AdamW(**{"learning_rate": 0.001, "weight_decay": 0.01, **kwargs})
+    if name == "sgd":
+        return lambda: SGD(**{"learning_rate": 0.05, **kwargs})
+    if name in ("sgd-nm", "sgd_nesterov", "sgdnm"):
+        defaults = {"learning_rate": 0.05, "momentum": 0.9, "nesterov": True}
+        return lambda: SGD(**{**defaults, **kwargs})
+    raise ConfigurationError(
+        f"unknown optimizer {name!r}; expected 'adam', 'adamw', 'sgd' or 'sgd-nm'"
+    )
+
+
+@dataclass
+class WorkloadConfig:
+    """Everything needed to build one training workload.
+
+    ``model_factory`` must return a *built* model; it is called once per
+    worker (plus once for evaluation) with identical seeds so all replicas
+    start from the same initialization, as Algorithm 1 requires.
+    """
+
+    name: str
+    model_factory: ModelFactory
+    train_dataset: Dataset
+    test_dataset: Dataset
+    optimizer_factory: OptimizerFactory
+    num_workers: int = 5
+    batch_size: int = 32
+    partition_scheme: str = "iid"
+    partition_kwargs: Dict[str, object] = field(default_factory=dict)
+    loss: Optional[Loss] = None
+    cost_model: CommunicationCostModel = field(default_factory=lambda: NAIVE_COST_MODEL)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_workers <= 0:
+            raise ConfigurationError(f"num_workers must be positive, got {self.num_workers}")
+        if self.batch_size <= 0:
+            raise ConfigurationError(f"batch_size must be positive, got {self.batch_size}")
+
+    def with_workers(self, num_workers: int) -> "WorkloadConfig":
+        """A copy of this workload with a different worker count (for K sweeps)."""
+        return replace(self, num_workers=num_workers)
+
+    def with_partition(self, scheme: str, **kwargs) -> "WorkloadConfig":
+        """A copy of this workload with a different data-distribution scheme."""
+        return replace(self, partition_scheme=scheme, partition_kwargs=dict(kwargs))
+
+    def with_seed(self, seed: int) -> "WorkloadConfig":
+        """A copy of this workload with a different random seed."""
+        return replace(self, seed=seed)
+
+
+def build_cluster(config: WorkloadConfig) -> Tuple[SimulatedCluster, Dataset]:
+    """Build the simulated cluster for a workload.
+
+    Returns ``(cluster, test_dataset)``.  Worker models are created from the
+    same factory, so they share an architecture; the cluster/strategy then
+    broadcasts worker 0's parameters so that all replicas start identical.
+    """
+    rng_factory = RngFactory(config.seed)
+    partitions = partition_dataset(
+        config.train_dataset,
+        config.num_workers,
+        scheme=config.partition_scheme,
+        seed=rng_factory.named("partition"),
+        **config.partition_kwargs,
+    )
+    loss = config.loss or SoftmaxCrossEntropy()
+    workers = []
+    for worker_id, shard in enumerate(partitions):
+        model = config.model_factory()
+        optimizer = config.optimizer_factory()
+        workers.append(
+            Worker(
+                worker_id,
+                model,
+                shard,
+                optimizer,
+                batch_size=config.batch_size,
+                loss=loss,
+                seed=rng_factory.worker(worker_id),
+            )
+        )
+    cluster = SimulatedCluster(workers, cost_model=config.cost_model, loss=loss)
+    return cluster, config.test_dataset

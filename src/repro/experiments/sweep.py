@@ -1,0 +1,109 @@
+"""Parameter sweeps over Θ and K (Figures 8-11 and 13).
+
+The paper studies how communication and computation respond to the variance
+threshold Θ (at fixed K) and to the number of workers K (at fixed Θ).  These
+helpers run those one-dimensional sweeps for any strategy factory and return
+one :class:`SweepPoint` per grid value, which the benchmarks then check for
+the monotone trends the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.run import RunResult, TrainingRun
+from repro.experiments.setup import WorkloadConfig, build_cluster
+from repro.strategies.base import Strategy
+from repro.strategies.fda_strategy import FDAStrategy
+
+StrategyFactory = Callable[[], Strategy]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point of a sweep: the swept value plus the run result."""
+
+    parameter: str
+    value: float
+    result: RunResult
+
+    @property
+    def communication_bytes(self) -> int:
+        return self.result.communication_bytes
+
+    @property
+    def parallel_steps(self) -> int:
+        return self.result.parallel_steps
+
+    @property
+    def synchronizations(self) -> int:
+        return self.result.synchronizations
+
+
+def _run_one(
+    workload: WorkloadConfig,
+    strategy: Strategy,
+    run: TrainingRun,
+) -> RunResult:
+    cluster, test_dataset = build_cluster(workload)
+    return run.execute(
+        strategy,
+        cluster,
+        test_dataset,
+        train_dataset=workload.train_dataset,
+        workload_name=workload.name,
+    )
+
+
+def sweep_theta(
+    workload: WorkloadConfig,
+    thetas: Sequence[float],
+    run: TrainingRun,
+    variant: str = "linear",
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """Run an FDA variant across a grid of variance thresholds Θ (fixed K)."""
+    if not thetas:
+        raise ConfigurationError("thetas must contain at least one value")
+    points = []
+    for theta in thetas:
+        strategy = FDAStrategy(threshold=float(theta), variant=variant, seed=seed)
+        result = _run_one(workload, strategy, run)
+        points.append(SweepPoint(parameter="theta", value=float(theta), result=result))
+    return points
+
+
+def sweep_workers(
+    workload: WorkloadConfig,
+    worker_counts: Sequence[int],
+    run: TrainingRun,
+    strategy_factory: StrategyFactory,
+) -> List[SweepPoint]:
+    """Run one strategy across a grid of worker counts K (fixed Θ / schedule)."""
+    if not worker_counts:
+        raise ConfigurationError("worker_counts must contain at least one value")
+    points = []
+    for num_workers in worker_counts:
+        if num_workers <= 0:
+            raise ConfigurationError(f"worker counts must be positive, got {num_workers}")
+        scaled = workload.with_workers(int(num_workers))
+        strategy = strategy_factory()
+        result = _run_one(scaled, strategy, run)
+        points.append(SweepPoint(parameter="num_workers", value=float(num_workers), result=result))
+    return points
+
+
+def sweep_strategies(
+    workload: WorkloadConfig,
+    strategy_factories: Sequence[StrategyFactory],
+    run: TrainingRun,
+) -> List[RunResult]:
+    """Run several strategies on identical copies of one workload."""
+    if not strategy_factories:
+        raise ConfigurationError("strategy_factories must contain at least one factory")
+    results = []
+    for factory in strategy_factories:
+        results.append(_run_one(workload, factory(), run))
+    return results

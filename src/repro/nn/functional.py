@@ -1,0 +1,127 @@
+"""Low-level tensor helpers shared by the convolutional layers.
+
+All image tensors use the NHWC layout (batch, height, width, channels).  The
+conv/pool layers are implemented with im2col/col2im so the inner loop is a
+single matrix multiplication, which is the standard way to get acceptable
+convolution speed in pure NumPy.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Convert integer labels of shape (N,) to one-hot vectors (N, num_classes)."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ShapeError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ShapeError(
+            f"labels must lie in [0, {num_classes}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling along one axis."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"invalid convolution geometry: size={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def pad_nhwc(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the spatial dimensions of an NHWC tensor."""
+    if padding == 0:
+        return x
+    return np.pad(x, ((0, 0), (padding, padding), (padding, padding), (0, 0)), mode="constant")
+
+
+def im2col(
+    x: np.ndarray, kernel_h: int, kernel_w: int, stride: int, padding: int
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Unfold NHWC patches into a matrix of shape (N * out_h * out_w, kernel_h * kernel_w * C).
+
+    Returns the patch matrix and the (out_h, out_w) spatial output size.
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"im2col expects an NHWC tensor, got shape {x.shape}")
+    batch, height, width, channels = x.shape
+    out_h = conv_output_size(height, kernel_h, stride, padding)
+    out_w = conv_output_size(width, kernel_w, stride, padding)
+    padded = pad_nhwc(x, padding)
+
+    # Gather patches with stride tricks: shape (N, out_h, out_w, kernel_h, kernel_w, C).
+    batch_stride, row_stride, col_stride, chan_stride = padded.strides
+    patches = np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(batch, out_h, out_w, kernel_h, kernel_w, channels),
+        strides=(
+            batch_stride,
+            row_stride * stride,
+            col_stride * stride,
+            row_stride,
+            col_stride,
+            chan_stride,
+        ),
+        writeable=False,
+    )
+    columns = patches.reshape(batch * out_h * out_w, kernel_h * kernel_w * channels)
+    return np.ascontiguousarray(columns), (out_h, out_w)
+
+
+def col2im(
+    columns: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold a patch-gradient matrix back into an NHWC tensor (adjoint of im2col)."""
+    batch, height, width, channels = input_shape
+    out_h = conv_output_size(height, kernel_h, stride, padding)
+    out_w = conv_output_size(width, kernel_w, stride, padding)
+    expected_rows = batch * out_h * out_w
+    expected_cols = kernel_h * kernel_w * channels
+    if columns.shape != (expected_rows, expected_cols):
+        raise ShapeError(
+            f"col2im expected columns of shape {(expected_rows, expected_cols)}, "
+            f"got {columns.shape}"
+        )
+
+    padded = np.zeros(
+        (batch, height + 2 * padding, width + 2 * padding, channels), dtype=columns.dtype
+    )
+    patches = columns.reshape(batch, out_h, out_w, kernel_h, kernel_w, channels)
+    for i in range(kernel_h):
+        row_end = i + stride * out_h
+        for j in range(kernel_w):
+            col_end = j + stride * out_w
+            padded[:, i:row_end:stride, j:col_end:stride, :] += patches[:, :, :, i, j, :]
+    if padding == 0:
+        return padded
+    return padded[:, padding:-padding, padding:-padding, :]
+
+
+def flatten_batch(x: np.ndarray) -> np.ndarray:
+    """Flatten everything but the batch dimension."""
+    return x.reshape(x.shape[0], -1)
+
+
+def global_average_pool(x: np.ndarray) -> np.ndarray:
+    """Average over the spatial dimensions of an NHWC tensor, giving (N, C)."""
+    if x.ndim != 4:
+        raise ShapeError(f"global_average_pool expects an NHWC tensor, got shape {x.shape}")
+    return x.mean(axis=(1, 2))

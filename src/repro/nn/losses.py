@@ -1,0 +1,91 @@
+"""Loss functions.
+
+Losses take raw model outputs and integer labels (or regression targets) and
+return a scalar loss plus the gradient with respect to the model outputs, so
+the training loop is a plain ``loss.gradient`` → ``model.backward`` chain.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.nn.activations import log_softmax, softmax
+
+
+class Loss:
+    """Base class: ``value`` returns the scalar loss, ``gradient`` both loss and grad."""
+
+    def value(self, outputs: np.ndarray, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def gradient(self, outputs: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+        raise NotImplementedError
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Cross-entropy over logits with integrated softmax.
+
+    ``outputs`` are raw logits of shape ``(N, num_classes)`` and ``targets``
+    are integer class labels of shape ``(N,)``.  The gradient is the familiar
+    ``softmax(logits) - one_hot(targets)`` divided by the batch size.
+    """
+
+    def __init__(self, label_smoothing: float = 0.0) -> None:
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError(f"label_smoothing must lie in [0, 1), got {label_smoothing}")
+        self.label_smoothing = float(label_smoothing)
+
+    def _target_distribution(self, targets: np.ndarray, num_classes: int) -> np.ndarray:
+        targets = np.asarray(targets)
+        if targets.ndim != 1:
+            raise ShapeError(f"targets must be 1-D integer labels, got shape {targets.shape}")
+        distribution = np.full(
+            (targets.shape[0], num_classes),
+            self.label_smoothing / num_classes,
+            dtype=np.float64,
+        )
+        distribution[np.arange(targets.shape[0]), targets.astype(int)] += 1.0 - self.label_smoothing
+        return distribution
+
+    def value(self, outputs: np.ndarray, targets: np.ndarray) -> float:
+        if outputs.ndim != 2:
+            raise ShapeError(f"outputs must be (N, num_classes) logits, got shape {outputs.shape}")
+        log_probs = log_softmax(outputs, axis=1)
+        distribution = self._target_distribution(targets, outputs.shape[1])
+        return float(-(distribution * log_probs).sum(axis=1).mean())
+
+    def gradient(self, outputs: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+        if outputs.ndim != 2:
+            raise ShapeError(f"outputs must be (N, num_classes) logits, got shape {outputs.shape}")
+        probs = softmax(outputs, axis=1)
+        log_probs = log_softmax(outputs, axis=1)
+        distribution = self._target_distribution(targets, outputs.shape[1])
+        loss = float(-(distribution * log_probs).sum(axis=1).mean())
+        grad = (probs - distribution) / outputs.shape[0]
+        return loss, grad
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error for regression outputs of any shape."""
+
+    def value(self, outputs: np.ndarray, targets: np.ndarray) -> float:
+        targets = np.asarray(targets, dtype=np.float64)
+        if outputs.shape != targets.shape:
+            raise ShapeError(
+                f"outputs and targets must have the same shape, got {outputs.shape} and {targets.shape}"
+            )
+        return float(np.mean((outputs - targets) ** 2))
+
+    def gradient(self, outputs: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+        targets = np.asarray(targets, dtype=np.float64)
+        if outputs.shape != targets.shape:
+            raise ShapeError(
+                f"outputs and targets must have the same shape, got {outputs.shape} and {targets.shape}"
+            )
+        diff = outputs - targets
+        loss = float(np.mean(diff**2))
+        grad = 2.0 * diff / diff.size
+        return loss, grad

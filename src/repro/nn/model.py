@@ -1,0 +1,237 @@
+"""The :class:`Sequential` model.
+
+A thin container around an ordered list of layers that adds the two things
+the rest of the library needs:
+
+* a training interface (``train_batch`` / ``evaluate`` / ``predict``), and
+* *flat* views of all trainable parameters and their gradients, which is the
+  representation the FDA algorithm, the optimizers, and the distributed
+  AllReduce all operate on (``w`` in the paper is exactly this vector).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ModelNotBuiltError, ShapeError
+from repro.nn.layers import Layer
+from repro.nn.losses import Loss, SoftmaxCrossEntropy
+from repro.nn.metrics import accuracy
+from repro.utils.rng import as_rng
+
+
+class Sequential:
+    """An ordered stack of layers trained with explicit backpropagation."""
+
+    def __init__(self, layers: Sequence[Layer], name: str = "model") -> None:
+        self.name = name
+        self.layers: List[Layer] = list(layers)
+        self.built = False
+        self.input_shape: Optional[Tuple[int, ...]] = None
+        self.output_shape: Optional[Tuple[int, ...]] = None
+
+    # -- construction ------------------------------------------------------
+
+    def build(self, input_shape: Sequence[int], seed=0) -> "Sequential":
+        """Build every layer for per-sample ``input_shape`` (no batch dim)."""
+        rng = as_rng(seed)
+        shape = tuple(int(dim) for dim in input_shape)
+        self.input_shape = shape
+        for layer in self.layers:
+            shape = layer.build(shape, rng)
+        self.output_shape = shape
+        self.built = True
+        return self
+
+    def _require_built(self) -> None:
+        if not self.built:
+            raise ModelNotBuiltError(
+                f"model {self.name!r} must be built before use (call .build(input_shape))"
+            )
+
+    def clone(self) -> "Sequential":
+        """Deep copy of the model, including parameters and buffers."""
+        self._require_built()
+        return copy.deepcopy(self)
+
+    # -- compute -----------------------------------------------------------
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run a forward pass through every layer."""
+        self._require_built()
+        out = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            out = layer.forward(out, training)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate ``grad_output`` through every layer (reverse order)."""
+        self._require_built()
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Inference-mode forward pass, processed in batches."""
+        self._require_built()
+        x = np.asarray(x, dtype=np.float64)
+        outputs = []
+        for start in range(0, x.shape[0], batch_size):
+            outputs.append(self.forward(x[start : start + batch_size], training=False))
+        if not outputs:
+            return np.zeros((0,) + tuple(self.output_shape))
+        return np.concatenate(outputs, axis=0)
+
+    def train_batch(self, x: np.ndarray, y: np.ndarray, loss: Optional[Loss] = None) -> float:
+        """One forward/backward pass on a mini-batch; gradients are left in the layers."""
+        self._require_built()
+        loss = loss or SoftmaxCrossEntropy()
+        outputs = self.forward(x, training=True)
+        loss_value, grad = loss.gradient(outputs, y)
+        self.backward(grad)
+        return loss_value
+
+    def evaluate(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        loss: Optional[Loss] = None,
+        batch_size: int = 256,
+    ) -> Tuple[float, float]:
+        """Return ``(mean loss, accuracy)`` on a dataset, in inference mode."""
+        self._require_built()
+        loss = loss or SoftmaxCrossEntropy()
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y)
+        if x.shape[0] != y.shape[0]:
+            raise ShapeError(
+                f"x and y must have the same number of samples, got {x.shape[0]} and {y.shape[0]}"
+            )
+        if x.shape[0] == 0:
+            return 0.0, 0.0
+        total_loss = 0.0
+        correct_weighted = 0.0
+        for start in range(0, x.shape[0], batch_size):
+            batch_x = x[start : start + batch_size]
+            batch_y = y[start : start + batch_size]
+            outputs = self.forward(batch_x, training=False)
+            total_loss += loss.value(outputs, batch_y) * batch_x.shape[0]
+            correct_weighted += accuracy(outputs, batch_y) * batch_x.shape[0]
+        return total_loss / x.shape[0], correct_weighted / x.shape[0]
+
+    # -- flat parameter views -----------------------------------------------
+
+    def parameter_arrays(self) -> List[np.ndarray]:
+        """References to every trainable parameter array, in layer order."""
+        self._require_built()
+        arrays: List[np.ndarray] = []
+        for layer in self.layers:
+            arrays.extend(layer.parameters())
+        return arrays
+
+    def gradient_arrays(self) -> List[np.ndarray]:
+        """References to every gradient array, aligned with :meth:`parameter_arrays`."""
+        self._require_built()
+        arrays: List[np.ndarray] = []
+        for layer in self.layers:
+            arrays.extend(layer.gradients())
+        return arrays
+
+    def buffer_arrays(self) -> List[np.ndarray]:
+        """References to every non-trainable buffer (batch-norm running stats)."""
+        self._require_built()
+        arrays: List[np.ndarray] = []
+        for layer in self.layers:
+            arrays.extend(layer.buffers())
+        return arrays
+
+    @property
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars (``d`` in the paper)."""
+        return int(sum(array.size for array in self.parameter_arrays()))
+
+    @property
+    def num_buffers(self) -> int:
+        """Total number of non-trainable scalars."""
+        return int(sum(array.size for array in self.buffer_arrays()))
+
+    def get_parameters(self) -> np.ndarray:
+        """Copy of all trainable parameters flattened into one vector."""
+        arrays = self.parameter_arrays()
+        if not arrays:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate([array.reshape(-1) for array in arrays])
+
+    def set_parameters(self, flat: np.ndarray) -> None:
+        """Write a flat vector back into the individual parameter arrays."""
+        flat = np.asarray(flat, dtype=np.float64)
+        expected = self.num_parameters
+        if flat.shape != (expected,):
+            raise ShapeError(
+                f"expected a flat parameter vector of shape ({expected},), got {flat.shape}"
+            )
+        offset = 0
+        for array in self.parameter_arrays():
+            size = array.size
+            array[...] = flat[offset : offset + size].reshape(array.shape)
+            offset += size
+
+    def get_gradients(self) -> np.ndarray:
+        """Copy of all parameter gradients flattened into one vector."""
+        arrays = self.gradient_arrays()
+        if not arrays:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate([array.reshape(-1) for array in arrays])
+
+    def get_buffers(self) -> np.ndarray:
+        """Copy of all non-trainable buffers flattened into one vector."""
+        arrays = self.buffer_arrays()
+        if not arrays:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate([array.reshape(-1) for array in arrays])
+
+    def set_buffers(self, flat: np.ndarray) -> None:
+        """Write a flat vector back into the non-trainable buffers."""
+        flat = np.asarray(flat, dtype=np.float64)
+        expected = self.num_buffers
+        if flat.shape != (expected,):
+            raise ShapeError(
+                f"expected a flat buffer vector of shape ({expected},), got {flat.shape}"
+            )
+        offset = 0
+        for array in self.buffer_arrays():
+            size = array.size
+            array[...] = flat[offset : offset + size].reshape(array.shape)
+            offset += size
+
+    # -- introspection -------------------------------------------------------
+
+    def summary(self) -> str:
+        """Multi-line text summary: one row per layer plus the parameter total."""
+        self._require_built()
+        lines = [f"Model: {self.name}  (input {self.input_shape})"]
+        for layer in self.layers:
+            lines.append(
+                f"  {layer.name:<24} {str(layer.output_shape):<20} "
+                f"params={layer.num_parameters}"
+            )
+        lines.append(f"Total trainable parameters: {self.num_parameters}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        status = f"{len(self.layers)} layers"
+        if self.built:
+            status += f", {self.num_parameters} parameters"
+        return f"Sequential(name={self.name!r}, {status})"
+
+
+def average_models(models: Iterable[Sequential]) -> np.ndarray:
+    """Return the average flat parameter vector of several models (the global model)."""
+    vectors = [model.get_parameters() for model in models]
+    if not vectors:
+        raise ShapeError("average_models requires at least one model")
+    return np.mean(np.stack(vectors, axis=0), axis=0)

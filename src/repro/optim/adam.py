@@ -1,0 +1,86 @@
+"""Adam and AdamW local optimizers.
+
+Adam is used for the LeNet-5 / VGG16* experiments and AdamW (decoupled weight
+decay, Loshchilov & Hutter) for the ConvNeXt fine-tuning experiments, matching
+the paper's hyper-parameter choices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.optim.base import Optimizer, check_beta
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first/second moments (Kingma & Ba defaults)."""
+
+    def __init__(
+        self,
+        learning_rate=0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-7,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(learning_rate, name)
+        self.beta1 = check_beta(beta1, "beta1")
+        self.beta2 = check_beta(beta2, "beta2")
+        if epsilon <= 0:
+            raise ConfigurationError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = float(epsilon)
+        self._m: Optional[np.ndarray] = None
+        self._v: Optional[np.ndarray] = None
+
+    def _moments(self, params: np.ndarray) -> None:
+        if self._m is None or self._m.shape != params.shape:
+            self._m = np.zeros_like(params)
+            self._v = np.zeros_like(params)
+
+    def _update(self, params: np.ndarray, grads: np.ndarray, learning_rate: float) -> np.ndarray:
+        self._moments(params)
+        timestep = self.step_count + 1
+        self._m = self.beta1 * self._m + (1.0 - self.beta1) * grads
+        self._v = self.beta2 * self._v + (1.0 - self.beta2) * grads * grads
+        m_hat = self._m / (1.0 - self.beta1**timestep)
+        v_hat = self._v / (1.0 - self.beta2**timestep)
+        return params - learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def _reset_state(self) -> None:
+        self._m = None
+        self._v = None
+
+    def _state(self) -> Dict[str, object]:
+        return {"beta1": self.beta1, "beta2": self.beta2, "epsilon": self.epsilon}
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (the ConvNeXt fine-tuning optimizer)."""
+
+    def __init__(
+        self,
+        learning_rate=0.001,
+        weight_decay: float = 0.01,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-7,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(learning_rate, beta1, beta2, epsilon, name)
+        if weight_decay < 0:
+            raise ConfigurationError(f"weight_decay must be non-negative, got {weight_decay}")
+        self.weight_decay = float(weight_decay)
+
+    def _update(self, params: np.ndarray, grads: np.ndarray, learning_rate: float) -> np.ndarray:
+        updated = super()._update(params, grads, learning_rate)
+        if self.weight_decay:
+            updated = updated - learning_rate * self.weight_decay * params
+        return updated
+
+    def _state(self) -> Dict[str, object]:
+        state = super()._state()
+        state["weight_decay"] = self.weight_decay
+        return state

@@ -1,0 +1,83 @@
+"""Optimizer base class operating on flat parameter vectors.
+
+All optimizers in this library are stateless with respect to the model object:
+they consume the current flat parameter vector and the matching flat gradient
+vector and return the updated parameters.  This mirrors the paper's
+``Optimize(w, B)`` abstraction and lets the same optimizer drive any model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.optim.schedules import LearningRateSchedule, resolve_schedule
+
+
+class Optimizer:
+    """Base class for local optimizers.
+
+    Subclasses implement :meth:`_update` which maps ``(params, grads, lr)`` to
+    the new parameter vector; this base class handles learning-rate schedules,
+    step counting, and input validation.
+    """
+
+    def __init__(self, learning_rate=0.01, name: Optional[str] = None) -> None:
+        self.schedule: LearningRateSchedule = resolve_schedule(learning_rate)
+        self.name = name or type(self).__name__.lower()
+        self.step_count = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def step(self, params: np.ndarray, grads: np.ndarray) -> np.ndarray:
+        """Return the updated parameter vector for one optimization step."""
+        params = np.asarray(params, dtype=np.float64)
+        grads = np.asarray(grads, dtype=np.float64)
+        if params.shape != grads.shape:
+            raise ShapeError(
+                f"params and grads must have the same shape, got {params.shape} and {grads.shape}"
+            )
+        if params.ndim != 1:
+            raise ShapeError(f"optimizers operate on flat vectors, got shape {params.shape}")
+        learning_rate = self.schedule(self.step_count)
+        updated = self._update(params, grads, learning_rate)
+        self.step_count += 1
+        return updated
+
+    def reset(self) -> None:
+        """Clear all internal state (momentum buffers, step count)."""
+        self.step_count = 0
+        self._reset_state()
+
+    @property
+    def learning_rate(self) -> float:
+        """The learning rate that will be used for the next step."""
+        return self.schedule(self.step_count)
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable snapshot of the optimizer state."""
+        return {"step_count": self.step_count, **self._state()}
+
+    # -- subclass hooks ------------------------------------------------------
+
+    def _update(self, params: np.ndarray, grads: np.ndarray, learning_rate: float) -> np.ndarray:
+        raise NotImplementedError
+
+    def _reset_state(self) -> None:
+        """Subclasses clear momentum/variance buffers here."""
+
+    def _state(self) -> Dict[str, object]:
+        return {}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(lr={self.schedule!r}, steps={self.step_count})"
+
+
+def check_beta(value: float, name: str) -> float:
+    """Validate an exponential-decay coefficient in [0, 1)."""
+    value = float(value)
+    if not 0.0 <= value < 1.0:
+        raise ConfigurationError(f"{name} must lie in [0, 1), got {value}")
+    return value

@@ -1,0 +1,114 @@
+"""Learning-rate schedules.
+
+A schedule maps the (0-based) optimizer step count to a learning rate.  Plain
+floats are accepted everywhere a schedule is expected and are wrapped in
+:class:`ConstantSchedule`.
+"""
+
+from __future__ import annotations
+
+import math
+from numbers import Real
+
+from repro.exceptions import ConfigurationError
+
+
+class LearningRateSchedule:
+    """Base class: call with the current step count, get the learning rate."""
+
+    def __call__(self, step: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantSchedule(LearningRateSchedule):
+    """A fixed learning rate."""
+
+    def __init__(self, learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise ConfigurationError(f"learning_rate must be positive, got {learning_rate}")
+        self.base = float(learning_rate)
+
+    def __call__(self, step: int) -> float:
+        return self.base
+
+    def __repr__(self) -> str:
+        return f"ConstantSchedule({self.base})"
+
+
+class StepDecaySchedule(LearningRateSchedule):
+    """Multiply the learning rate by ``decay`` every ``every`` steps."""
+
+    def __init__(self, learning_rate: float, every: int, decay: float = 0.1) -> None:
+        if learning_rate <= 0:
+            raise ConfigurationError(f"learning_rate must be positive, got {learning_rate}")
+        if every <= 0:
+            raise ConfigurationError(f"every must be a positive step count, got {every}")
+        if not 0.0 < decay <= 1.0:
+            raise ConfigurationError(f"decay must lie in (0, 1], got {decay}")
+        self.base = float(learning_rate)
+        self.every = int(every)
+        self.decay = float(decay)
+
+    def __call__(self, step: int) -> float:
+        return self.base * self.decay ** (step // self.every)
+
+    def __repr__(self) -> str:
+        return f"StepDecaySchedule({self.base}, every={self.every}, decay={self.decay})"
+
+
+class ExponentialDecaySchedule(LearningRateSchedule):
+    """Continuous exponential decay: ``lr = base * rate ** (step / scale)``."""
+
+    def __init__(self, learning_rate: float, rate: float = 0.96, scale: int = 1000) -> None:
+        if learning_rate <= 0:
+            raise ConfigurationError(f"learning_rate must be positive, got {learning_rate}")
+        if not 0.0 < rate <= 1.0:
+            raise ConfigurationError(f"rate must lie in (0, 1], got {rate}")
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {scale}")
+        self.base = float(learning_rate)
+        self.rate = float(rate)
+        self.scale = int(scale)
+
+    def __call__(self, step: int) -> float:
+        return self.base * self.rate ** (step / self.scale)
+
+    def __repr__(self) -> str:
+        return f"ExponentialDecaySchedule({self.base}, rate={self.rate}, scale={self.scale})"
+
+
+class CosineDecaySchedule(LearningRateSchedule):
+    """Cosine annealing from the base learning rate down to ``minimum``."""
+
+    def __init__(self, learning_rate: float, total_steps: int, minimum: float = 0.0) -> None:
+        if learning_rate <= 0:
+            raise ConfigurationError(f"learning_rate must be positive, got {learning_rate}")
+        if total_steps <= 0:
+            raise ConfigurationError(f"total_steps must be positive, got {total_steps}")
+        if minimum < 0:
+            raise ConfigurationError(f"minimum must be non-negative, got {minimum}")
+        self.base = float(learning_rate)
+        self.total_steps = int(total_steps)
+        self.minimum = float(minimum)
+
+    def __call__(self, step: int) -> float:
+        progress = min(max(step, 0), self.total_steps) / self.total_steps
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.minimum + (self.base - self.minimum) * cosine
+
+    def __repr__(self) -> str:
+        return (
+            f"CosineDecaySchedule({self.base}, total_steps={self.total_steps}, "
+            f"minimum={self.minimum})"
+        )
+
+
+def resolve_schedule(learning_rate) -> LearningRateSchedule:
+    """Wrap a bare number in a :class:`ConstantSchedule`, pass schedules through."""
+    if isinstance(learning_rate, LearningRateSchedule):
+        return learning_rate
+    if isinstance(learning_rate, Real) and not isinstance(learning_rate, bool):
+        return ConstantSchedule(float(learning_rate))
+    raise ConfigurationError(
+        f"learning_rate must be a number or a LearningRateSchedule, got {learning_rate!r}"
+    )

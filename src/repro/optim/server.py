@@ -1,0 +1,201 @@
+"""Server-side (federated) optimizers — the FedOpt family.
+
+FedAvg-style algorithms alternate E local epochs on each client with a server
+update.  Following Reddi et al. ("Adaptive Federated Optimization", the
+FedAdam paper cited by the FDA paper), the server treats the *negative average
+client update*
+
+    pseudo_gradient = w_global − mean_k(w_k)
+
+as a gradient and applies a standard optimizer to it: plain averaging
+(FedAvg), momentum (FedAvgM), Adam (FedAdam), Adagrad (FedAdagrad) or Yogi
+(FedYogi).  These are the baselines FDA is compared against in every figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.optim.base import check_beta
+
+
+class ServerOptimizer:
+    """Base class for server optimizers.
+
+    :meth:`aggregate` takes the current global parameter vector and the list
+    of client parameter vectors produced by the latest round of local training
+    and returns the new global parameters.
+    """
+
+    def __init__(self, learning_rate: float = 1.0, name: Optional[str] = None) -> None:
+        if learning_rate <= 0:
+            raise ConfigurationError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = float(learning_rate)
+        self.name = name or type(self).__name__.lower()
+        self.round_count = 0
+
+    def aggregate(
+        self, global_params: np.ndarray, client_params: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """Return the updated global parameters after one communication round."""
+        global_params = np.asarray(global_params, dtype=np.float64)
+        if not client_params:
+            raise ShapeError("aggregate requires at least one client parameter vector")
+        stacked = np.stack([np.asarray(p, dtype=np.float64) for p in client_params], axis=0)
+        if stacked.shape[1:] != global_params.shape:
+            raise ShapeError(
+                f"client parameters of shape {stacked.shape[1:]} do not match the "
+                f"global parameters of shape {global_params.shape}"
+            )
+        pseudo_gradient = global_params - stacked.mean(axis=0)
+        updated = self._apply(global_params, pseudo_gradient)
+        self.round_count += 1
+        return updated
+
+    def reset(self) -> None:
+        """Clear internal state (momentum / adaptive accumulators)."""
+        self.round_count = 0
+        self._reset_state()
+
+    # -- subclass hooks ------------------------------------------------------
+
+    def _apply(self, global_params: np.ndarray, pseudo_gradient: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _reset_state(self) -> None:
+        """Subclasses clear accumulators here."""
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"round_count": self.round_count, "learning_rate": self.learning_rate}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(lr={self.learning_rate}, rounds={self.round_count})"
+
+
+class FedAvg(ServerOptimizer):
+    """Plain federated averaging: the new global model is the client average."""
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(1.0, name)
+
+    def _apply(self, global_params: np.ndarray, pseudo_gradient: np.ndarray) -> np.ndarray:
+        return global_params - pseudo_gradient
+
+
+class FedAvgM(ServerOptimizer):
+    """FedAvg with server momentum (Hsu et al.), the paper's SGD-family baseline.
+
+    The paper uses server momentum 0.9 and server learning rate 0.316.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.316,
+        momentum: float = 0.9,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(learning_rate, name)
+        self.momentum = check_beta(momentum, "momentum")
+        self._velocity: Optional[np.ndarray] = None
+
+    def _apply(self, global_params: np.ndarray, pseudo_gradient: np.ndarray) -> np.ndarray:
+        if self._velocity is None or self._velocity.shape != global_params.shape:
+            self._velocity = np.zeros_like(global_params)
+        self._velocity = self.momentum * self._velocity + pseudo_gradient
+        return global_params - self.learning_rate * self._velocity
+
+    def _reset_state(self) -> None:
+        self._velocity = None
+
+
+class _AdaptiveServerOptimizer(ServerOptimizer):
+    """Shared bookkeeping for the adaptive FedOpt variants (Adam/Adagrad/Yogi)."""
+
+    def __init__(
+        self,
+        learning_rate: float,
+        beta1: float,
+        beta2: float,
+        tau: float,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(learning_rate, name)
+        self.beta1 = check_beta(beta1, "beta1")
+        self.beta2 = check_beta(beta2, "beta2")
+        if tau <= 0:
+            raise ConfigurationError(f"tau (adaptivity) must be positive, got {tau}")
+        self.tau = float(tau)
+        self._m: Optional[np.ndarray] = None
+        self._v: Optional[np.ndarray] = None
+
+    def _ensure_state(self, params: np.ndarray) -> None:
+        if self._m is None or self._m.shape != params.shape:
+            self._m = np.zeros_like(params)
+            self._v = np.full_like(params, self.tau**2)
+
+    def _second_moment(self, pseudo_gradient: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _apply(self, global_params: np.ndarray, pseudo_gradient: np.ndarray) -> np.ndarray:
+        self._ensure_state(global_params)
+        self._m = self.beta1 * self._m + (1.0 - self.beta1) * pseudo_gradient
+        self._v = self._second_moment(pseudo_gradient)
+        return global_params - self.learning_rate * self._m / (np.sqrt(self._v) + self.tau)
+
+    def _reset_state(self) -> None:
+        self._m = None
+        self._v = None
+
+
+class FedAdam(_AdaptiveServerOptimizer):
+    """FedAdam (Reddi et al.), the paper's Adam-family FedOpt baseline."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.01,
+        beta1: float = 0.9,
+        beta2: float = 0.99,
+        tau: float = 1e-3,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(learning_rate, beta1, beta2, tau, name)
+
+    def _second_moment(self, pseudo_gradient: np.ndarray) -> np.ndarray:
+        return self.beta2 * self._v + (1.0 - self.beta2) * pseudo_gradient**2
+
+
+class FedAdagrad(_AdaptiveServerOptimizer):
+    """FedAdagrad: accumulates the squared pseudo-gradients without decay."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.01,
+        beta1: float = 0.9,
+        tau: float = 1e-3,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(learning_rate, beta1, 0.0, tau, name)
+
+    def _second_moment(self, pseudo_gradient: np.ndarray) -> np.ndarray:
+        return self._v + pseudo_gradient**2
+
+
+class FedYogi(_AdaptiveServerOptimizer):
+    """FedYogi: sign-controlled second-moment update (more stable than FedAdam)."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.01,
+        beta1: float = 0.9,
+        beta2: float = 0.99,
+        tau: float = 1e-3,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(learning_rate, beta1, beta2, tau, name)
+
+    def _second_moment(self, pseudo_gradient: np.ndarray) -> np.ndarray:
+        squared = pseudo_gradient**2
+        return self._v - (1.0 - self.beta2) * squared * np.sign(self._v - squared)

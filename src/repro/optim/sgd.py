@@ -1,0 +1,59 @@
+"""Stochastic gradient descent with optional (Nesterov) momentum.
+
+The paper trains the DenseNet models with SGD + Nesterov momentum (momentum
+0.9, learning rate 0.1) and weight decay 1e-4; this implementation follows the
+standard Sutskever formulation of Nesterov momentum used by Keras.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.optim.base import Optimizer, check_beta
+
+
+class SGD(Optimizer):
+    """SGD, optionally with classical or Nesterov momentum and L2 weight decay."""
+
+    def __init__(
+        self,
+        learning_rate=0.01,
+        momentum: float = 0.0,
+        nesterov: bool = False,
+        weight_decay: float = 0.0,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(learning_rate, name)
+        self.momentum = check_beta(momentum, "momentum") if momentum else 0.0
+        self.nesterov = bool(nesterov)
+        if self.nesterov and self.momentum == 0.0:
+            raise ConfigurationError("nesterov=True requires a non-zero momentum")
+        if weight_decay < 0:
+            raise ConfigurationError(f"weight_decay must be non-negative, got {weight_decay}")
+        self.weight_decay = float(weight_decay)
+        self._velocity: Optional[np.ndarray] = None
+
+    def _update(self, params: np.ndarray, grads: np.ndarray, learning_rate: float) -> np.ndarray:
+        if self.weight_decay:
+            grads = grads + self.weight_decay * params
+        if self.momentum == 0.0:
+            return params - learning_rate * grads
+        if self._velocity is None or self._velocity.shape != params.shape:
+            self._velocity = np.zeros_like(params)
+        self._velocity = self.momentum * self._velocity - learning_rate * grads
+        if self.nesterov:
+            return params + self.momentum * self._velocity - learning_rate * grads
+        return params + self._velocity
+
+    def _reset_state(self) -> None:
+        self._velocity = None
+
+    def _state(self) -> Dict[str, object]:
+        return {
+            "momentum": self.momentum,
+            "nesterov": self.nesterov,
+            "weight_decay": self.weight_decay,
+        }

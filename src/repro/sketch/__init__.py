@@ -1,0 +1,13 @@
+"""AMS sketches for communication-efficient second-moment estimation.
+
+SketchFDA transmits an AMS sketch of each worker's model drift instead of the
+drift itself.  The sketch is a linear transformation, so the AllReduce of the
+workers' sketches equals the sketch of the average drift, and its ``M2``
+estimator recovers the squared L2 norm of that average drift within a
+``(1 ± ε)`` factor with probability ``1 − δ``.
+"""
+
+from repro.sketch.hashing import FourWiseHash
+from repro.sketch.ams import AmsSketch, estimate_l2_squared
+
+__all__ = ["FourWiseHash", "AmsSketch", "estimate_l2_squared"]

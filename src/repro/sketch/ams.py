@@ -1,0 +1,159 @@
+"""The AMS sketch (Alon–Matias–Szegedy, "fast AMS" / count-sketch layout).
+
+An AMS sketch of a vector ``v ∈ R^d`` is an ``l × m`` matrix (``l`` rows =
+depth, ``m`` columns = width).  Row ``i`` scatters every coordinate ``c`` into
+bucket ``h_i(c)`` with sign ``s_i(c)``:
+
+    sk(v)[i, h_i(c)] += s_i(c) · v[c]
+
+The squared L2 norm of ``v`` is estimated by the median over rows of the
+squared row norms (the ``M2`` estimator used in the paper, Section 3.1):
+
+    M2(sk(v)) = median_i ‖sk(v)[i]‖²
+
+With ``m = O(1/ε²)`` and ``l = O(log 1/δ)`` the estimate lies within
+``(1 ± ε)‖v‖²`` with probability at least ``1 − δ``.  Because the transform is
+linear for a fixed hash family, the average of the workers' sketches equals
+the sketch of the average drift — the property Theorem 3.1 relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import CommunicationError, ConfigurationError, ShapeError
+from repro.sketch.hashing import FourWiseHash
+
+#: Sketch geometry recommended by the paper (Section 3.3): epsilon ~ 6%, delta ~ 5%.
+DEFAULT_DEPTH = 5
+DEFAULT_WIDTH = 250
+
+
+def estimate_l2_squared(sketch_matrix: np.ndarray) -> float:
+    """The ``M2`` estimator: median over rows of the squared row norms."""
+    sketch_matrix = np.asarray(sketch_matrix, dtype=np.float64)
+    if sketch_matrix.ndim != 2:
+        raise ShapeError(f"a sketch must be a 2-D matrix, got shape {sketch_matrix.shape}")
+    row_norms = np.sum(sketch_matrix * sketch_matrix, axis=1)
+    return float(np.median(row_norms))
+
+
+class AmsSketch:
+    """AMS sketch operator bound to a fixed hash family (and therefore linear).
+
+    All workers participating in SketchFDA must share the same ``seed`` (and
+    geometry) so their sketches live in the same basis; the
+    :class:`~repro.core.monitor.SketchMonitor` takes care of this.
+    """
+
+    def __init__(
+        self,
+        depth: int = DEFAULT_DEPTH,
+        width: int = DEFAULT_WIDTH,
+        seed: int = 0,
+        dimension: Optional[int] = None,
+    ) -> None:
+        if depth <= 0:
+            raise ConfigurationError(f"depth must be positive, got {depth}")
+        if width <= 0:
+            raise ConfigurationError(f"width must be positive, got {width}")
+        self.depth = int(depth)
+        self.width = int(width)
+        self.seed = int(seed)
+        self._bucket_hash = FourWiseHash(self.depth, seed=seed * 2 + 1)
+        self._sign_hash = FourWiseHash(self.depth, seed=seed * 2 + 2)
+        self._dimension: Optional[int] = None
+        self._buckets: Optional[np.ndarray] = None
+        self._signs: Optional[np.ndarray] = None
+        if dimension is not None:
+            self._prepare(dimension)
+
+    # -- hash table preparation ----------------------------------------------
+
+    def _prepare(self, dimension: int) -> None:
+        """Precompute bucket indices and signs for vectors of length ``dimension``."""
+        if dimension <= 0:
+            raise ConfigurationError(f"dimension must be positive, got {dimension}")
+        indices = np.arange(dimension, dtype=np.uint64)
+        self._buckets = self._bucket_hash.buckets(indices, self.width)
+        self._signs = self._sign_hash.signs(indices)
+        self._dimension = int(dimension)
+
+    @property
+    def dimension(self) -> Optional[int]:
+        """The vector length the hash tables are currently prepared for."""
+        return self._dimension
+
+    @property
+    def shape(self) -> tuple:
+        """Sketch matrix shape ``(depth, width)``."""
+        return (self.depth, self.width)
+
+    @property
+    def size_bytes(self) -> int:
+        """Size of one sketch in bytes, assuming float32 transmission (paper: l*m*4)."""
+        return self.depth * self.width * 4
+
+    @property
+    def epsilon(self) -> float:
+        """Nominal relative error of the M2 estimate (ε ≈ sqrt(8/width))."""
+        return float(np.sqrt(8.0 / self.width))
+
+    @property
+    def delta(self) -> float:
+        """Nominal failure probability of the M2 estimate (δ ≈ 2^(−depth/2))."""
+        return float(2.0 ** (-self.depth / 2.0))
+
+    # -- sketching -------------------------------------------------------------
+
+    def sketch(self, vector: np.ndarray) -> np.ndarray:
+        """Return the ``(depth, width)`` AMS sketch of ``vector``."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.ndim != 1:
+            raise ShapeError(f"can only sketch 1-D vectors, got shape {vector.shape}")
+        if self._dimension != vector.shape[0]:
+            self._prepare(vector.shape[0])
+        result = np.zeros((self.depth, self.width), dtype=np.float64)
+        for row in range(self.depth):
+            weighted = self._signs[row] * vector
+            result[row] = np.bincount(
+                self._buckets[row], weights=weighted, minlength=self.width
+            )
+        return result
+
+    def estimate_l2_squared(self, sketch_matrix: np.ndarray) -> float:
+        """Estimate ``‖v‖²`` from a sketch produced by this operator (or a linear mix)."""
+        sketch_matrix = np.asarray(sketch_matrix, dtype=np.float64)
+        if sketch_matrix.shape != (self.depth, self.width):
+            raise CommunicationError(
+                f"sketch of shape {sketch_matrix.shape} does not match this operator's "
+                f"geometry {(self.depth, self.width)}"
+            )
+        return estimate_l2_squared(sketch_matrix)
+
+    def estimate_dot(self, sketch_a: np.ndarray, sketch_b: np.ndarray) -> float:
+        """Estimate the inner product ⟨a, b⟩ from two sketches (median of row dot products)."""
+        sketch_a = np.asarray(sketch_a, dtype=np.float64)
+        sketch_b = np.asarray(sketch_b, dtype=np.float64)
+        if sketch_a.shape != (self.depth, self.width) or sketch_b.shape != (self.depth, self.width):
+            raise CommunicationError(
+                "both sketches must match this operator's geometry "
+                f"{(self.depth, self.width)}"
+            )
+        return float(np.median(np.sum(sketch_a * sketch_b, axis=1)))
+
+    def compatible_with(self, other: "AmsSketch") -> bool:
+        """True when two operators share geometry and hash seeds (sketches can be mixed)."""
+        return (
+            self.depth == other.depth
+            and self.width == other.width
+            and self.seed == other.seed
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"AmsSketch(depth={self.depth}, width={self.width}, seed={self.seed}, "
+            f"epsilon~{self.epsilon:.3f}, delta~{self.delta:.3f})"
+        )

@@ -1,0 +1,57 @@
+"""Four-wise independent hashing for AMS sketches.
+
+The AMS estimator requires, per sketch row, a bucket hash ``h: [d] → [width]``
+and a sign hash ``s: [d] → {−1, +1}`` drawn from a 4-wise independent family.
+We use degree-3 polynomials over the Mersenne prime ``p = 2^31 − 1`` evaluated
+with Horner's rule; keeping every intermediate product below ``2^62`` lets the
+whole evaluation stay vectorized in ``uint64`` NumPy arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+MERSENNE_PRIME = np.uint64((1 << 31) - 1)
+
+
+class FourWiseHash:
+    """A family of 4-wise independent hash functions over ``[0, p)``.
+
+    One instance holds ``rows`` independent degree-3 polynomials; evaluating
+    the instance on an index array returns a ``(rows, len(indices))`` matrix of
+    hash values in ``[0, p)``.
+    """
+
+    def __init__(self, rows: int, seed: int = 0) -> None:
+        if rows <= 0:
+            raise ConfigurationError(f"rows must be positive, got {rows}")
+        rng = np.random.default_rng(seed)
+        prime = int(MERSENNE_PRIME)
+        # Degree-3 polynomial coefficients: rows x 4, leading coefficient non-zero.
+        self.coefficients = rng.integers(1, prime, size=(rows, 4), dtype=np.uint64)
+        self.rows = int(rows)
+
+    def __call__(self, indices: np.ndarray) -> np.ndarray:
+        """Evaluate every polynomial at ``indices`` (mod p)."""
+        indices = np.asarray(indices, dtype=np.uint64) % MERSENNE_PRIME
+        values = np.zeros((self.rows, indices.shape[0]), dtype=np.uint64)
+        for row in range(self.rows):
+            a3, a2, a1, a0 = self.coefficients[row]
+            acc = np.full(indices.shape, a3, dtype=np.uint64)
+            for coefficient in (a2, a1, a0):
+                acc = (acc * indices) % MERSENNE_PRIME
+                acc = (acc + coefficient) % MERSENNE_PRIME
+            values[row] = acc
+        return values
+
+    def buckets(self, indices: np.ndarray, width: int) -> np.ndarray:
+        """Map indices to sketch columns in ``[0, width)``."""
+        if width <= 0:
+            raise ConfigurationError(f"width must be positive, got {width}")
+        return (self(indices) % np.uint64(width)).astype(np.int64)
+
+    def signs(self, indices: np.ndarray) -> np.ndarray:
+        """Map indices to ±1 signs."""
+        return np.where((self(indices) & np.uint64(1)) == 0, 1.0, -1.0)

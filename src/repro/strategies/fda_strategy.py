@@ -1,0 +1,108 @@
+"""FDA as a strategy: SketchFDA and LinearFDA.
+
+Thin adapter that exposes the :class:`~repro.core.fda.FDATrainer` through the
+uniform :class:`~repro.strategies.base.Strategy` interface used by the
+experiment harness.  One round is one FDA step (local step + state AllReduce +
+conditional synchronization).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.fda import FDATrainer
+from repro.core.monitor import VarianceMonitor, make_monitor
+from repro.core.theta import DynamicThetaController
+from repro.distributed.cluster import SimulatedCluster
+from repro.exceptions import ConfigurationError
+from repro.strategies.base import Strategy
+from repro.strategies.compression import CompressedSynchronizer, Compressor
+
+
+class FDAStrategy(Strategy):
+    """Federated Dynamic Averaging with a chosen variance monitor.
+
+    ``variant`` selects the monitor: ``"linear"`` (LinearFDA), ``"sketch"``
+    (SketchFDA) or ``"exact"`` (the ablation monitor).  ``threshold`` is the
+    paper's Θ.  An optional :class:`DynamicThetaController` enables the
+    future-work bandwidth-targeting extension, and an optional ``compressor``
+    makes every triggered synchronization exchange compressed model deltas
+    instead of full-precision parameters (Section 2: FDA is orthogonal to
+    compression).
+    """
+
+    name = "FDA"
+
+    def __init__(
+        self,
+        threshold: float,
+        variant: str = "linear",
+        sketch_depth: int = 5,
+        sketch_width: int = 250,
+        seed: int = 0,
+        theta_controller: Optional[DynamicThetaController] = None,
+        monitor: Optional[VarianceMonitor] = None,
+        compressor: Optional[Compressor] = None,
+    ) -> None:
+        super().__init__()
+        if threshold < 0:
+            raise ConfigurationError(f"threshold (Theta) must be non-negative, got {threshold}")
+        self.threshold = float(threshold)
+        self.variant = variant
+        self.sketch_depth = int(sketch_depth)
+        self.sketch_width = int(sketch_width)
+        self.seed = int(seed)
+        self.theta_controller = theta_controller
+        self._explicit_monitor = monitor
+        self.compressor = compressor
+        self._trainer: Optional[FDATrainer] = None
+        self.name = {"linear": "LinearFDA", "sketch": "SketchFDA", "exact": "ExactFDA"}.get(
+            variant, f"FDA[{variant}]"
+        )
+        if compressor is not None:
+            self.name = f"{self.name}+{compressor.name}"
+
+    def _setup(self, cluster: SimulatedCluster) -> None:
+        monitor = self._explicit_monitor or make_monitor(
+            self.variant,
+            cluster.model_dimension,
+            sketch_depth=self.sketch_depth,
+            sketch_width=self.sketch_width,
+            seed=self.seed,
+        )
+        synchronizer = None
+        if self.compressor is not None:
+            synchronizer = CompressedSynchronizer(cluster, self.compressor).synchronize
+        self._trainer = FDATrainer(
+            cluster,
+            monitor,
+            self.threshold,
+            theta_controller=self.theta_controller,
+            synchronizer=synchronizer,
+        )
+
+    @property
+    def trainer(self) -> FDATrainer:
+        """The underlying FDA trainer (available after :meth:`attach`)."""
+        if self._trainer is None:
+            raise ConfigurationError("FDAStrategy is not attached to a cluster yet")
+        return self._trainer
+
+    @property
+    def steps_per_round(self) -> int:
+        return 1
+
+    def _run_round(self, cluster: SimulatedCluster) -> float:
+        del cluster  # the trainer already holds the cluster
+        result = self._trainer.step()
+        return result.mean_loss
+
+    @property
+    def synchronization_count(self) -> int:
+        """Number of model synchronizations triggered so far."""
+        return self.trainer.synchronization_count
+
+    @property
+    def current_threshold(self) -> float:
+        """The Θ currently in force (may differ from the initial one with dynamic Θ)."""
+        return self.trainer.threshold

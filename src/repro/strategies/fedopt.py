@@ -1,0 +1,78 @@
+"""FedOpt strategies: FedAvg, FedAvgM, FedAdam (and the other adaptive variants).
+
+One round consists of ``local_epochs`` full passes over every worker's shard
+(the paper uses E = 1, following the FedAdam paper), after which the clients'
+parameters are aggregated by a server optimizer and the result is broadcast
+back.  The round's communication is the same full-model AllReduce volume as a
+synchronization, charged under the model-sync category.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.distributed.cluster import CATEGORY_MODEL, SimulatedCluster
+from repro.exceptions import ConfigurationError
+from repro.optim.server import FedAdam, FedAvgM, ServerOptimizer
+from repro.strategies.base import Strategy
+
+
+class FedOptStrategy(Strategy):
+    """Federated optimization with a pluggable server optimizer."""
+
+    name = "FedOpt"
+
+    def __init__(self, server_optimizer: ServerOptimizer, local_epochs: int = 1) -> None:
+        super().__init__()
+        if local_epochs <= 0:
+            raise ConfigurationError(f"local_epochs must be positive, got {local_epochs}")
+        self.server_optimizer = server_optimizer
+        self.local_epochs = int(local_epochs)
+        self._global_parameters = None
+        self.name = f"Fed{type(server_optimizer).__name__.replace('Fed', '')}"
+
+    def _setup(self, cluster: SimulatedCluster) -> None:
+        self.server_optimizer.reset()
+        self._global_parameters = cluster.workers[0].get_parameters()
+
+    @property
+    def steps_per_round(self) -> int:
+        return self.local_epochs * max(
+            worker.batches_per_epoch for worker in self.cluster.workers
+        )
+
+    def _run_round(self, cluster: SimulatedCluster) -> float:
+        mean_loss = 0.0
+        for _ in range(self.local_epochs):
+            mean_loss = cluster.epoch_all()
+
+        client_parameters = [worker.get_parameters() for worker in cluster.workers]
+        # Clients upload their models, the server optimizer produces the new
+        # global model, and it is broadcast back; in total this moves the same
+        # data volume as one full-model AllReduce.
+        cluster.tracker.record_allreduce(
+            cluster.model_dimension, cluster.num_workers, CATEGORY_MODEL
+        )
+        new_global = self.server_optimizer.aggregate(self._global_parameters, client_parameters)
+        self._global_parameters = new_global
+        cluster.broadcast_parameters(new_global)
+        if cluster.workers[0].model.num_buffers:
+            buffer_average = cluster.average_buffers()
+            for worker in cluster.workers:
+                worker.set_buffers(buffer_average)
+        cluster.synchronization_count += 1
+        return mean_loss
+
+
+def fedavgm_strategy(
+    learning_rate: float = 0.316, momentum: float = 0.9, local_epochs: int = 1
+) -> FedOptStrategy:
+    """The paper's FedAvgM baseline (server momentum 0.9, server LR 0.316)."""
+    return FedOptStrategy(FedAvgM(learning_rate, momentum), local_epochs)
+
+
+def fedadam_strategy(
+    learning_rate: float = 0.01, local_epochs: int = 1, tau: float = 1e-3
+) -> FedOptStrategy:
+    """The paper's FedAdam baseline with the defaults of Reddi et al."""
+    return FedOptStrategy(FedAdam(learning_rate, tau=tau), local_epochs)

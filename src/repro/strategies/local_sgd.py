@@ -1,0 +1,101 @@
+"""Local-SGD with a fixed synchronization period τ.
+
+Workers run ``tau`` local mini-batch steps between full model AllReduce
+operations.  With ``tau`` equal to the number of batches in a local epoch and
+plain averaging this is FedAvg; the paper's Section 2 reviews the many
+schedule variants (fixed, increasing, decreasing τ), all of which reduce to
+choosing the ``tau`` sequence handed to this strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from repro.distributed.cluster import SimulatedCluster
+from repro.exceptions import ConfigurationError
+from repro.strategies.base import Strategy
+
+TauSchedule = Callable[[int], int]
+
+
+def fixed_tau(tau: int) -> TauSchedule:
+    """A constant synchronization period (classic Local-SGD / FedAvg)."""
+    if int(tau) <= 0:
+        raise ConfigurationError(f"tau must be a positive integer, got {tau}")
+    return lambda round_index: int(tau)
+
+
+def increasing_tau(initial: int = 1, growth: float = 1.5, maximum: int = 1024) -> TauSchedule:
+    """A geometrically increasing period (Haddadpour et al.: fewer rounds for fixed updates)."""
+    if initial <= 0:
+        raise ConfigurationError(f"initial must be positive, got {initial}")
+    if growth < 1.0:
+        raise ConfigurationError(f"growth must be >= 1, got {growth}")
+    if maximum < initial:
+        raise ConfigurationError(f"maximum must be >= initial, got {maximum}")
+    return lambda round_index: int(min(maximum, max(1, round(initial * growth**round_index))))
+
+
+def decreasing_tau(initial: int = 64, decay: float = 0.7, minimum: int = 1) -> TauSchedule:
+    """A geometrically decreasing period (Wang & Joshi: better error-runtime trade-off)."""
+    if initial <= 0:
+        raise ConfigurationError(f"initial must be positive, got {initial}")
+    if not 0.0 < decay <= 1.0:
+        raise ConfigurationError(f"decay must lie in (0, 1], got {decay}")
+    if minimum <= 0 or minimum > initial:
+        raise ConfigurationError(f"minimum must lie in [1, initial], got {minimum}")
+    return lambda round_index: int(max(minimum, round(initial * decay**round_index)))
+
+
+def post_local_sgd_tau(switch_round: int, tau_after: int = 16) -> TauSchedule:
+    """Post-local SGD (Lin et al.): synchronous warm-up, then Local-SGD with fixed τ."""
+    if switch_round < 0:
+        raise ConfigurationError(f"switch_round must be non-negative, got {switch_round}")
+    if tau_after <= 0:
+        raise ConfigurationError(f"tau_after must be positive, got {tau_after}")
+    return lambda round_index: 1 if round_index < switch_round else int(tau_after)
+
+
+class LocalSGDStrategy(Strategy):
+    """Synchronize after every ``tau`` local steps (optionally a τ schedule).
+
+    ``tau`` may be an integer (fixed period) or a callable mapping the round
+    index to that round's period, which covers the increasing/decreasing
+    schedules discussed in the related-work section.
+    """
+
+    name = "LocalSGD"
+
+    def __init__(self, tau: Union[int, TauSchedule] = 10) -> None:
+        super().__init__()
+        if callable(tau):
+            self._tau_schedule: Optional[TauSchedule] = tau
+            self._fixed_tau = None
+        else:
+            if int(tau) <= 0:
+                raise ConfigurationError(f"tau must be a positive integer, got {tau}")
+            self._tau_schedule = None
+            self._fixed_tau = int(tau)
+
+    def current_tau(self) -> int:
+        """The synchronization period used for the upcoming round."""
+        if self._fixed_tau is not None:
+            return self._fixed_tau
+        tau = int(self._tau_schedule(self.rounds_completed))
+        if tau <= 0:
+            raise ConfigurationError(
+                f"tau schedule returned {tau} for round {self.rounds_completed}; must be >= 1"
+            )
+        return tau
+
+    @property
+    def steps_per_round(self) -> int:
+        return self.current_tau()
+
+    def _run_round(self, cluster: SimulatedCluster) -> float:
+        tau = self.current_tau()
+        mean_loss = 0.0
+        for _ in range(tau):
+            mean_loss = cluster.step_all()
+        cluster.synchronize()
+        return mean_loss

@@ -1,0 +1,28 @@
+"""The Synchronous (bulk-synchronous parallel) baseline.
+
+Every worker performs one mini-batch step and the models are synchronized via
+AllReduce after *every* step.  The paper notes this is the special case of
+Algorithm 1 with Θ = 0: convergence is fast in steps but the communication
+cost is enormous, which is exactly where it lands in every figure (bottom
+right: low computation, very high communication).
+"""
+
+from __future__ import annotations
+
+from repro.distributed.cluster import SimulatedCluster
+from repro.strategies.base import Strategy
+
+
+class SynchronousStrategy(Strategy):
+    """BSP training: one local step, then a full model AllReduce, every round."""
+
+    name = "Synchronous"
+
+    @property
+    def steps_per_round(self) -> int:
+        return 1
+
+    def _run_round(self, cluster: SimulatedCluster) -> float:
+        mean_loss = cluster.step_all()
+        cluster.synchronize()
+        return mean_loss

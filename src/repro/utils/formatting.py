@@ -1,0 +1,50 @@
+"""Human-readable formatting of bytes, counts, and durations.
+
+The experiment harness reports communication cost in bytes and computation
+cost in mini-batch steps, exactly like the paper's figures; these helpers turn
+the raw numbers into the units used in the paper (GB, thousands of steps).
+"""
+
+from __future__ import annotations
+
+_BYTE_UNITS = ["B", "KB", "MB", "GB", "TB", "PB"]
+_COUNT_UNITS = ["", "K", "M", "B", "T"]
+
+
+def format_bytes(num_bytes: float, precision: int = 2) -> str:
+    """Format a byte count with a binary-free, paper-style unit (1 GB = 1e9 B)."""
+    if num_bytes < 0:
+        raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+    value = float(num_bytes)
+    for unit in _BYTE_UNITS:
+        if value < 1000.0 or unit == _BYTE_UNITS[-1]:
+            return f"{value:.{precision}f} {unit}"
+        value /= 1000.0
+    return f"{value:.{precision}f} {_BYTE_UNITS[-1]}"
+
+
+def format_count(count: float, precision: int = 2) -> str:
+    """Format a large count (e.g. learning steps) with K/M/B suffixes."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    value = float(count)
+    for unit in _COUNT_UNITS:
+        if value < 1000.0 or unit == _COUNT_UNITS[-1]:
+            text = f"{value:.{precision}f}".rstrip("0").rstrip(".")
+            return f"{text}{unit}"
+        value /= 1000.0
+    text = f"{value:.{precision}f}".rstrip("0").rstrip(".")
+    return f"{text}{_COUNT_UNITS[-1]}"
+
+
+def format_duration(seconds: float) -> str:
+    """Format a duration in seconds as ``h:mm:ss.s`` or ``m:ss.s`` or ``s.s s``."""
+    if seconds < 0:
+        raise ValueError(f"seconds must be non-negative, got {seconds}")
+    if seconds < 60:
+        return f"{seconds:.2f} s"
+    minutes, secs = divmod(seconds, 60.0)
+    if minutes < 60:
+        return f"{int(minutes)}m {secs:04.1f}s"
+    hours, minutes = divmod(int(minutes), 60)
+    return f"{hours}h {minutes:02d}m {secs:04.1f}s"

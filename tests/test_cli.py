@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "figure3" in output and "table2" in output
+
+    def test_table2_command(self, capsys):
+        assert main(["table2"]) == 0
+        output = capsys.readouterr().out
+        assert "LeNet-5 (mini)" in output
+        assert "ConvNeXt head (transfer)" in output
+
+    def test_compare_command_runs_quickly(self, capsys):
+        exit_code = main(
+            [
+                "compare",
+                "--workload", "lenet",
+                "--theta", "8",
+                "--workers", "3",
+                "--target", "0.85",
+                "--max-steps", "120",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "LinearFDA" in output and "Synchronous" in output
+        assert "less communication" in output
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure99"])
+
+    def test_figure_commands_registered(self, capsys):
+        # Only check that the parser accepts the figure names; running a full
+        # figure is covered by the benchmark suite.
+        with pytest.raises(SystemExit):
+            main(["figure3", "--help"])
+        output = capsys.readouterr().out
+        assert "--full" in output

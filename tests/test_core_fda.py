@@ -1,0 +1,160 @@
+"""Tests for the FDA trainer (Algorithm 1) and the Round Invariant."""
+
+import numpy as np
+import pytest
+
+from repro.core.fda import FDATrainer
+from repro.core.monitor import ExactMonitor, LinearMonitor, SketchMonitor
+from repro.core.theta import DynamicThetaController
+from repro.data.partition import partition_dataset
+from repro.data.synthetic import gaussian_blobs
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.worker import Worker
+from repro.exceptions import ConfigurationError
+from repro.nn.architectures import mlp
+from repro.optim.adam import Adam
+
+
+def make_cluster(num_workers=4, seed=0):
+    data = gaussian_blobs(320, feature_dim=8, num_classes=3, seed=seed)
+    shards = partition_dataset(data, num_workers, "iid", seed=seed)
+    workers = [
+        Worker(
+            worker_id=i,
+            model=mlp(8, 3, hidden_units=(12,), seed=seed),
+            dataset=shard,
+            optimizer=Adam(0.02),
+            batch_size=16,
+            seed=seed + i,
+        )
+        for i, shard in enumerate(shards)
+    ]
+    return SimulatedCluster(workers)
+
+
+def make_trainer(threshold, monitor=None, num_workers=4, **kwargs):
+    cluster = make_cluster(num_workers)
+    monitor = monitor or ExactMonitor()
+    return FDATrainer(cluster, monitor, threshold, **kwargs)
+
+
+class TestInitialization:
+    def test_workers_start_from_common_model(self):
+        trainer = make_trainer(1.0)
+        reference = trainer.cluster.workers[0].get_parameters()
+        for worker in trainer.cluster.workers:
+            np.testing.assert_array_equal(worker.get_parameters(), reference)
+
+    def test_negative_threshold_rejected(self):
+        cluster = make_cluster(2)
+        with pytest.raises(ConfigurationError):
+            FDATrainer(cluster, ExactMonitor(), -1.0)
+
+
+class TestStepBehaviour:
+    def test_step_advances_all_workers(self):
+        trainer = make_trainer(1e9)
+        result = trainer.step()
+        assert result.step == 1
+        assert trainer.cluster.parallel_steps == 1
+        assert np.isfinite(result.mean_loss)
+
+    def test_large_threshold_avoids_synchronization(self):
+        trainer = make_trainer(1e9)
+        results = trainer.run_steps(10)
+        assert all(not r.synchronized for r in results)
+        assert trainer.synchronization_count == 0
+
+    def test_zero_threshold_synchronizes_every_step(self):
+        # Theta = 0 degenerates to the Synchronous strategy, as the paper notes.
+        trainer = make_trainer(0.0)
+        results = trainer.run_steps(5)
+        assert all(r.synchronized for r in results)
+        assert trainer.synchronization_count == 5
+
+    def test_state_traffic_charged_every_step(self):
+        trainer = make_trainer(1e9, monitor=LinearMonitor(dimension=147, seed=0))
+        trainer.run_steps(4)
+        tracker = trainer.cluster.tracker
+        assert tracker.operations_for("fda-state") == 4
+        assert tracker.bytes_for("fda-state") == 4 * 2 * 4 * 4  # steps * elems * bytes * K
+
+    def test_sync_resets_variance_and_reference(self):
+        trainer = make_trainer(0.0)
+        trainer.step()
+        assert trainer.cluster.model_variance() == pytest.approx(0.0, abs=1e-18)
+        np.testing.assert_allclose(
+            trainer.reference_parameters, trainer.cluster.workers[0].get_parameters()
+        )
+
+    def test_estimate_reported(self):
+        trainer = make_trainer(1e9)
+        result = trainer.step()
+        assert result.variance_estimate == trainer.last_estimate
+        assert result.variance_estimate >= 0.0
+
+    def test_run_steps_validates_input(self):
+        trainer = make_trainer(1.0)
+        with pytest.raises(ConfigurationError):
+            trainer.run_steps(-1)
+
+
+class TestRoundInvariant:
+    @pytest.mark.parametrize("theta", [0.05, 0.2, 1.0])
+    def test_exact_monitor_maintains_round_invariant(self, theta):
+        """With the exact monitor, Var(w_t) <= Theta holds after every step."""
+        trainer = make_trainer(theta, monitor=ExactMonitor())
+        for _ in range(25):
+            trainer.step()
+            assert trainer.cluster.model_variance() <= theta + 1e-9
+
+    def test_linear_monitor_maintains_round_invariant(self):
+        theta = 0.2
+        trainer = make_trainer(theta, monitor=LinearMonitor(dimension=147, seed=0))
+        for _ in range(25):
+            trainer.step()
+            assert trainer.cluster.model_variance() <= theta + 1e-9
+
+    def test_sketch_monitor_roughly_maintains_round_invariant(self):
+        theta = 0.2
+        trainer = make_trainer(theta, monitor=SketchMonitor(depth=5, width=64, seed=0))
+        violations = 0
+        for _ in range(25):
+            trainer.step()
+            if trainer.cluster.model_variance() > theta * 1.1:
+                violations += 1
+        assert violations <= 2  # the guarantee is probabilistic
+
+    def test_smaller_theta_synchronizes_more(self):
+        tight = make_trainer(0.05)
+        loose = make_trainer(0.8)
+        tight.run_steps(30)
+        loose.run_steps(30)
+        assert tight.synchronization_count >= loose.synchronization_count
+        assert tight.synchronization_rate >= loose.synchronization_rate
+
+
+class TestForceSynchronizationAndDynamicTheta:
+    def test_force_synchronization(self):
+        trainer = make_trainer(1e9)
+        trainer.run_steps(5)
+        assert trainer.cluster.model_variance() > 0
+        trainer.force_synchronization()
+        assert trainer.cluster.model_variance() == pytest.approx(0.0, abs=1e-18)
+        assert trainer.synchronization_count == 1
+
+    def test_dynamic_theta_reacts_to_traffic(self):
+        controller = DynamicThetaController(
+            target_bytes_per_step=1.0, window=5, adjustment=2.0
+        )
+        trainer = make_trainer(0.0, theta_controller=controller)
+        trainer.run_steps(10)
+        # Synchronizing every step blows through a 1-byte budget, so the
+        # controller must have raised Theta above its initial zero value.
+        assert trainer.threshold > 0.0
+
+    def test_history_records_every_step(self):
+        trainer = make_trainer(0.5)
+        trainer.run_steps(7)
+        assert len(trainer.history) == 7
+        assert trainer.history[-1].parallel_steps == 7

@@ -1,0 +1,157 @@
+"""Tests for the variance monitors (Theorems 3.1 and 3.2).
+
+The central property: for any set of worker drifts, the monitor's estimate
+H(average state) must be an *over-estimate* of the true model variance
+(deterministically for LinearFDA and the exact monitor, with high probability
+for SketchFDA).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.monitor import ExactMonitor, LinearMonitor, SketchMonitor, make_monitor
+from repro.core.state import LinearState, average_states
+from repro.core.variance import variance_from_drifts
+from repro.exceptions import CommunicationError, ConfigurationError
+
+
+def random_drifts(seed, num_workers=5, dimension=60, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return [scale * rng.normal(size=dimension) for _ in range(num_workers)]
+
+
+def monitor_estimate(monitor, drifts):
+    states = [monitor.local_state(drift) for drift in drifts]
+    return monitor.estimate(average_states(states))
+
+
+class TestLinearMonitor:
+    def test_state_contents(self):
+        monitor = LinearMonitor(dimension=4, seed=0)
+        drift = np.array([1.0, 2.0, 0.0, -1.0])
+        state = monitor.local_state(drift)
+        assert state.drift_sq_norm == pytest.approx(6.0)
+        assert state.projection == pytest.approx(float(np.dot(monitor.direction, drift)))
+
+    def test_direction_is_unit_norm(self):
+        monitor = LinearMonitor(dimension=10, seed=1)
+        assert np.linalg.norm(monitor.direction) == pytest.approx(1.0)
+
+    def test_state_size_is_two_elements(self):
+        monitor = LinearMonitor(dimension=100)
+        assert monitor.state_num_elements(100) == 2
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_always_overestimates_variance(self, seed):
+        monitor = LinearMonitor(dimension=60, seed=seed + 1)
+        drifts = random_drifts(seed)
+        estimate = monitor_estimate(monitor, drifts)
+        true_variance = variance_from_drifts(drifts)
+        assert estimate >= true_variance - 1e-9
+
+    def test_perfect_direction_gives_tight_estimate(self):
+        # When xi is exactly aligned with the average drift, H equals Var.
+        drifts = random_drifts(3, num_workers=4, dimension=30)
+        mean_drift = np.mean(drifts, axis=0)
+        monitor = LinearMonitor(dimension=30, initial_direction=mean_drift)
+        estimate = monitor_estimate(monitor, drifts)
+        assert estimate == pytest.approx(variance_from_drifts(drifts), rel=1e-9)
+
+    def test_on_synchronization_updates_direction(self):
+        monitor = LinearMonitor(dimension=5, seed=0)
+        new_global = np.array([1.0, 0.0, 0.0, 0.0, 0.0])
+        previous = np.zeros(5)
+        monitor.on_synchronization(new_global, previous)
+        np.testing.assert_allclose(monitor.direction, [1.0, 0.0, 0.0, 0.0, 0.0])
+
+    def test_zero_direction_is_allowed(self):
+        monitor = LinearMonitor(dimension=3, seed=0)
+        monitor.on_synchronization(np.zeros(3), np.zeros(3))
+        np.testing.assert_array_equal(monitor.direction, np.zeros(3))
+        drifts = random_drifts(0, num_workers=3, dimension=3)
+        assert monitor_estimate(monitor, drifts) >= variance_from_drifts(drifts) - 1e-12
+
+    def test_rejects_wrong_state_type(self):
+        from repro.core.state import ExactState
+
+        monitor = LinearMonitor(dimension=3)
+        with pytest.raises(CommunicationError):
+            monitor.estimate(ExactState(1.0, np.zeros(3)))
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ConfigurationError):
+            LinearMonitor(dimension=0)
+
+
+class TestSketchMonitor:
+    def test_state_size(self):
+        monitor = SketchMonitor(depth=5, width=250)
+        assert monitor.state_num_elements(10_000) == 1 + 5 * 250
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    def test_overestimates_variance_with_high_probability(self, seed):
+        monitor = SketchMonitor(depth=5, width=128, seed=17)
+        drifts = random_drifts(seed, num_workers=4, dimension=80)
+        estimate = monitor_estimate(monitor, drifts)
+        true_variance = variance_from_drifts(drifts)
+        # Allow a small slack: the guarantee is probabilistic (1 - delta).
+        assert estimate >= true_variance * (1 - 0.15) - 1e-9
+
+    def test_estimate_close_to_variance_for_large_sketch(self):
+        monitor = SketchMonitor(depth=7, width=512, seed=3)
+        drifts = random_drifts(11, num_workers=5, dimension=200)
+        estimate = monitor_estimate(monitor, drifts)
+        true_variance = variance_from_drifts(drifts)
+        assert estimate == pytest.approx(true_variance, rel=0.3)
+
+    def test_workers_share_the_same_sketch_operator(self):
+        monitor = SketchMonitor(depth=3, width=32, seed=0)
+        a = monitor.local_state(np.ones(50))
+        b = monitor.local_state(np.ones(50))
+        np.testing.assert_array_equal(a.sketch, b.sketch)
+
+    def test_rejects_wrong_state_type(self):
+        monitor = SketchMonitor(depth=3, width=16)
+        with pytest.raises(CommunicationError):
+            monitor.estimate(LinearState(1.0, 0.0))
+
+
+class TestExactMonitor:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_recovers_exact_variance(self, seed):
+        monitor = ExactMonitor()
+        drifts = random_drifts(seed, num_workers=6, dimension=40)
+        estimate = monitor_estimate(monitor, drifts)
+        assert estimate == pytest.approx(variance_from_drifts(drifts), rel=1e-9, abs=1e-12)
+
+    def test_state_size_is_full_dimension(self):
+        assert ExactMonitor().state_num_elements(500) == 501
+
+
+class TestMonitorOrdering:
+    def test_exact_is_tighter_than_linear(self):
+        """The exact monitor's estimate is never above LinearFDA's (both >= Var)."""
+        drifts = random_drifts(5, num_workers=5, dimension=50)
+        exact = monitor_estimate(ExactMonitor(), drifts)
+        linear = monitor_estimate(LinearMonitor(dimension=50, seed=2), drifts)
+        assert exact <= linear + 1e-9
+
+
+class TestMakeMonitor:
+    def test_factory_variants(self):
+        assert isinstance(make_monitor("sketch", 100), SketchMonitor)
+        assert isinstance(make_monitor("linear", 100), LinearMonitor)
+        assert isinstance(make_monitor("exact", 100), ExactMonitor)
+
+    def test_factory_passes_sketch_geometry(self):
+        monitor = make_monitor("sketch", 100, sketch_depth=3, sketch_width=64)
+        assert monitor.sketch_operator.shape == (3, 64)
+
+    def test_unknown_variant(self):
+        with pytest.raises(ConfigurationError):
+            make_monitor("quantum", 100)

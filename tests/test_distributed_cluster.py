@@ -1,0 +1,178 @@
+"""Tests for workers and the simulated cluster (collectives, sync, evaluation)."""
+
+import numpy as np
+import pytest
+
+from repro.data.partition import partition_dataset
+from repro.data.synthetic import gaussian_blobs
+from repro.distributed.cluster import CATEGORY_MODEL, SimulatedCluster
+from repro.distributed.comm import RING_COST_MODEL
+from repro.distributed.worker import Worker
+from repro.exceptions import CommunicationError, ConfigurationError
+from repro.nn.architectures import mlp
+from repro.optim.adam import Adam
+from repro.optim.sgd import SGD
+
+
+def make_cluster(num_workers=3, seed=0, cost_model=None):
+    data = gaussian_blobs(240, feature_dim=8, num_classes=3, seed=seed)
+    shards = partition_dataset(data, num_workers, "iid", seed=seed)
+    workers = [
+        Worker(
+            worker_id=i,
+            model=mlp(8, 3, hidden_units=(12,), seed=seed),
+            dataset=shard,
+            optimizer=Adam(0.01),
+            batch_size=16,
+            seed=seed + i,
+        )
+        for i, shard in enumerate(shards)
+    ]
+    return SimulatedCluster(workers, cost_model=cost_model)
+
+
+class TestWorker:
+    def test_local_step_advances_and_returns_loss(self):
+        cluster = make_cluster(1)
+        worker = cluster.workers[0]
+        loss = worker.local_step()
+        assert np.isfinite(loss)
+        assert worker.steps_performed == 1
+
+    def test_local_step_changes_parameters(self):
+        worker = make_cluster(1).workers[0]
+        before = worker.get_parameters()
+        worker.local_step()
+        assert not np.array_equal(before, worker.get_parameters())
+
+    def test_local_epoch_runs_all_batches(self):
+        worker = make_cluster(2).workers[0]
+        worker.local_epoch()
+        assert worker.steps_performed == worker.batches_per_epoch
+
+    def test_drift_from_reference(self):
+        worker = make_cluster(1).workers[0]
+        reference = worker.get_parameters()
+        worker.local_step()
+        drift = worker.drift_from(reference)
+        np.testing.assert_allclose(drift, worker.get_parameters() - reference)
+
+    def test_invalid_configuration(self):
+        data = gaussian_blobs(30, feature_dim=8, num_classes=3, seed=0)
+        with pytest.raises(ConfigurationError):
+            Worker(-1, mlp(8, 3, seed=0), data, SGD(0.1))
+        with pytest.raises(ConfigurationError):
+            Worker(0, mlp(8, 3, seed=0), data, SGD(0.1), batch_size=0)
+
+
+class TestClusterBasics:
+    def test_properties(self):
+        cluster = make_cluster(3)
+        assert cluster.num_workers == 3
+        assert cluster.model_dimension == cluster.workers[0].num_parameters
+        assert cluster.parallel_steps == 0
+
+    def test_requires_workers(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedCluster([])
+
+    def test_requires_matching_dimensions(self):
+        data = gaussian_blobs(60, feature_dim=8, num_classes=3, seed=0)
+        workers = [
+            Worker(0, mlp(8, 3, hidden_units=(4,), seed=0), data, Adam()),
+            Worker(1, mlp(8, 3, hidden_units=(8,), seed=0), data, Adam()),
+        ]
+        with pytest.raises(CommunicationError):
+            SimulatedCluster(workers)
+
+    def test_step_all_advances_every_worker(self):
+        cluster = make_cluster(3)
+        cluster.step_all()
+        assert all(worker.steps_performed == 1 for worker in cluster.workers)
+        assert cluster.parallel_steps == 1
+
+
+class TestCollectives:
+    def test_allreduce_averages_and_charges(self):
+        cluster = make_cluster(2)
+        result = cluster.allreduce([np.ones(10), np.zeros(10)], "other")
+        np.testing.assert_allclose(result, 0.5)
+        assert cluster.tracker.bytes_for("other") == 10 * 4 * 2
+
+    def test_allreduce_requires_one_vector_per_worker(self):
+        cluster = make_cluster(3)
+        with pytest.raises(CommunicationError):
+            cluster.allreduce([np.ones(4)], "other")
+
+    def test_allreduce_scalar(self):
+        cluster = make_cluster(2)
+        assert cluster.allreduce_scalar([1.0, 3.0]) == 2.0
+
+    def test_broadcast_sets_all_parameters(self):
+        cluster = make_cluster(3)
+        flat = np.zeros(cluster.model_dimension)
+        cluster.broadcast_parameters(flat)
+        for worker in cluster.workers:
+            np.testing.assert_array_equal(worker.get_parameters(), flat)
+
+    def test_broadcast_free_by_default(self):
+        cluster = make_cluster(3)
+        cluster.broadcast_parameters(np.zeros(cluster.model_dimension))
+        assert cluster.total_bytes == 0
+
+    def test_ring_cost_model_changes_charges(self):
+        naive = make_cluster(4)
+        ring = make_cluster(4, cost_model=RING_COST_MODEL)
+        naive.synchronize()
+        ring.synchronize()
+        # Same synchronization, different accounting scheme.
+        assert ring.total_bytes != naive.total_bytes
+        assert ring.tracker.cost_model.scheme == "ring"
+
+
+class TestSynchronizeAndEvaluate:
+    def test_synchronize_equalizes_parameters(self):
+        cluster = make_cluster(3)
+        for _ in range(3):
+            cluster.step_all()
+        assert cluster.model_variance() > 0
+        average = cluster.synchronize()
+        assert cluster.model_variance() == pytest.approx(0.0, abs=1e-18)
+        for worker in cluster.workers:
+            np.testing.assert_allclose(worker.get_parameters(), average)
+
+    def test_synchronize_charges_model_category(self):
+        cluster = make_cluster(3)
+        cluster.synchronize()
+        expected = cluster.model_dimension * 4 * 3
+        assert cluster.tracker.bytes_for(CATEGORY_MODEL) == expected
+        assert cluster.synchronization_count == 1
+
+    def test_average_parameters_is_free(self):
+        cluster = make_cluster(2)
+        cluster.average_parameters()
+        assert cluster.total_bytes == 0
+
+    def test_evaluate_global_does_not_touch_workers(self):
+        cluster = make_cluster(2)
+        data = gaussian_blobs(60, feature_dim=8, num_classes=3, seed=1)
+        before = [worker.get_parameters() for worker in cluster.workers]
+        loss, accuracy = cluster.evaluate_global(data)
+        assert 0.0 <= accuracy <= 1.0 and np.isfinite(loss)
+        for worker, params in zip(cluster.workers, before):
+            np.testing.assert_array_equal(worker.get_parameters(), params)
+
+    def test_evaluate_worker_bounds(self):
+        cluster = make_cluster(2)
+        data = gaussian_blobs(30, feature_dim=8, num_classes=3, seed=1)
+        with pytest.raises(CommunicationError):
+            cluster.evaluate_worker(5, data)
+
+    def test_model_variance_matches_definition(self):
+        cluster = make_cluster(3)
+        for _ in range(2):
+            cluster.step_all()
+        parameters = np.stack([w.get_parameters() for w in cluster.workers])
+        mean = parameters.mean(axis=0)
+        expected = float(np.mean(np.sum((parameters - mean) ** 2, axis=1)))
+        assert cluster.model_variance() == pytest.approx(expected)

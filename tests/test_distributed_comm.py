@@ -1,0 +1,117 @@
+"""Tests for communication-cost models, trackers, and network models."""
+
+import pytest
+
+from repro.distributed.comm import (
+    CommunicationCostModel,
+    CommunicationTracker,
+    NAIVE_COST_MODEL,
+    RING_COST_MODEL,
+)
+from repro.distributed.network import (
+    BALANCED_NETWORK,
+    FL_NETWORK,
+    HPC_NETWORK,
+    NetworkModel,
+    get_network,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestCostModel:
+    def test_naive_allreduce_bytes(self):
+        assert NAIVE_COST_MODEL.allreduce_bytes(1000, 4) == 1000 * 4 * 4
+
+    def test_ring_allreduce_volume(self):
+        # Ring AllReduce moves 2(K-1)/K of the vector per worker, so the total
+        # is 2(K-1)·n elements — roughly twice the paper-style upload-only count.
+        ring = RING_COST_MODEL.allreduce_bytes(10_000, 8)
+        assert ring == pytest.approx(2 * 7 * 10_000 * 4, rel=0.01)
+        assert ring > NAIVE_COST_MODEL.allreduce_bytes(10_000, 8)
+
+    def test_single_worker_costs_nothing(self):
+        assert NAIVE_COST_MODEL.allreduce_bytes(1000, 1) == 0
+
+    def test_empty_vector_costs_nothing(self):
+        assert NAIVE_COST_MODEL.allreduce_bytes(0, 5) == 0
+
+    def test_broadcast_bytes(self):
+        assert NAIVE_COST_MODEL.broadcast_bytes(100, 5) == 100 * 4 * 4
+
+    def test_invalid_scheme(self):
+        with pytest.raises(ConfigurationError):
+            CommunicationCostModel("gossip")
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            NAIVE_COST_MODEL.allreduce_bytes(-1, 2)
+        with pytest.raises(ConfigurationError):
+            NAIVE_COST_MODEL.allreduce_bytes(10, 0)
+
+
+class TestTracker:
+    def test_accumulates_by_category(self):
+        tracker = CommunicationTracker()
+        tracker.record_allreduce(100, 4, "model-sync")
+        tracker.record_allreduce(2, 4, "fda-state")
+        tracker.record_allreduce(2, 4, "fda-state")
+        assert tracker.bytes_for("model-sync") == 100 * 4 * 4
+        assert tracker.bytes_for("fda-state") == 2 * 2 * 4 * 4
+        assert tracker.operations_for("fda-state") == 2
+        assert tracker.total_bytes == tracker.bytes_for("model-sync") + tracker.bytes_for("fda-state")
+
+    def test_reset(self):
+        tracker = CommunicationTracker()
+        tracker.record_allreduce(10, 2, "x")
+        tracker.reset()
+        assert tracker.total_bytes == 0
+        assert tracker.operations_for("x") == 0
+
+    def test_snapshot(self):
+        tracker = CommunicationTracker()
+        tracker.record_broadcast(10, 3, "model-sync")
+        snapshot = tracker.snapshot()
+        assert snapshot["total_bytes"] == tracker.total_bytes
+        assert "model-sync" in snapshot["bytes_by_category"]
+
+    def test_unknown_category_is_zero(self):
+        assert CommunicationTracker().bytes_for("nothing") == 0
+
+
+class TestNetworkModel:
+    def test_transfer_time_scales_with_bytes(self):
+        network = NetworkModel("test", bandwidth_bits_per_second=1e9, latency_seconds=0.0)
+        assert network.transfer_time(1e9 / 8) == pytest.approx(1.0)
+
+    def test_latency_added_per_operation(self):
+        network = NetworkModel("test", bandwidth_bits_per_second=1e12, latency_seconds=0.01)
+        assert network.transfer_time(1000, num_operations=5) == pytest.approx(0.05, rel=0.01)
+
+    def test_wall_time_combines_compute_and_comm(self):
+        network = NetworkModel("test", bandwidth_bits_per_second=1e9)
+        total = network.wall_time(
+            communication_bytes=1e9 / 8, num_operations=0, parallel_steps=100,
+            seconds_per_step=0.01,
+        )
+        assert total == pytest.approx(2.0)
+
+    def test_fl_network_is_much_slower_than_hpc(self):
+        num_bytes = 1e9
+        assert FL_NETWORK.transfer_time(num_bytes) > 50 * HPC_NETWORK.transfer_time(num_bytes)
+
+    def test_balanced_between_the_two(self):
+        num_bytes = 1e9
+        assert (
+            HPC_NETWORK.transfer_time(num_bytes)
+            < BALANCED_NETWORK.transfer_time(num_bytes)
+            < FL_NETWORK.transfer_time(num_bytes)
+        )
+
+    def test_get_network(self):
+        assert get_network("fl") is FL_NETWORK
+        with pytest.raises(ConfigurationError):
+            get_network("wifi")
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            NetworkModel("bad", bandwidth_bits_per_second=0.0)

@@ -1,0 +1,155 @@
+"""Tests for the smaller extensions: compressed FDA synchronization, τ schedules,
+and result persistence."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ExperimentError
+from repro.experiments.persistence import (
+    load_results,
+    load_sweep,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+    save_sweep,
+)
+from repro.experiments.results import compare_strategies
+from repro.experiments.run import TrainingRun
+from repro.experiments.setup import build_cluster
+from repro.experiments.sweep import SweepPoint, sweep_theta
+from repro.strategies.compression import QuantizationCompressor, TopKCompressor
+from repro.strategies.fda_strategy import FDAStrategy
+from repro.strategies.local_sgd import (
+    LocalSGDStrategy,
+    decreasing_tau,
+    fixed_tau,
+    increasing_tau,
+    post_local_sgd_tau,
+)
+
+
+RUN = TrainingRun(accuracy_target=0.88, max_steps=120, eval_every_steps=20)
+
+
+def run_on(workload, strategy, run=RUN):
+    cluster, test_dataset = build_cluster(workload)
+    return run.execute(strategy, cluster, test_dataset, workload_name=workload.name)
+
+
+class TestCompressedFda:
+    def test_name_includes_compressor(self):
+        strategy = FDAStrategy(threshold=1.0, compressor=QuantizationCompressor(8))
+        assert strategy.name == "LinearFDA+quantization"
+
+    def test_compressed_sync_reduces_model_traffic(self, blobs_workload):
+        plain = run_on(blobs_workload, FDAStrategy(threshold=0.1, variant="linear"))
+        compressed = run_on(
+            blobs_workload,
+            FDAStrategy(threshold=0.1, variant="linear", compressor=QuantizationCompressor(8)),
+        )
+        assert plain.synchronizations > 0
+        assert compressed.reached_target
+        plain_per_sync = plain.model_bytes / max(plain.synchronizations, 1)
+        compressed_per_sync = compressed.model_bytes / max(compressed.synchronizations, 1)
+        assert compressed_per_sync < plain_per_sync
+
+    def test_topk_compressed_fda_still_converges(self, blobs_workload):
+        result = run_on(
+            blobs_workload,
+            FDAStrategy(threshold=0.5, variant="linear", compressor=TopKCompressor(0.25)),
+            TrainingRun(accuracy_target=0.85, max_steps=200, eval_every_steps=20),
+        )
+        assert result.reached_target
+
+    def test_workers_agree_after_compressed_sync(self, blobs_workload):
+        cluster, _ = build_cluster(blobs_workload)
+        strategy = FDAStrategy(
+            threshold=0.0, variant="exact", compressor=QuantizationCompressor(8)
+        ).attach(cluster)
+        for _ in range(3):
+            strategy.run_round()
+        assert cluster.model_variance() == pytest.approx(0.0, abs=1e-18)
+
+
+class TestTauSchedules:
+    def test_fixed(self):
+        schedule = fixed_tau(7)
+        assert [schedule(r) for r in range(3)] == [7, 7, 7]
+        with pytest.raises(ConfigurationError):
+            fixed_tau(0)
+
+    def test_increasing(self):
+        schedule = increasing_tau(initial=2, growth=2.0, maximum=10)
+        values = [schedule(r) for r in range(5)]
+        assert values == sorted(values)
+        assert values[0] == 2 and values[-1] == 10
+        with pytest.raises(ConfigurationError):
+            increasing_tau(growth=0.5)
+
+    def test_decreasing(self):
+        schedule = decreasing_tau(initial=16, decay=0.5, minimum=2)
+        values = [schedule(r) for r in range(6)]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] == 2
+        with pytest.raises(ConfigurationError):
+            decreasing_tau(decay=0.0)
+
+    def test_post_local_sgd(self):
+        schedule = post_local_sgd_tau(switch_round=3, tau_after=8)
+        assert [schedule(r) for r in range(5)] == [1, 1, 1, 8, 8]
+        with pytest.raises(ConfigurationError):
+            post_local_sgd_tau(-1)
+
+    def test_schedules_drive_local_sgd_strategy(self, blobs_workload):
+        cluster, _ = build_cluster(blobs_workload)
+        strategy = LocalSGDStrategy(tau=increasing_tau(initial=1, growth=2.0, maximum=8))
+        strategy.attach(cluster)
+        advanced = [strategy.run_round().steps_advanced for _ in range(4)]
+        assert advanced == [1, 2, 4, 8]
+
+
+class TestPersistence:
+    def test_result_round_trip(self, blobs_workload, tmp_path):
+        result = run_on(blobs_workload, FDAStrategy(threshold=2.0))
+        payload = result_to_dict(result)
+        restored = result_from_dict(payload)
+        assert restored.strategy == result.strategy
+        assert restored.communication_bytes == result.communication_bytes
+        assert restored.history.entries == result.history.entries
+
+    def test_save_and_load_results(self, blobs_workload, tmp_path):
+        results = [
+            run_on(blobs_workload, FDAStrategy(threshold=2.0)),
+            run_on(blobs_workload, FDAStrategy(threshold=20.0)),
+        ]
+        path = save_results(results, tmp_path / "results.json")
+        restored = load_results(path)
+        assert len(restored) == 2
+        assert {r.strategy for r in restored} == {"LinearFDA"}
+        # Aggregation works identically on reloaded results.
+        ratios = compare_strategies(restored + results, "LinearFDA", "LinearFDA")
+        assert ratios["communication_ratio"] == pytest.approx(1.0)
+
+    def test_save_and_load_sweep(self, blobs_workload, tmp_path):
+        points = sweep_theta(blobs_workload, [0.5, 5.0], RUN)
+        path = save_sweep(points, tmp_path / "sweep.json")
+        restored = load_sweep(path)
+        assert [p.value for p in restored] == [0.5, 5.0]
+        assert all(isinstance(p, SweepPoint) for p in restored)
+        assert restored[0].result.parallel_steps == points[0].result.parallel_steps
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            load_results(tmp_path / "nope.json")
+        with pytest.raises(ExperimentError):
+            load_sweep(tmp_path / "nope.json")
+
+    def test_load_wrong_format_raises(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ExperimentError):
+            load_results(path)
+
+    def test_from_dict_validates_fields(self):
+        with pytest.raises(ExperimentError):
+            result_from_dict({"strategy": "A"})

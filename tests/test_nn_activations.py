@@ -1,0 +1,118 @@
+"""Tests for activation functions and their derivatives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import ConfigurationError
+from repro.nn.activations import (
+    ELU,
+    GELU,
+    LEAKY_RELU,
+    LINEAR,
+    RELU,
+    SIGMOID,
+    TANH,
+    get_activation,
+    log_softmax,
+    softmax,
+)
+
+ALL_ACTIVATIONS = [RELU, LEAKY_RELU, SIGMOID, TANH, LINEAR, GELU, ELU]
+
+
+def _numerical_derivative(activation, x, epsilon=1e-6):
+    return (activation.forward(x + epsilon) - activation.forward(x - epsilon)) / (2 * epsilon)
+
+
+class TestForwardValues:
+    def test_relu(self):
+        x = np.array([-2.0, -0.5, 0.0, 0.5, 2.0])
+        np.testing.assert_array_equal(RELU.forward(x), [0.0, 0.0, 0.0, 0.5, 2.0])
+
+    def test_sigmoid_range_and_symmetry(self):
+        x = np.linspace(-10, 10, 101)
+        y = SIGMOID.forward(x)
+        assert np.all((y > 0) & (y < 1))
+        np.testing.assert_allclose(y + SIGMOID.forward(-x), 1.0, atol=1e-12)
+
+    def test_sigmoid_extreme_values_are_stable(self):
+        y = SIGMOID.forward(np.array([-1000.0, 1000.0]))
+        assert np.all(np.isfinite(y))
+
+    def test_tanh(self):
+        np.testing.assert_allclose(TANH.forward(np.array([0.0])), [0.0])
+
+    def test_linear_identity(self):
+        x = np.array([[1.0, -2.0]])
+        np.testing.assert_array_equal(LINEAR.forward(x), x)
+
+    def test_gelu_at_zero(self):
+        assert GELU.forward(np.array([0.0]))[0] == pytest.approx(0.0)
+
+    def test_elu_negative_saturates(self):
+        assert ELU.forward(np.array([-100.0]))[0] == pytest.approx(-1.0, abs=1e-6)
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize("activation", ALL_ACTIVATIONS, ids=lambda a: a.name)
+    def test_gradient_matches_numerical(self, activation):
+        x = np.linspace(-2.0, 2.0, 41) + 0.013  # avoid the ReLU kink at exactly 0
+        upstream = np.ones_like(x)
+        cached = x if activation.cache_input else activation.forward(x)
+        analytic = activation.gradient(upstream, cached)
+        numerical = _numerical_derivative(activation, x)
+        np.testing.assert_allclose(analytic, numerical, rtol=1e-4, atol=1e-6)
+
+    def test_gradient_scales_with_upstream(self):
+        x = np.array([0.5, 1.5])
+        out = TANH.forward(x)
+        g1 = TANH.gradient(np.ones_like(x), out)
+        g3 = TANH.gradient(3.0 * np.ones_like(x), out)
+        np.testing.assert_allclose(g3, 3.0 * g1)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = np.array([[1.0, 2.0, 3.0], [-5.0, 0.0, 5.0]])
+        probs = softmax(logits, axis=1)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_shift_invariance(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_log_softmax_consistent(self):
+        logits = np.array([[0.3, -1.2, 2.0]])
+        np.testing.assert_allclose(np.exp(log_softmax(logits)), softmax(logits))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        arrays(
+            np.float64,
+            (3, 5),
+            elements=st.floats(min_value=-50, max_value=50, allow_nan=False),
+        )
+    )
+    def test_softmax_always_valid_distribution(self, logits):
+        probs = softmax(logits, axis=1)
+        assert np.all(probs >= 0)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+
+class TestGetActivation:
+    def test_by_name(self):
+        assert get_activation("relu") is RELU
+        assert get_activation("gelu") is GELU
+
+    def test_none_is_linear(self):
+        assert get_activation(None) is LINEAR
+
+    def test_instance_passthrough(self):
+        assert get_activation(TANH) is TANH
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_activation("swishy")

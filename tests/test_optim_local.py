@@ -1,0 +1,153 @@
+"""Tests for the local optimizers (SGD, Adam, AdamW) and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.optim.adam import Adam, AdamW
+from repro.optim.schedules import (
+    ConstantSchedule,
+    CosineDecaySchedule,
+    ExponentialDecaySchedule,
+    StepDecaySchedule,
+    resolve_schedule,
+)
+from repro.optim.sgd import SGD
+
+
+def quadratic_minimization(optimizer, start, steps=300):
+    """Minimize f(w) = ||w - 3||^2 with the given optimizer; return the final point."""
+    params = np.asarray(start, dtype=np.float64)
+    target = np.full_like(params, 3.0)
+    for _ in range(steps):
+        grads = 2.0 * (params - target)
+        params = optimizer.step(params, grads)
+    return params
+
+
+class TestSGD:
+    def test_plain_sgd_step(self):
+        optimizer = SGD(learning_rate=0.1)
+        updated = optimizer.step(np.array([1.0, 2.0]), np.array([1.0, -1.0]))
+        np.testing.assert_allclose(updated, [0.9, 2.1])
+
+    def test_converges_on_quadratic(self):
+        final = quadratic_minimization(SGD(0.05), np.array([10.0, -4.0]))
+        np.testing.assert_allclose(final, 3.0, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        plain = quadratic_minimization(SGD(0.01), np.array([10.0]), steps=50)
+        momentum = quadratic_minimization(SGD(0.01, momentum=0.9), np.array([10.0]), steps=50)
+        assert abs(momentum[0] - 3.0) < abs(plain[0] - 3.0)
+
+    def test_nesterov_converges(self):
+        final = quadratic_minimization(
+            SGD(0.02, momentum=0.9, nesterov=True), np.array([10.0]), steps=200
+        )
+        np.testing.assert_allclose(final, 3.0, atol=1e-2)
+
+    def test_weight_decay_shrinks_parameters(self):
+        optimizer = SGD(learning_rate=0.1, weight_decay=0.5)
+        updated = optimizer.step(np.array([2.0]), np.array([0.0]))
+        assert updated[0] < 2.0
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ConfigurationError):
+            SGD(0.1, momentum=0.0, nesterov=True)
+
+    def test_reset_clears_velocity(self):
+        optimizer = SGD(0.1, momentum=0.9)
+        optimizer.step(np.array([1.0]), np.array([1.0]))
+        optimizer.reset()
+        assert optimizer.step_count == 0
+        assert optimizer._velocity is None
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            SGD(0.1).step(np.zeros(3), np.zeros(4))
+
+    def test_requires_flat_vectors(self):
+        with pytest.raises(ShapeError):
+            SGD(0.1).step(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        final = quadratic_minimization(Adam(0.1), np.array([10.0, -5.0]))
+        np.testing.assert_allclose(final, 3.0, atol=1e-2)
+
+    def test_first_step_size_close_to_learning_rate(self):
+        optimizer = Adam(learning_rate=0.001)
+        updated = optimizer.step(np.array([1.0]), np.array([1e-3]))
+        # Bias correction makes the first step approximately the learning rate.
+        assert abs(updated[0] - 1.0) == pytest.approx(0.001, rel=0.05)
+
+    def test_step_counts_advance(self):
+        optimizer = Adam(0.01)
+        optimizer.step(np.zeros(2), np.ones(2))
+        optimizer.step(np.zeros(2), np.ones(2))
+        assert optimizer.step_count == 2
+
+    def test_invalid_betas(self):
+        with pytest.raises(ConfigurationError):
+            Adam(0.01, beta1=1.0)
+        with pytest.raises(ConfigurationError):
+            Adam(0.01, beta2=-0.1)
+
+    def test_state_dict_contains_hyperparameters(self):
+        state = Adam(0.01, beta1=0.8).state_dict()
+        assert state["beta1"] == 0.8 and "step_count" in state
+
+
+class TestAdamW:
+    def test_decay_shrinks_parameters_without_gradient(self):
+        optimizer = AdamW(learning_rate=0.1, weight_decay=0.1)
+        updated = optimizer.step(np.array([5.0]), np.array([0.0]))
+        assert updated[0] < 5.0
+
+    def test_zero_decay_matches_adam(self):
+        params = np.array([1.0, -2.0])
+        grads = np.array([0.5, 0.25])
+        adam = Adam(0.01).step(params, grads)
+        adamw = AdamW(0.01, weight_decay=0.0).step(params, grads)
+        np.testing.assert_allclose(adam, adamw)
+
+    def test_negative_decay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdamW(0.01, weight_decay=-1.0)
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantSchedule(0.5)
+        assert schedule(0) == schedule(1000) == 0.5
+
+    def test_step_decay(self):
+        schedule = StepDecaySchedule(1.0, every=10, decay=0.5)
+        assert schedule(0) == 1.0
+        assert schedule(10) == 0.5
+        assert schedule(25) == 0.25
+
+    def test_exponential_decay_monotone(self):
+        schedule = ExponentialDecaySchedule(1.0, rate=0.9, scale=10)
+        values = [schedule(step) for step in range(0, 100, 10)]
+        assert values == sorted(values, reverse=True)
+
+    def test_cosine_decay_endpoints(self):
+        schedule = CosineDecaySchedule(1.0, total_steps=100, minimum=0.1)
+        assert schedule(0) == pytest.approx(1.0)
+        assert schedule(100) == pytest.approx(0.1)
+        assert schedule(1000) == pytest.approx(0.1)
+
+    def test_resolve_schedule(self):
+        assert isinstance(resolve_schedule(0.1), ConstantSchedule)
+        schedule = CosineDecaySchedule(1.0, 10)
+        assert resolve_schedule(schedule) is schedule
+        with pytest.raises(ConfigurationError):
+            resolve_schedule("fast")
+
+    def test_optimizer_follows_schedule(self):
+        optimizer = SGD(StepDecaySchedule(1.0, every=1, decay=0.5))
+        assert optimizer.learning_rate == 1.0
+        optimizer.step(np.zeros(1), np.zeros(1))
+        assert optimizer.learning_rate == 0.5

@@ -1,0 +1,93 @@
+"""Tests for the FedOpt server optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.optim.server import FedAdagrad, FedAdam, FedAvg, FedAvgM, FedYogi
+
+
+GLOBAL = np.array([1.0, 2.0, 3.0])
+CLIENTS = [np.array([1.5, 2.5, 3.5]), np.array([1.0, 1.5, 2.5])]
+
+
+class TestFedAvg:
+    def test_aggregate_is_client_mean(self):
+        new_global = FedAvg().aggregate(GLOBAL, CLIENTS)
+        np.testing.assert_allclose(new_global, np.mean(CLIENTS, axis=0))
+
+    def test_single_client_returns_that_client(self):
+        new_global = FedAvg().aggregate(GLOBAL, [CLIENTS[0]])
+        np.testing.assert_allclose(new_global, CLIENTS[0])
+
+    def test_rejects_empty_clients(self):
+        with pytest.raises(ShapeError):
+            FedAvg().aggregate(GLOBAL, [])
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ShapeError):
+            FedAvg().aggregate(GLOBAL, [np.zeros(2)])
+
+
+class TestFedAvgM:
+    def test_first_round_moves_toward_clients(self):
+        server = FedAvgM(learning_rate=1.0, momentum=0.9)
+        new_global = server.aggregate(GLOBAL, CLIENTS)
+        np.testing.assert_allclose(new_global, np.mean(CLIENTS, axis=0))
+
+    def test_momentum_accumulates_across_rounds(self):
+        server = FedAvgM(learning_rate=1.0, momentum=0.9)
+        first = server.aggregate(GLOBAL, CLIENTS)
+        # Same pseudo-gradient again: momentum should push further than a plain step.
+        second = server.aggregate(first, [first + 1.0, first - 0.0])
+        plain = FedAvg().aggregate(first, [first + 1.0, first - 0.0])
+        assert np.linalg.norm(second - first) > np.linalg.norm(plain - first) * 0.9
+
+    def test_reset_clears_velocity(self):
+        server = FedAvgM()
+        server.aggregate(GLOBAL, CLIENTS)
+        server.reset()
+        assert server._velocity is None and server.round_count == 0
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ConfigurationError):
+            FedAvgM(momentum=1.5)
+
+
+class TestAdaptiveServers:
+    @pytest.mark.parametrize("factory", [FedAdam, FedAdagrad, FedYogi])
+    def test_moves_toward_client_average(self, factory):
+        server = factory(learning_rate=0.5)
+        new_global = server.aggregate(GLOBAL, CLIENTS)
+        direction = np.mean(CLIENTS, axis=0) - GLOBAL
+        movement = new_global - GLOBAL
+        assert np.dot(direction, movement) > 0  # moves in the right direction
+
+    @pytest.mark.parametrize("factory", [FedAdam, FedAdagrad, FedYogi])
+    def test_converges_on_fixed_target(self, factory):
+        server = factory(learning_rate=0.3)
+        target = np.array([5.0, -2.0])
+        global_params = np.zeros(2)
+        for _ in range(300):
+            global_params = server.aggregate(global_params, [target, target])
+        np.testing.assert_allclose(global_params, target, atol=0.2)
+
+    def test_fedadam_rounds_counted(self):
+        server = FedAdam()
+        server.aggregate(GLOBAL, CLIENTS)
+        server.aggregate(GLOBAL, CLIENTS)
+        assert server.round_count == 2
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ConfigurationError):
+            FedAdam(learning_rate=0.0)
+
+    def test_invalid_tau(self):
+        with pytest.raises(ConfigurationError):
+            FedAdam(tau=0.0)
+
+    def test_fedyogi_second_moment_bounded_by_updates(self):
+        server = FedYogi(learning_rate=0.1)
+        for _ in range(5):
+            server.aggregate(GLOBAL, CLIENTS)
+        assert np.all(np.isfinite(server._v))

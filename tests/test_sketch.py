@@ -1,0 +1,174 @@
+"""Tests for the AMS sketch: hashing, estimation accuracy, and linearity.
+
+The linearity and (1 ± ε) estimation properties are exactly what Theorem 3.1
+of the paper relies on, so they get property-based coverage here.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import CommunicationError, ConfigurationError, ShapeError
+from repro.sketch.ams import AmsSketch, estimate_l2_squared
+from repro.sketch.hashing import FourWiseHash
+
+
+class TestFourWiseHash:
+    def test_deterministic_per_seed(self):
+        indices = np.arange(100, dtype=np.uint64)
+        a = FourWiseHash(3, seed=5)(indices)
+        b = FourWiseHash(3, seed=5)(indices)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        indices = np.arange(100, dtype=np.uint64)
+        a = FourWiseHash(3, seed=5)(indices)
+        b = FourWiseHash(3, seed=6)(indices)
+        assert not np.array_equal(a, b)
+
+    def test_buckets_in_range(self):
+        hashing = FourWiseHash(4, seed=0)
+        buckets = hashing.buckets(np.arange(1000, dtype=np.uint64), 17)
+        assert buckets.min() >= 0 and buckets.max() < 17
+
+    def test_buckets_roughly_uniform(self):
+        hashing = FourWiseHash(1, seed=1)
+        buckets = hashing.buckets(np.arange(20000, dtype=np.uint64), 10)
+        counts = np.bincount(buckets[0], minlength=10)
+        assert counts.min() > 1500 and counts.max() < 2500
+
+    def test_signs_are_plus_minus_one_and_balanced(self):
+        hashing = FourWiseHash(1, seed=2)
+        signs = hashing.signs(np.arange(20000, dtype=np.uint64))
+        assert set(np.unique(signs)) == {-1.0, 1.0}
+        assert abs(signs.mean()) < 0.05
+
+    def test_invalid_rows(self):
+        with pytest.raises(ConfigurationError):
+            FourWiseHash(0)
+
+    def test_invalid_width(self):
+        with pytest.raises(ConfigurationError):
+            FourWiseHash(2).buckets(np.arange(5, dtype=np.uint64), 0)
+
+
+class TestAmsSketch:
+    def test_shape_and_size(self):
+        sketch = AmsSketch(depth=5, width=250)
+        assert sketch.shape == (5, 250)
+        assert sketch.size_bytes == 5 * 250 * 4  # the 5 kB figure quoted in the paper
+
+    def test_sketch_shape(self):
+        operator = AmsSketch(depth=3, width=16)
+        matrix = operator.sketch(np.ones(100))
+        assert matrix.shape == (3, 16)
+
+    def test_estimate_within_epsilon_for_typical_vectors(self):
+        operator = AmsSketch(depth=5, width=250, seed=0)
+        rng = np.random.default_rng(0)
+        vector = rng.normal(size=5000)
+        estimate = operator.estimate_l2_squared(operator.sketch(vector))
+        true_value = float(np.dot(vector, vector))
+        assert abs(estimate - true_value) / true_value < 0.15
+
+    def test_estimate_zero_vector(self):
+        operator = AmsSketch(depth=3, width=32)
+        assert operator.estimate_l2_squared(operator.sketch(np.zeros(64))) == 0.0
+
+    def test_linearity_exact(self):
+        operator = AmsSketch(depth=4, width=32, seed=3)
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=200), rng.normal(size=200)
+        combined = operator.sketch(2.0 * a - 0.5 * b)
+        np.testing.assert_allclose(
+            combined, 2.0 * operator.sketch(a) - 0.5 * operator.sketch(b), atol=1e-9
+        )
+
+    def test_average_of_sketches_is_sketch_of_average(self):
+        operator = AmsSketch(depth=5, width=64, seed=0)
+        rng = np.random.default_rng(2)
+        vectors = [rng.normal(size=300) for _ in range(4)]
+        averaged_sketches = np.mean([operator.sketch(v) for v in vectors], axis=0)
+        sketch_of_average = operator.sketch(np.mean(vectors, axis=0))
+        np.testing.assert_allclose(averaged_sketches, sketch_of_average, atol=1e-9)
+
+    def test_dimension_change_reprepares_hashes(self):
+        operator = AmsSketch(depth=3, width=16)
+        operator.sketch(np.ones(50))
+        assert operator.dimension == 50
+        operator.sketch(np.ones(80))
+        assert operator.dimension == 80
+
+    def test_estimate_rejects_wrong_geometry(self):
+        operator = AmsSketch(depth=3, width=16)
+        with pytest.raises(CommunicationError):
+            operator.estimate_l2_squared(np.zeros((2, 16)))
+
+    def test_estimate_dot_sign(self):
+        operator = AmsSketch(depth=5, width=128, seed=0)
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=1000)
+        dot_estimate = operator.estimate_dot(operator.sketch(a), operator.sketch(2.0 * a))
+        assert dot_estimate > 0
+
+    def test_rejects_non_1d_vectors(self):
+        with pytest.raises(ShapeError):
+            AmsSketch().sketch(np.zeros((3, 3)))
+
+    def test_compatible_with(self):
+        a = AmsSketch(depth=3, width=16, seed=1)
+        b = AmsSketch(depth=3, width=16, seed=1)
+        c = AmsSketch(depth=3, width=16, seed=2)
+        assert a.compatible_with(b)
+        assert not a.compatible_with(c)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            AmsSketch(depth=0)
+        with pytest.raises(ConfigurationError):
+            AmsSketch(width=0)
+
+    def test_estimate_l2_free_function_validates_shape(self):
+        with pytest.raises(ShapeError):
+            estimate_l2_squared(np.zeros(5))
+
+
+class TestSketchProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        dimension=st.integers(min_value=10, max_value=400),
+    )
+    def test_estimate_is_positive_and_finite(self, seed, dimension):
+        rng = np.random.default_rng(seed)
+        vector = rng.normal(size=dimension)
+        operator = AmsSketch(depth=5, width=128, seed=7)
+        estimate = operator.estimate_l2_squared(operator.sketch(vector))
+        assert np.isfinite(estimate) and estimate >= 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        scale=st.floats(min_value=0.1, max_value=100.0),
+    )
+    def test_estimate_scales_quadratically(self, seed, scale):
+        rng = np.random.default_rng(seed)
+        vector = rng.normal(size=500)
+        operator = AmsSketch(depth=5, width=200, seed=11)
+        base = operator.estimate_l2_squared(operator.sketch(vector))
+        scaled = operator.estimate_l2_squared(operator.sketch(scale * vector))
+        if base > 1e-12:
+            assert scaled == pytest.approx(scale**2 * base, rel=1e-6)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_relative_error_mostly_within_bound(self, seed):
+        # With width 250 the nominal epsilon is ~18 % (sqrt(8/250)); check the
+        # median-of-rows estimator stays within a loose multiple of that.
+        rng = np.random.default_rng(seed)
+        vector = rng.normal(size=2000)
+        operator = AmsSketch(depth=5, width=250, seed=13)
+        estimate = operator.estimate_l2_squared(operator.sketch(vector))
+        true_value = float(np.dot(vector, vector))
+        assert abs(estimate - true_value) / true_value < 0.5

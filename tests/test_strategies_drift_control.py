@@ -1,0 +1,119 @@
+"""Tests for the FedProx and SCAFFOLD drift-control baselines."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.cluster import CATEGORY_MODEL
+from repro.exceptions import ConfigurationError
+from repro.experiments.run import TrainingRun
+from repro.experiments.setup import build_cluster
+from repro.strategies.drift_control import FedProxStrategy, ScaffoldStrategy
+from repro.strategies.fedopt import FedOptStrategy
+from repro.optim.server import FedAvg
+
+
+RUN = TrainingRun(accuracy_target=0.88, max_steps=160, eval_every_steps=20)
+
+
+def run_on(workload, strategy, run=RUN):
+    cluster, test_dataset = build_cluster(workload)
+    return run.execute(strategy, cluster, test_dataset, workload_name=workload.name)
+
+
+class TestFedProx:
+    def test_round_structure(self, blobs_workload):
+        cluster, _ = build_cluster(blobs_workload)
+        strategy = FedProxStrategy(mu=0.1).attach(cluster)
+        result = strategy.run_round()
+        assert result.synchronized
+        assert result.steps_advanced == strategy.steps_per_round
+        assert cluster.model_variance() == pytest.approx(0.0, abs=1e-18)
+
+    def test_communication_matches_fedavg(self, blobs_workload):
+        prox_cluster, _ = build_cluster(blobs_workload)
+        avg_cluster, _ = build_cluster(blobs_workload)
+        FedProxStrategy(mu=0.1).attach(prox_cluster).run_round()
+        FedOptStrategy(FedAvg()).attach(avg_cluster).run_round()
+        assert (
+            prox_cluster.tracker.bytes_for(CATEGORY_MODEL)
+            == avg_cluster.tracker.bytes_for(CATEGORY_MODEL)
+        )
+
+    def test_zero_mu_matches_fedavg_updates(self, blobs_workload):
+        prox_cluster, _ = build_cluster(blobs_workload)
+        avg_cluster, _ = build_cluster(blobs_workload)
+        FedProxStrategy(mu=0.0).attach(prox_cluster).run_round()
+        FedOptStrategy(FedAvg()).attach(avg_cluster).run_round()
+        np.testing.assert_allclose(
+            prox_cluster.average_parameters(), avg_cluster.average_parameters(), atol=1e-9
+        )
+
+    def test_converges_on_blobs(self, blobs_workload):
+        result = run_on(blobs_workload, FedProxStrategy(mu=0.05))
+        assert result.reached_target
+
+    def test_proximal_term_limits_drift(self, blobs_workload):
+        # With a huge mu the local models barely move from the global model.
+        loose_cluster, _ = build_cluster(blobs_workload)
+        tight_cluster, _ = build_cluster(blobs_workload)
+        loose = FedProxStrategy(mu=0.0).attach(loose_cluster)
+        tight = FedProxStrategy(mu=100.0).attach(tight_cluster)
+        loose_start = loose_cluster.average_parameters()
+        tight_start = tight_cluster.average_parameters()
+        loose.run_round()
+        tight.run_round()
+        loose_move = np.linalg.norm(loose_cluster.average_parameters() - loose_start)
+        tight_move = np.linalg.norm(tight_cluster.average_parameters() - tight_start)
+        assert tight_move < loose_move
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FedProxStrategy(mu=-1.0)
+        with pytest.raises(ConfigurationError):
+            FedProxStrategy(local_epochs=0)
+
+
+class TestScaffold:
+    def test_round_structure(self, blobs_workload):
+        cluster, _ = build_cluster(blobs_workload)
+        strategy = ScaffoldStrategy().attach(cluster)
+        result = strategy.run_round()
+        assert result.synchronized
+        assert cluster.model_variance() == pytest.approx(0.0, abs=1e-18)
+
+    def test_communication_is_twice_fedavg(self, blobs_workload):
+        scaffold_cluster, _ = build_cluster(blobs_workload)
+        avg_cluster, _ = build_cluster(blobs_workload)
+        ScaffoldStrategy().attach(scaffold_cluster).run_round()
+        FedOptStrategy(FedAvg()).attach(avg_cluster).run_round()
+        assert (
+            scaffold_cluster.tracker.bytes_for(CATEGORY_MODEL)
+            == 2 * avg_cluster.tracker.bytes_for(CATEGORY_MODEL)
+        )
+
+    def test_control_variates_update(self, blobs_workload):
+        cluster, _ = build_cluster(blobs_workload)
+        strategy = ScaffoldStrategy(local_learning_rate_hint=0.01).attach(cluster)
+        strategy.run_round()
+        variate_norms = [np.linalg.norm(v) for v in strategy._worker_variates.values()]
+        assert all(norm > 0 for norm in variate_norms)
+        assert np.linalg.norm(strategy._server_variate) > 0
+
+    def test_converges_on_blobs(self, blobs_workload):
+        result = run_on(blobs_workload, ScaffoldStrategy(local_learning_rate_hint=0.01))
+        assert result.reached_target
+
+    def test_converges_under_heterogeneity(self, blobs_workload):
+        heterogeneous = blobs_workload.with_partition("dirichlet", alpha=0.3)
+        result = run_on(
+            heterogeneous,
+            ScaffoldStrategy(local_learning_rate_hint=0.01),
+            TrainingRun(accuracy_target=0.85, max_steps=400, eval_every_steps=20),
+        )
+        assert result.reached_target
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScaffoldStrategy(local_epochs=0)
+        with pytest.raises(ConfigurationError):
+            ScaffoldStrategy(local_learning_rate_hint=0.0)
