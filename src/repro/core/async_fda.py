@@ -139,7 +139,9 @@ class AsynchronousFDATrainer:
         worker.local_step()
 
         # The worker uploads its local state to the coordinator (point-to-point,
-        # one state's worth of traffic rather than a full AllReduce).
+        # one state's worth of traffic rather than a full AllReduce).  The
+        # drift is one row-wise subtraction off the worker's parameter-plane
+        # view (its row of the cluster's parameter matrix).
         state = self.monitor.local_state(worker.drift_from(self._reference))
         self._latest_states[worker_id] = state
         self.cluster.tracker.record_broadcast(self.state_elements, 2, CATEGORY_STATE)

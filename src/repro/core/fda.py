@@ -74,6 +74,11 @@ class FDATrainer:
         self.synchronization_count = 0
         self.last_estimate: Optional[float] = None
         self.history: List[FdaStepResult] = []
+        # Reusable (K, d) scratch for the per-step drift matrix; its rows only
+        # live within one step (states are averaged before the next step).
+        self._drift_scratch = np.empty(
+            (cluster.num_workers, cluster.model_dimension), dtype=np.float64
+        )
         # All workers start from a common global model w_0 (Algorithm 1, line 1).
         initial = cluster.workers[0].get_parameters()
         cluster.broadcast_parameters(initial)
@@ -99,11 +104,10 @@ class FDATrainer:
         bytes_before = self.cluster.total_bytes
         mean_loss = self.cluster.step_all()
 
-        # Local states from the drifts relative to the last synchronization point.
-        states = [
-            self.monitor.local_state(worker.drift_from(self._reference))
-            for worker in self.cluster.workers
-        ]
+        # Local states from the drifts relative to the last synchronization
+        # point; one vectorized (K, d) subtraction, monitors consume the rows.
+        drifts = self.cluster.drift_matrix(self._reference, out=self._drift_scratch)
+        states = [self.monitor.local_state(drift) for drift in drifts]
         # AllReduce of the local states (charged as small "fda-state" traffic).
         self.cluster.tracker.record_allreduce(
             self.state_elements_per_step, self.cluster.num_workers, CATEGORY_STATE

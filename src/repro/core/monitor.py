@@ -164,8 +164,12 @@ class ExactMonitor(VarianceMonitor):
     name = "exact"
 
     def local_state(self, drift: np.ndarray) -> ExactState:
+        # No defensive copy: every caller hands over a freshly computed drift
+        # (a row of the trainer's per-step drift matrix or a standalone
+        # subtraction), so copying here would double the allocation of the
+        # largest state variant for nothing.
         drift = np.asarray(drift, dtype=np.float64)
-        return ExactState(float(np.dot(drift, drift)), drift.copy())
+        return ExactState(float(np.dot(drift, drift)), drift)
 
     def estimate(self, average_state: LocalState) -> float:
         if not isinstance(average_state, ExactState):

@@ -5,6 +5,13 @@ operations FDA needs (AllReduce of local states and AllReduce of model
 parameters), charging their byte cost to a :class:`CommunicationTracker`.
 It also maintains an *evaluation model* used to measure the accuracy of the
 global (average) model without disturbing any worker's local state.
+
+The cluster is the top of the parameter plane: on construction it stacks
+every worker's flat parameter vector (and buffer vector) into one contiguous
+``(K, d)`` matrix and rebinds each model's storage onto its row.  From then
+on ``average_parameters``, ``synchronize``, ``model_variance``,
+``broadcast_parameters``, and ``drift_matrix`` are single row-wise matrix
+operations — no per-worker Python loops, no gather/scatter copies.
 """
 
 from __future__ import annotations
@@ -16,7 +23,7 @@ import numpy as np
 from repro.data.datasets import Dataset
 from repro.distributed.comm import CommunicationCostModel, CommunicationTracker, NAIVE_COST_MODEL
 from repro.distributed.worker import Worker
-from repro.exceptions import CommunicationError, ConfigurationError
+from repro.exceptions import CommunicationError, ConfigurationError, ShapeError
 from repro.nn.losses import Loss, SoftmaxCrossEntropy
 
 #: Traffic categories used by the tracker.
@@ -41,10 +48,26 @@ class SimulatedCluster:
             raise CommunicationError(
                 f"all workers must share the same model dimension, got {sorted(dimensions)}"
             )
+        buffer_sizes = {worker.model.num_buffers for worker in workers}
+        if len(buffer_sizes) != 1:
+            raise CommunicationError(
+                f"all workers must share the same buffer dimension, got {sorted(buffer_sizes)}"
+            )
         self.workers: List[Worker] = list(workers)
         self.tracker = CommunicationTracker(cost_model or NAIVE_COST_MODEL)
         self.loss = loss or SoftmaxCrossEntropy()
         self.synchronization_count = 0
+        # The cluster-wide parameter plane: one contiguous (K, d) matrix whose
+        # rows ARE the workers' parameter vectors (each model's flat storage is
+        # rebound onto its row), plus the analogous buffer matrix.
+        dimension = dimensions.pop()
+        self._param_matrix = np.empty((len(self.workers), dimension), dtype=np.float64)
+        for row, worker in zip(self._param_matrix, self.workers):
+            worker.model.rebind_parameter_storage(row)
+        buffer_size = buffer_sizes.pop()
+        self._buffer_matrix = np.empty((len(self.workers), buffer_size), dtype=np.float64)
+        for row, worker in zip(self._buffer_matrix, self.workers):
+            worker.model.rebind_buffer_storage(row)
         self._evaluation_model = self.workers[0].model.clone()
 
     # -- basic properties ------------------------------------------------------
@@ -73,6 +96,38 @@ class SimulatedCluster:
         """Total communication cost so far (bytes transmitted by all workers)."""
         return self.tracker.total_bytes
 
+    # -- the cluster parameter plane -------------------------------------------
+
+    @property
+    def parameter_matrix(self) -> np.ndarray:
+        """The live ``(K, d)`` parameter matrix; row ``k`` IS worker ``k``'s model.
+
+        Zero-copy: mutating a row mutates the corresponding model.  Callers
+        that need a snapshot must copy.
+        """
+        return self._param_matrix
+
+    @property
+    def buffer_matrix(self) -> np.ndarray:
+        """The live ``(K, num_buffers)`` matrix of non-trainable buffers."""
+        return self._buffer_matrix
+
+    def drift_matrix(self, reference: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """All worker drifts ``u_t^{(k)} = w_t^{(k)} − reference`` as a ``(K, d)`` matrix.
+
+        One vectorized subtraction replaces the per-worker gather-and-subtract
+        loop.  Without ``out`` the matrix is freshly allocated, so its rows are
+        safe to retain (e.g. inside an :class:`~repro.core.state.ExactState`);
+        with a reusable ``out`` buffer the rows are only valid until the next
+        call that writes into the same buffer.
+        """
+        reference = np.asarray(reference, dtype=np.float64)
+        if reference.shape != (self.model_dimension,):
+            raise ShapeError(
+                f"reference must have shape ({self.model_dimension},), got {reference.shape}"
+            )
+        return np.subtract(self._param_matrix, reference, out=out)
+
     # -- collectives -----------------------------------------------------------
 
     def allreduce(self, vectors: Sequence[np.ndarray], category: str = CATEGORY_OTHER) -> np.ndarray:
@@ -97,10 +152,24 @@ class SimulatedCluster:
     def broadcast_parameters(self, flat: np.ndarray, count_cost: bool = False) -> None:
         """Set every worker's parameters to ``flat`` (optionally charging broadcast bytes)."""
         flat = np.asarray(flat, dtype=np.float64)
+        if flat.shape != (self.model_dimension,):
+            raise ShapeError(
+                f"expected a flat parameter vector of shape ({self.model_dimension},), "
+                f"got {flat.shape}"
+            )
         if count_cost:
             self.tracker.record_broadcast(int(flat.size), self.num_workers, CATEGORY_MODEL)
-        for worker in self.workers:
-            worker.set_parameters(flat)
+        self._param_matrix[...] = flat
+
+    def broadcast_buffers(self, flat: np.ndarray) -> None:
+        """Set every worker's non-trainable buffers to ``flat`` (free of charge)."""
+        flat = np.asarray(flat, dtype=np.float64)
+        if flat.shape != (self._buffer_matrix.shape[1],):
+            raise ShapeError(
+                f"expected a flat buffer vector of shape ({self._buffer_matrix.shape[1]},), "
+                f"got {flat.shape}"
+            )
+        self._buffer_matrix[...] = flat
 
     # -- model synchronization ---------------------------------------------------
 
@@ -110,32 +179,29 @@ class SimulatedCluster:
         This is a *bookkeeping* average used for evaluation — it does not
         correspond to any network traffic in the simulated system.
         """
-        stacked = np.stack([worker.get_parameters() for worker in self.workers], axis=0)
-        return stacked.mean(axis=0)
+        return self._param_matrix.mean(axis=0)
 
     def average_buffers(self) -> np.ndarray:
         """Average of the workers' non-trainable buffers (batch-norm statistics)."""
-        stacked = np.stack([worker.get_buffers() for worker in self.workers], axis=0)
-        return stacked.mean(axis=0)
+        return self._buffer_matrix.mean(axis=0)
 
     def synchronize(self, include_buffers: bool = True) -> np.ndarray:
         """Full model synchronization via AllReduce (Algorithm 1, line 9).
 
         Averages the worker parameters (and, by default, the batch-norm
-        buffers), writes the average back into every worker, charges the
-        corresponding AllReduce traffic, and returns the new global parameters.
+        buffers) with one row-wise reduction over the parameter matrix,
+        broadcasts the average back into every row, charges the corresponding
+        AllReduce traffic, and returns the new global parameters.
         """
-        average = self.allreduce(
-            [worker.get_parameters() for worker in self.workers], CATEGORY_MODEL
-        )
-        for worker in self.workers:
-            worker.set_parameters(average)
-        if include_buffers and self.workers[0].model.num_buffers:
-            buffer_average = self.allreduce(
-                [worker.get_buffers() for worker in self.workers], CATEGORY_MODEL
+        average = self.average_parameters()
+        self.tracker.record_allreduce(int(average.size), self.num_workers, CATEGORY_MODEL)
+        self._param_matrix[...] = average
+        if include_buffers and self._buffer_matrix.shape[1]:
+            buffer_average = self.average_buffers()
+            self.tracker.record_allreduce(
+                int(buffer_average.size), self.num_workers, CATEGORY_MODEL
             )
-            for worker in self.workers:
-                worker.set_buffers(buffer_average)
+            self._buffer_matrix[...] = buffer_average
         self.synchronization_count += 1
         return average
 
@@ -178,9 +244,8 @@ class SimulatedCluster:
 
     def model_variance(self) -> float:
         """The exact model variance Var(w_t) across workers (Equation 2)."""
-        parameters = np.stack([worker.get_parameters() for worker in self.workers], axis=0)
-        average = parameters.mean(axis=0)
-        deviations = parameters - average
+        average = self._param_matrix.mean(axis=0)
+        deviations = self._param_matrix - average
         return float(np.mean(np.sum(deviations * deviations, axis=1)))
 
     def __repr__(self) -> str:

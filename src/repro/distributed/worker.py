@@ -21,7 +21,15 @@ from repro.optim.base import Optimizer
 
 
 class Worker:
-    """One simulated worker-node: local model + local data + local optimizer."""
+    """One simulated worker-node: local model + local data + local optimizer.
+
+    ``inplace`` selects the parameter-update path: the default drives the
+    optimizer directly on the model's contiguous parameter-plane views
+    (zero-copy); ``inplace=False`` keeps the seed-era copy path
+    (``get_parameters`` → ``optimizer.step`` → ``set_parameters``), retained
+    so the golden-trajectory equivalence test can prove both paths produce
+    bit-identical training trajectories.
+    """
 
     def __init__(
         self,
@@ -32,6 +40,7 @@ class Worker:
         batch_size: int = 32,
         loss: Optional[Loss] = None,
         seed=None,
+        inplace: bool = True,
     ) -> None:
         if worker_id < 0:
             raise ConfigurationError(f"worker_id must be non-negative, got {worker_id}")
@@ -43,12 +52,17 @@ class Worker:
         self.optimizer = optimizer
         self.batch_size = int(batch_size)
         self.loss = loss or SoftmaxCrossEntropy()
+        self.inplace = bool(inplace)
         self._sampler = BatchSampler(dataset, batch_size, seed=seed)
         self._epoch_iterator = EpochIterator(dataset, batch_size, seed=seed)
         self.steps_performed = 0
         self.last_loss: Optional[float] = None
 
     # -- parameter access -----------------------------------------------------
+
+    def parameters_view(self) -> np.ndarray:
+        """Zero-copy view of the local model parameters (``w_t^{(k)}``)."""
+        return self.model.parameters_view()
 
     def get_parameters(self) -> np.ndarray:
         """Flat copy of the local model parameters (``w_t^{(k)}``)."""
@@ -68,7 +82,7 @@ class Worker:
 
     def drift_from(self, reference: np.ndarray) -> np.ndarray:
         """The local model drift ``u_t^{(k)} = w_t^{(k)} − reference``."""
-        return self.get_parameters() - np.asarray(reference, dtype=np.float64)
+        return self.model.parameters_view() - np.asarray(reference, dtype=np.float64)
 
     @property
     def num_parameters(self) -> int:
@@ -86,7 +100,8 @@ class Worker:
         ``gradient_transform(params, grads)`` — if given — may return a
         modified gradient before the optimizer step.  The drift-control
         baselines (FedProx's proximal term, SCAFFOLD's control variates) use
-        this hook; plain FDA/BSP/FedAvg leave it unset.
+        this hook; plain FDA/BSP/FedAvg leave it unset.  On the in-place path
+        the transform receives live views and must treat them as read-only.
         """
         batch_x, batch_y = self._sampler.sample()
         loss_value = self.model.train_batch(batch_x, batch_y, self.loss)
@@ -95,14 +110,25 @@ class Worker:
                 f"worker {self.worker_id}: loss became non-finite ({loss_value}); "
                 "reduce the learning rate or variance threshold"
             )
-        params = self.model.get_parameters()
-        grads = self.model.get_gradients()
-        if gradient_transform is not None:
-            grads = gradient_transform(params, grads)
-        self.model.set_parameters(self.optimizer.step(params, grads))
+        self._apply_update(gradient_transform)
         self.steps_performed += 1
         self.last_loss = float(loss_value)
         return self.last_loss
+
+    def _apply_update(self, gradient_transform) -> None:
+        """One optimizer update on the freshly back-propagated gradients."""
+        if self.inplace:
+            params = self.model.parameters_view()
+            grads = self.model.gradients_view()
+            if gradient_transform is not None:
+                grads = gradient_transform(params, grads)
+            self.optimizer.step_inplace(params, grads)
+        else:
+            params = self.model.get_parameters()
+            grads = self.model.get_gradients()
+            if gradient_transform is not None:
+                grads = gradient_transform(params, grads)
+            self.model.set_parameters(self.optimizer.step(params, grads))
 
     def local_epoch(
         self,
@@ -120,11 +146,7 @@ class Worker:
                     f"worker {self.worker_id}: loss became non-finite ({loss_value}) "
                     "during a local epoch"
                 )
-            params = self.model.get_parameters()
-            grads = self.model.get_gradients()
-            if gradient_transform is not None:
-                grads = gradient_transform(params, grads)
-            self.model.set_parameters(self.optimizer.step(params, grads))
+            self._apply_update(gradient_transform)
             self.steps_performed += 1
             losses.append(float(loss_value))
         self.last_loss = float(np.mean(losses)) if losses else self.last_loss

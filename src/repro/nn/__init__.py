@@ -36,6 +36,7 @@ from repro.nn.losses import (
 )
 from repro.nn.metrics import accuracy, confusion_matrix, top_k_accuracy
 from repro.nn.model import Sequential
+from repro.nn.plane import ParameterPlane
 from repro.nn.architectures import (
     densenet_mini,
     lenet5,
@@ -69,6 +70,7 @@ __all__ = [
     "top_k_accuracy",
     "confusion_matrix",
     "Sequential",
+    "ParameterPlane",
     "lenet5",
     "vgg_mini",
     "densenet_mini",

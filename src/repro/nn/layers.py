@@ -17,6 +17,7 @@ headroom in the gradient checks used by the test suite.
 
 from __future__ import annotations
 
+import copy
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -33,6 +34,9 @@ from repro.nn.functional import (
 from repro.nn.initializers import get_initializer, ones_init, zeros_init
 
 Shape = Tuple[int, ...]
+
+#: A reference to an array-valued attribute, see :mod:`repro.nn.plane`.
+ArrayRef = Tuple[object, str]
 
 
 class Layer:
@@ -77,6 +81,42 @@ class Layer:
     def buffers(self) -> List[np.ndarray]:
         """Non-trainable state arrays (e.g. batch-norm running statistics)."""
         return []
+
+    # -- parameter-plane integration ----------------------------------------
+
+    def parameter_refs(self) -> List[ArrayRef]:
+        """``(holder, attribute)`` pairs aligned with :meth:`parameters`.
+
+        The :class:`~repro.nn.plane.ParameterPlane` uses these to replace the
+        layer's arrays with views into the model's contiguous flat vector.
+        """
+        return []
+
+    def gradient_refs(self) -> List[ArrayRef]:
+        """``(holder, attribute)`` pairs aligned with :meth:`gradients`."""
+        return []
+
+    def buffer_refs(self) -> List[ArrayRef]:
+        """``(holder, attribute)`` pairs aligned with :meth:`buffers`."""
+        return []
+
+    def fresh(self) -> "Layer":
+        """An unbuilt copy of this layer carrying only its constructor config.
+
+        Used by :meth:`Sequential.clone` to rebuild a model structurally
+        instead of deep-copying built layers (which would also snapshot
+        transient activation caches).  Configuration objects (activations,
+        initializers) are shared — they are stateless.
+        """
+        dup = copy.copy(self)
+        dup.built = False
+        dup.input_shape = None
+        dup.output_shape = None
+        dup._fresh_reset()
+        return dup
+
+    def _fresh_reset(self) -> None:
+        """Subclasses clear parameters, gradients, buffers, and caches here."""
 
     @property
     def num_parameters(self) -> int:
@@ -172,6 +212,26 @@ class Dense(Layer):
         if self.use_bias:
             grads.append(self._grad_bias)
         return grads
+
+    def parameter_refs(self) -> List[ArrayRef]:
+        refs: List[ArrayRef] = [(self, "weight")]
+        if self.use_bias:
+            refs.append((self, "bias"))
+        return refs
+
+    def gradient_refs(self) -> List[ArrayRef]:
+        refs: List[ArrayRef] = [(self, "_grad_weight")]
+        if self.use_bias:
+            refs.append((self, "_grad_bias"))
+        return refs
+
+    def _fresh_reset(self) -> None:
+        self.weight = None
+        self.bias = None
+        self._grad_weight = None
+        self._grad_bias = None
+        self._cache_x = None
+        self._cache_act = None
 
 
 class Conv2D(Layer):
@@ -295,6 +355,28 @@ class Conv2D(Layer):
             grads.append(self._grad_bias)
         return grads
 
+    def parameter_refs(self) -> List[ArrayRef]:
+        refs: List[ArrayRef] = [(self, "weight")]
+        if self.use_bias:
+            refs.append((self, "bias"))
+        return refs
+
+    def gradient_refs(self) -> List[ArrayRef]:
+        refs: List[ArrayRef] = [(self, "_grad_weight")]
+        if self.use_bias:
+            refs.append((self, "_grad_bias"))
+        return refs
+
+    def _fresh_reset(self) -> None:
+        self.weight = None
+        self.bias = None
+        self._grad_weight = None
+        self._grad_bias = None
+        self._padding_amount = 0
+        self._cache_columns = None
+        self._cache_input_shape = None
+        self._cache_act = None
+
 
 class _Pool2D(Layer):
     """Shared geometry handling for max/average pooling."""
@@ -331,6 +413,10 @@ class MaxPool2D(_Pool2D):
         super().__init__(pool_size, stride, name)
         self._cache_argmax: Optional[np.ndarray] = None
         self._cache_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def _fresh_reset(self) -> None:
+        self._cache_argmax = None
+        self._cache_shape = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         self._require_built()
@@ -373,6 +459,9 @@ class AvgPool2D(_Pool2D):
         super().__init__(pool_size, stride, name)
         self._cache_shape: Optional[Tuple[int, int, int, int]] = None
 
+    def _fresh_reset(self) -> None:
+        self._cache_shape = None
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         self._require_built()
         patches, (out_h, out_w) = self._columns(x)
@@ -410,6 +499,9 @@ class GlobalAvgPool2D(Layer):
         super().__init__(name)
         self._cache_shape: Optional[Tuple[int, int, int, int]] = None
 
+    def _fresh_reset(self) -> None:
+        self._cache_shape = None
+
     def _build(self, input_shape: Shape, rng: np.random.Generator) -> Shape:
         del rng
         if len(input_shape) != 3:
@@ -443,6 +535,9 @@ class Flatten(Layer):
         super().__init__(name)
         self._cache_shape: Optional[Tuple[int, ...]] = None
 
+    def _fresh_reset(self) -> None:
+        self._cache_shape = None
+
     def _build(self, input_shape: Shape, rng: np.random.Generator) -> Shape:
         del rng
         size = 1
@@ -475,6 +570,11 @@ class Dropout(Layer):
         self.rate = float(rate)
         self._rng = np.random.default_rng(seed)
         self._cache_mask: Optional[np.ndarray] = None
+
+    def _fresh_reset(self) -> None:
+        # The RNG is stateful: a clone must advance independently of the original.
+        self._rng = copy.deepcopy(self._rng)
+        self._cache_mask = None
 
     def _build(self, input_shape: Shape, rng: np.random.Generator) -> Shape:
         del rng
@@ -584,6 +684,25 @@ class BatchNorm(Layer):
         self._require_built()
         return [self.running_mean, self.running_var]
 
+    def parameter_refs(self) -> List[ArrayRef]:
+        return [(self, "gamma"), (self, "beta")]
+
+    def gradient_refs(self) -> List[ArrayRef]:
+        return [(self, "_grad_gamma"), (self, "_grad_beta")]
+
+    def buffer_refs(self) -> List[ArrayRef]:
+        return [(self, "running_mean"), (self, "running_var")]
+
+    def _fresh_reset(self) -> None:
+        self.gamma = None
+        self.beta = None
+        self.running_mean = None
+        self.running_var = None
+        self._grad_gamma = None
+        self._grad_beta = None
+        self._cache = None
+        self._reduce_axes = None
+
 
 class Activation(Layer):
     """Standalone activation layer (useful between BatchNorm and Conv2D)."""
@@ -592,6 +711,9 @@ class Activation(Layer):
         super().__init__(name)
         self.activation: ActivationFunction = get_activation(activation)
         self._cache: Optional[np.ndarray] = None
+
+    def _fresh_reset(self) -> None:
+        self._cache = None
 
     def _build(self, input_shape: Shape, rng: np.random.Generator) -> Shape:
         del rng
@@ -720,6 +842,31 @@ class DenseBlock(Layer):
             result.extend(norm.buffers())
         return result
 
+    def parameter_refs(self) -> List[ArrayRef]:
+        refs: List[ArrayRef] = []
+        for norm, conv in zip(self._norms, self._convs):
+            refs.extend(norm.parameter_refs())
+            refs.extend(conv.parameter_refs())
+        return refs
+
+    def gradient_refs(self) -> List[ArrayRef]:
+        refs: List[ArrayRef] = []
+        for norm, conv in zip(self._norms, self._convs):
+            refs.extend(norm.gradient_refs())
+            refs.extend(conv.gradient_refs())
+        return refs
+
+    def buffer_refs(self) -> List[ArrayRef]:
+        refs: List[ArrayRef] = []
+        for norm in self._norms:
+            refs.extend(norm.buffer_refs())
+        return refs
+
+    def _fresh_reset(self) -> None:
+        self._norms = []
+        self._convs = []
+        self._cache_inputs = []
+
 
 class TransitionDown(Layer):
     """DenseNet transition layer: BatchNorm -> 1x1 Conv (compression) -> 2x2 AvgPool."""
@@ -792,3 +939,18 @@ class TransitionDown(Layer):
     def buffers(self) -> List[np.ndarray]:
         self._require_built()
         return self._norm.buffers()
+
+    def parameter_refs(self) -> List[ArrayRef]:
+        return self._norm.parameter_refs() + self._conv.parameter_refs()
+
+    def gradient_refs(self) -> List[ArrayRef]:
+        return self._norm.gradient_refs() + self._conv.gradient_refs()
+
+    def buffer_refs(self) -> List[ArrayRef]:
+        return self._norm.buffer_refs()
+
+    def _fresh_reset(self) -> None:
+        self._norm = None
+        self._conv = None
+        self._pool = None
+        self._cache_normalized = None

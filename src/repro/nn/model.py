@@ -7,11 +7,18 @@ the rest of the library needs:
 * *flat* views of all trainable parameters and their gradients, which is the
   representation the FDA algorithm, the optimizers, and the distributed
   AllReduce all operate on (``w`` in the paper is exactly this vector).
+
+Since the parameter-plane refactor the flat vector is not re-materialized on
+demand: :meth:`Sequential.build` moves every layer's parameters, gradients,
+and buffers into one contiguous float64 vector each (see
+:class:`~repro.nn.plane.ParameterPlane`), and the layer arrays become views
+into it.  ``parameters_view()`` / ``gradients_view()`` / ``buffers_view()``
+are therefore zero-copy; the historical ``get_*``/``set_*`` API is kept as a
+thin copy-in/copy-out compatibility wrapper.
 """
 
 from __future__ import annotations
 
-import copy
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -20,6 +27,7 @@ from repro.exceptions import ModelNotBuiltError, ShapeError
 from repro.nn.layers import Layer
 from repro.nn.losses import Loss, SoftmaxCrossEntropy
 from repro.nn.metrics import accuracy
+from repro.nn.plane import ParameterPlane
 from repro.utils.rng import as_rng
 
 
@@ -32,6 +40,7 @@ class Sequential:
         self.built = False
         self.input_shape: Optional[Tuple[int, ...]] = None
         self.output_shape: Optional[Tuple[int, ...]] = None
+        self._plane: Optional[ParameterPlane] = None
 
     # -- construction ------------------------------------------------------
 
@@ -43,6 +52,9 @@ class Sequential:
         for layer in self.layers:
             shape = layer.build(shape, rng)
         self.output_shape = shape
+        # Consolidate all layer arrays into contiguous flat storage; from here
+        # on the layers hold views into the plane's vectors.
+        self._plane = ParameterPlane(self.layers)
         self.built = True
         return self
 
@@ -52,10 +64,27 @@ class Sequential:
                 f"model {self.name!r} must be built before use (call .build(input_shape))"
             )
 
-    def clone(self) -> "Sequential":
-        """Deep copy of the model, including parameters and buffers."""
+    @property
+    def plane(self) -> ParameterPlane:
+        """The contiguous flat storage backing this model's arrays."""
         self._require_built()
-        return copy.deepcopy(self)
+        return self._plane
+
+    def clone(self) -> "Sequential":
+        """Structurally rebuilt copy of the model with the same parameters.
+
+        Instead of ``copy.deepcopy`` (which would also snapshot transient
+        activation caches), the clone is assembled from fresh unbuilt layers,
+        built, and its flat parameter/gradient/buffer vectors overwritten with
+        copies of this model's vectors.  The clone owns its own storage.
+        """
+        self._require_built()
+        duplicate = Sequential([layer.fresh() for layer in self.layers], name=self.name)
+        duplicate.build(self.input_shape, seed=0)
+        duplicate._plane.params[...] = self._plane.params
+        duplicate._plane.grads[...] = self._plane.grads
+        duplicate._plane.buffers[...] = self._plane.buffers
+        return duplicate
 
     # -- compute -----------------------------------------------------------
 
@@ -152,61 +181,90 @@ class Sequential:
     @property
     def num_parameters(self) -> int:
         """Total number of trainable scalars (``d`` in the paper)."""
-        return int(sum(array.size for array in self.parameter_arrays()))
+        self._require_built()
+        return self._plane.num_parameters
 
     @property
     def num_buffers(self) -> int:
         """Total number of non-trainable scalars."""
-        return int(sum(array.size for array in self.buffer_arrays()))
+        self._require_built()
+        return self._plane.num_buffers
+
+    # -- zero-copy views -----------------------------------------------------
+
+    def parameters_view(self) -> np.ndarray:
+        """The live flat parameter vector (zero-copy).
+
+        Mutating the returned array mutates the model.  The view stays valid
+        across :meth:`set_parameters` (which writes into the same storage) and
+        is invalidated only by :meth:`rebind_parameter_storage`.
+        """
+        self._require_built()
+        return self._plane.params
+
+    def gradients_view(self) -> np.ndarray:
+        """The live flat gradient vector, aligned with :meth:`parameters_view`."""
+        self._require_built()
+        return self._plane.grads
+
+    def buffers_view(self) -> np.ndarray:
+        """The live flat buffer vector (batch-norm running statistics)."""
+        self._require_built()
+        return self._plane.buffers
+
+    def rebind_parameter_storage(self, storage: np.ndarray) -> None:
+        """Move parameter storage onto caller-owned ``storage`` (values kept).
+
+        Used by :class:`~repro.distributed.cluster.SimulatedCluster` to stack
+        all workers' parameters into one ``(K, d)`` matrix.  Views previously
+        returned by :meth:`parameters_view` no longer alias the model.
+        """
+        self._require_built()
+        self._plane.rebind_parameters(storage)
+
+    def rebind_buffer_storage(self, storage: np.ndarray) -> None:
+        """Move buffer storage onto caller-owned ``storage`` (values kept)."""
+        self._require_built()
+        self._plane.rebind_buffers(storage)
+
+    # -- copy-in / copy-out compatibility API --------------------------------
 
     def get_parameters(self) -> np.ndarray:
         """Copy of all trainable parameters flattened into one vector."""
-        arrays = self.parameter_arrays()
-        if not arrays:
-            return np.zeros(0, dtype=np.float64)
-        return np.concatenate([array.reshape(-1) for array in arrays])
+        self._require_built()
+        return self._plane.params.copy()
 
     def set_parameters(self, flat: np.ndarray) -> None:
-        """Write a flat vector back into the individual parameter arrays."""
+        """Write a flat vector into the parameter storage (views stay valid)."""
+        self._require_built()
         flat = np.asarray(flat, dtype=np.float64)
-        expected = self.num_parameters
+        expected = self._plane.num_parameters
         if flat.shape != (expected,):
             raise ShapeError(
                 f"expected a flat parameter vector of shape ({expected},), got {flat.shape}"
             )
-        offset = 0
-        for array in self.parameter_arrays():
-            size = array.size
-            array[...] = flat[offset : offset + size].reshape(array.shape)
-            offset += size
+        self._plane.params[...] = flat
 
     def get_gradients(self) -> np.ndarray:
         """Copy of all parameter gradients flattened into one vector."""
-        arrays = self.gradient_arrays()
-        if not arrays:
-            return np.zeros(0, dtype=np.float64)
-        return np.concatenate([array.reshape(-1) for array in arrays])
+        self._require_built()
+        return self._plane.grads.copy()
 
     def get_buffers(self) -> np.ndarray:
         """Copy of all non-trainable buffers flattened into one vector."""
-        arrays = self.buffer_arrays()
-        if not arrays:
-            return np.zeros(0, dtype=np.float64)
-        return np.concatenate([array.reshape(-1) for array in arrays])
+        self._require_built()
+        return self._plane.buffers.copy()
 
     def set_buffers(self, flat: np.ndarray) -> None:
-        """Write a flat vector back into the non-trainable buffers."""
+        """Write a flat vector into the buffer storage (views stay valid)."""
+        self._require_built()
         flat = np.asarray(flat, dtype=np.float64)
-        expected = self.num_buffers
+        expected = self._plane.num_buffers
         if flat.shape != (expected,):
             raise ShapeError(
                 f"expected a flat buffer vector of shape ({expected},), got {flat.shape}"
             )
-        offset = 0
-        for array in self.buffer_arrays():
-            size = array.size
-            array[...] = flat[offset : offset + size].reshape(array.shape)
-            offset += size
+        self._plane.buffers[...] = flat
 
     # -- introspection -------------------------------------------------------
 

@@ -1,0 +1,184 @@
+"""The parameter plane: contiguous flat storage behind a model's arrays.
+
+The FDA algorithm, the optimizers, and the cluster collectives all operate on
+the *flat* parameter vector ``w``.  Historically every layer owned its own
+parameter arrays and the flat vector was re-materialized on demand
+(``np.concatenate`` on read, a per-array scatter loop on write), which put
+four or more full-vector copies on every worker step.
+
+:class:`ParameterPlane` inverts that ownership: the model owns one contiguous
+float64 vector per kind of state (parameters, gradients, buffers) and each
+layer's arrays become reshaped *views* into it.  Reading the flat vector is
+then zero-copy, writing it is a single ``memcpy``, and a cluster can go one
+step further and rebind every worker's storage onto the rows of a single
+``(K, d)`` matrix so collectives become row-wise matrix operations.
+
+Layers participate by exposing *refs* — ``(holder, attribute)`` pairs aligned
+one-to-one with their ``parameters()`` / ``gradients()`` / ``buffers()``
+lists — which the plane uses to re-point the attributes at its views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+#: A reference to an array-valued attribute: ``getattr(holder, attribute)``.
+ArrayRef = Tuple[object, str]
+
+
+@dataclass(frozen=True)
+class _Slot:
+    """Where one layer array lives inside a flat vector."""
+
+    holder: object
+    attribute: str
+    offset: int
+    size: int
+    shape: Tuple[int, ...]
+
+
+class _FlatSpace:
+    """One contiguous flat vector plus the slots viewing into it."""
+
+    def __init__(self, refs: Sequence[ArrayRef]) -> None:
+        self.slots: List[_Slot] = []
+        offset = 0
+        for holder, attribute in refs:
+            array = getattr(holder, attribute)
+            self.slots.append(_Slot(holder, attribute, offset, array.size, array.shape))
+            offset += array.size
+        self.flat = np.empty(offset, dtype=np.float64)
+        for slot in self.slots:
+            self.flat[slot.offset : slot.offset + slot.size] = getattr(
+                slot.holder, slot.attribute
+            ).reshape(-1)
+        self._repoint()
+
+    @property
+    def size(self) -> int:
+        return self.flat.size
+
+    def _repoint(self) -> None:
+        """Re-point every slot attribute at its view into the current storage."""
+        for slot in self.slots:
+            view = self.flat[slot.offset : slot.offset + slot.size].reshape(slot.shape)
+            setattr(slot.holder, slot.attribute, view)
+
+    def rebind(self, storage: np.ndarray) -> None:
+        """Move the space onto externally owned ``storage`` (e.g. a matrix row).
+
+        The current values are copied into ``storage`` and every layer
+        attribute is re-pointed; views obtained from the previous storage are
+        no longer connected to the model.
+        """
+        if not isinstance(storage, np.ndarray) or storage.dtype != np.float64:
+            raise ShapeError("flat storage must be a float64 ndarray")
+        if storage.shape != (self.size,):
+            raise ShapeError(
+                f"flat storage must have shape ({self.size},), got {storage.shape}"
+            )
+        if not storage.flags.c_contiguous:
+            raise ShapeError("flat storage must be C-contiguous to support zero-copy views")
+        storage[...] = self.flat
+        self.flat = storage
+        self._repoint()
+
+
+class ParameterPlane:
+    """Contiguous flat storage for a model's parameters, gradients, and buffers.
+
+    The plane is created once per :meth:`Sequential.build` and owns three flat
+    float64 vectors.  ``params``/``grads``/``buffers`` are the live vectors —
+    mutating them mutates the layers (and vice versa, because the layer arrays
+    are views).  ``rebind_*`` moves a vector onto caller-owned storage, which
+    is how :class:`~repro.distributed.cluster.SimulatedCluster` stacks all
+    workers into one ``(K, d)`` matrix.
+    """
+
+    def __init__(self, layers: Iterable[object]) -> None:
+        layers = list(layers)
+        # Sizes advertised through the classic list API, captured before any
+        # re-pointing: a layer that implements parameters() but forgets the
+        # matching *_refs() hook must fail loudly here, not train silently
+        # with its weights excluded from the flat vector.
+        expected = {
+            "parameter": sum(a.size for layer in layers for a in layer.parameters()),
+            "gradient": sum(a.size for layer in layers for a in layer.gradients()),
+            "buffer": sum(a.size for layer in layers for a in layer.buffers()),
+        }
+        param_refs: List[ArrayRef] = []
+        grad_refs: List[ArrayRef] = []
+        buffer_refs: List[ArrayRef] = []
+        for layer in layers:
+            param_refs.extend(layer.parameter_refs())
+            grad_refs.extend(layer.gradient_refs())
+            buffer_refs.extend(layer.buffer_refs())
+        self._params = _FlatSpace(param_refs)
+        self._grads = _FlatSpace(grad_refs)
+        self._buffers = _FlatSpace(buffer_refs)
+        for kind, space in (
+            ("parameter", self._params),
+            ("gradient", self._grads),
+            ("buffer", self._buffers),
+        ):
+            if space.size != expected[kind]:
+                raise ShapeError(
+                    f"{kind} refs cover {space.size} scalars but the layers' "
+                    f"{kind} arrays hold {expected[kind]}; some layer is missing "
+                    f"its {kind}_refs() implementation"
+                )
+        if self._grads.size != self._params.size:
+            raise ShapeError(
+                f"gradient refs cover {self._grads.size} scalars but parameter refs "
+                f"cover {self._params.size}; the two layouts must be aligned"
+            )
+
+    # -- live flat vectors ---------------------------------------------------
+
+    @property
+    def params(self) -> np.ndarray:
+        """The flat parameter vector (a live view, never a copy)."""
+        return self._params.flat
+
+    @property
+    def grads(self) -> np.ndarray:
+        """The flat gradient vector, aligned element-for-element with ``params``."""
+        return self._grads.flat
+
+    @property
+    def buffers(self) -> np.ndarray:
+        """The flat non-trainable buffer vector (batch-norm running stats)."""
+        return self._buffers.flat
+
+    @property
+    def num_parameters(self) -> int:
+        return self._params.size
+
+    @property
+    def num_buffers(self) -> int:
+        return self._buffers.size
+
+    # -- storage rebinding -----------------------------------------------------
+
+    def rebind_parameters(self, storage: np.ndarray) -> None:
+        """Move parameter storage onto ``storage`` (values are preserved)."""
+        self._params.rebind(storage)
+
+    def rebind_gradients(self, storage: np.ndarray) -> None:
+        """Move gradient storage onto ``storage`` (values are preserved)."""
+        self._grads.rebind(storage)
+
+    def rebind_buffers(self, storage: np.ndarray) -> None:
+        """Move buffer storage onto ``storage`` (values are preserved)."""
+        self._buffers.rebind(storage)
+
+    def __repr__(self) -> str:
+        return (
+            f"ParameterPlane(d={self._params.size}, buffers={self._buffers.size}, "
+            f"slots={len(self._params.slots)})"
+        )

@@ -34,11 +34,15 @@ class Adam(Optimizer):
         self.epsilon = float(epsilon)
         self._m: Optional[np.ndarray] = None
         self._v: Optional[np.ndarray] = None
+        self._scratch_a: Optional[np.ndarray] = None
+        self._scratch_b: Optional[np.ndarray] = None
 
     def _moments(self, params: np.ndarray) -> None:
         if self._m is None or self._m.shape != params.shape:
             self._m = np.zeros_like(params)
             self._v = np.zeros_like(params)
+            self._scratch_a = np.empty_like(params)
+            self._scratch_b = np.empty_like(params)
 
     def _update(self, params: np.ndarray, grads: np.ndarray, learning_rate: float) -> np.ndarray:
         self._moments(params)
@@ -49,9 +53,33 @@ class Adam(Optimizer):
         v_hat = self._v / (1.0 - self.beta2**timestep)
         return params - learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
 
+    def _update_inplace(self, params: np.ndarray, grads: np.ndarray, learning_rate: float) -> None:
+        # Bit-identical to _update: the moment updates land in the persistent
+        # buffers and every temporary lands in one of two persistent scratch
+        # vectors (zero steady-state allocations), with every expression
+        # mirroring the copy path's evaluation order.
+        self._moments(params)
+        timestep = self.step_count + 1
+        first, second, scratch_a, scratch_b = self._m, self._v, self._scratch_a, self._scratch_b
+        first *= self.beta1
+        first += np.multiply(grads, 1.0 - self.beta1, out=scratch_a)
+        second *= self.beta2
+        # (1 - beta2) * grads * grads evaluates left-to-right in the copy path.
+        np.multiply(grads, 1.0 - self.beta2, out=scratch_a)
+        second += np.multiply(scratch_a, grads, out=scratch_a)
+        m_hat = np.divide(first, 1.0 - self.beta1**timestep, out=scratch_a)
+        v_hat = np.divide(second, 1.0 - self.beta2**timestep, out=scratch_b)
+        np.sqrt(v_hat, out=v_hat)
+        v_hat += self.epsilon
+        m_hat *= learning_rate
+        m_hat /= v_hat
+        params -= m_hat
+
     def _reset_state(self) -> None:
         self._m = None
         self._v = None
+        self._scratch_a = None
+        self._scratch_b = None
 
     def _state(self) -> Dict[str, object]:
         return {"beta1": self.beta1, "beta2": self.beta2, "epsilon": self.epsilon}
@@ -79,6 +107,16 @@ class AdamW(Adam):
         if self.weight_decay:
             updated = updated - learning_rate * self.weight_decay * params
         return updated
+
+    def _update_inplace(self, params: np.ndarray, grads: np.ndarray, learning_rate: float) -> None:
+        if not self.weight_decay:
+            super()._update_inplace(params, grads, learning_rate)
+            return
+        # Decoupled decay uses the *pre-update* parameters, so materialize the
+        # decay term before the Adam step mutates them.
+        decay = learning_rate * self.weight_decay * params
+        super()._update_inplace(params, grads, learning_rate)
+        params -= decay
 
     def _state(self) -> Dict[str, object]:
         state = super()._state()

@@ -2,13 +2,23 @@
 
 All optimizers in this library are stateless with respect to the model object:
 they consume the current flat parameter vector and the matching flat gradient
-vector and return the updated parameters.  This mirrors the paper's
-``Optimize(w, B)`` abstraction and lets the same optimizer drive any model.
+vector.  This mirrors the paper's ``Optimize(w, B)`` abstraction and lets the
+same optimizer drive any model.
+
+Two entry points exist:
+
+* :meth:`Optimizer.step` — the historical copy-returning API: validates its
+  inputs on every call and returns a *new* parameter vector.
+* :meth:`Optimizer.step_inplace` — the hot path used by the workers: updates
+  ``params`` (a view into the model's contiguous parameter plane) in place.
+  Input validation is hoisted behind a one-time check so that schedule lookup
+  and the arithmetic of :meth:`_update_inplace` dominate the per-call cost.
+  The gradient vector is treated as read-only by every built-in optimizer.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -20,35 +30,76 @@ class Optimizer:
     """Base class for local optimizers.
 
     Subclasses implement :meth:`_update` which maps ``(params, grads, lr)`` to
-    the new parameter vector; this base class handles learning-rate schedules,
-    step counting, and input validation.
+    the new parameter vector and, for the zero-copy fast path,
+    :meth:`_update_inplace` which applies the identical update directly to
+    ``params``; this base class handles learning-rate schedules, step
+    counting, and input validation.
     """
 
     def __init__(self, learning_rate=0.01, name: Optional[str] = None) -> None:
         self.schedule: LearningRateSchedule = resolve_schedule(learning_rate)
         self.name = name or type(self).__name__.lower()
         self.step_count = 0
+        self._validated_key: Optional[Tuple] = None
 
     # -- public API ----------------------------------------------------------
 
-    def step(self, params: np.ndarray, grads: np.ndarray) -> np.ndarray:
-        """Return the updated parameter vector for one optimization step."""
-        params = np.asarray(params, dtype=np.float64)
-        grads = np.asarray(grads, dtype=np.float64)
+    @staticmethod
+    def _validate(params: np.ndarray, grads: np.ndarray) -> None:
         if params.shape != grads.shape:
             raise ShapeError(
                 f"params and grads must have the same shape, got {params.shape} and {grads.shape}"
             )
         if params.ndim != 1:
             raise ShapeError(f"optimizers operate on flat vectors, got shape {params.shape}")
+
+    def step(self, params: np.ndarray, grads: np.ndarray) -> np.ndarray:
+        """Return the updated parameter vector for one optimization step."""
+        params = np.asarray(params, dtype=np.float64)
+        grads = np.asarray(grads, dtype=np.float64)
+        self._validate(params, grads)
         learning_rate = self.schedule(self.step_count)
         updated = self._update(params, grads, learning_rate)
         self.step_count += 1
         return updated
 
+    def step_inplace(self, params: np.ndarray, grads: np.ndarray) -> np.ndarray:
+        """Apply one optimization step directly to ``params`` and return it.
+
+        ``params`` must be a 1-D float64 ndarray (typically the model's
+        parameter-plane view); it is mutated.  ``grads`` must be a float64
+        ndarray of the same shape and is never modified.  Validation is
+        memoized on the shape/dtype of both inputs so that repeated calls pay
+        only for the schedule lookup and the update itself; any change in
+        layout re-validates.  Other input types are rejected outright — an
+        ``asarray`` copy of ``params`` would silently swallow the in-place
+        update, and a converted ``grads`` would change arithmetic precision
+        (use :meth:`step` for convertible inputs).
+        """
+        key = (
+            getattr(params, "shape", None),
+            getattr(params, "dtype", None),
+            getattr(grads, "shape", None),
+            getattr(grads, "dtype", None),
+        )
+        if key != self._validated_key:
+            for name, array in (("params", params), ("grads", grads)):
+                if not isinstance(array, np.ndarray) or array.dtype != np.float64:
+                    raise ShapeError(
+                        f"step_inplace requires a float64 ndarray for {name}; "
+                        "use step() for other inputs"
+                    )
+            self._validate(params, grads)
+            self._validated_key = key
+        learning_rate = self.schedule(self.step_count)
+        self._update_inplace(params, grads, learning_rate)
+        self.step_count += 1
+        return params
+
     def reset(self) -> None:
         """Clear all internal state (momentum buffers, step count)."""
         self.step_count = 0
+        self._validated_key = None
         self._reset_state()
 
     @property
@@ -64,6 +115,17 @@ class Optimizer:
 
     def _update(self, params: np.ndarray, grads: np.ndarray, learning_rate: float) -> np.ndarray:
         raise NotImplementedError
+
+    def _update_inplace(self, params: np.ndarray, grads: np.ndarray, learning_rate: float) -> None:
+        """In-place variant of :meth:`_update`; must produce identical values.
+
+        The default funnels through :meth:`_update` so that third-party
+        subclasses implementing only the copy path keep working; the built-in
+        optimizers override it with in-place arithmetic over persistent
+        scratch buffers (the weight-decay variants still materialize one
+        temporary for the decay term).
+        """
+        params[...] = self._update(params, grads, learning_rate)
 
     def _reset_state(self) -> None:
         """Subclasses clear momentum/variance buffers here."""

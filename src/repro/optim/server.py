@@ -40,11 +40,21 @@ class ServerOptimizer:
     def aggregate(
         self, global_params: np.ndarray, client_params: Sequence[np.ndarray]
     ) -> np.ndarray:
-        """Return the updated global parameters after one communication round."""
+        """Return the updated global parameters after one communication round.
+
+        ``client_params`` is either a sequence of flat vectors or, on the
+        zero-copy path, a ready ``(K, d)`` matrix (one row per client) which
+        is averaged without stacking copies.
+        """
         global_params = np.asarray(global_params, dtype=np.float64)
-        if not client_params:
-            raise ShapeError("aggregate requires at least one client parameter vector")
-        stacked = np.stack([np.asarray(p, dtype=np.float64) for p in client_params], axis=0)
+        if isinstance(client_params, np.ndarray) and client_params.ndim == 2:
+            if client_params.shape[0] == 0:
+                raise ShapeError("aggregate requires at least one client parameter vector")
+            stacked = np.asarray(client_params, dtype=np.float64)
+        else:
+            if len(client_params) == 0:
+                raise ShapeError("aggregate requires at least one client parameter vector")
+            stacked = np.stack([np.asarray(p, dtype=np.float64) for p in client_params], axis=0)
         if stacked.shape[1:] != global_params.shape:
             raise ShapeError(
                 f"client parameters of shape {stacked.shape[1:]} do not match the "

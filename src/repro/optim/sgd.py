@@ -35,6 +35,7 @@ class SGD(Optimizer):
             raise ConfigurationError(f"weight_decay must be non-negative, got {weight_decay}")
         self.weight_decay = float(weight_decay)
         self._velocity: Optional[np.ndarray] = None
+        self._scratch: Optional[np.ndarray] = None
 
     def _update(self, params: np.ndarray, grads: np.ndarray, learning_rate: float) -> np.ndarray:
         if self.weight_decay:
@@ -48,8 +49,37 @@ class SGD(Optimizer):
             return params + self.momentum * self._velocity - learning_rate * grads
         return params + self._velocity
 
+    def _update_inplace(self, params: np.ndarray, grads: np.ndarray, learning_rate: float) -> None:
+        # Bit-identical to _update: every expression below mirrors the copy
+        # path's evaluation order up to scalar-multiply/add commutativity,
+        # only the destination arrays differ (the persistent scratch buffer
+        # replaces the fresh temporaries per step).
+        if self._scratch is None or self._scratch.shape != params.shape:
+            self._scratch = np.empty_like(params)
+        if self.weight_decay:
+            # lr * (grads + wd * params), accumulated in the scratch buffer.
+            scaled = np.multiply(params, self.weight_decay, out=self._scratch)
+            scaled += grads
+            scaled *= learning_rate
+        else:
+            scaled = np.multiply(grads, learning_rate, out=self._scratch)
+        if self.momentum == 0.0:
+            params -= scaled
+            return
+        if self._velocity is None or self._velocity.shape != params.shape:
+            self._velocity = np.zeros_like(params)
+        velocity = self._velocity
+        velocity *= self.momentum
+        velocity -= scaled
+        if self.nesterov:
+            params += self.momentum * velocity
+            params -= scaled
+        else:
+            params += velocity
+
     def _reset_state(self) -> None:
         self._velocity = None
+        self._scratch = None
 
     def _state(self) -> Dict[str, object]:
         return {

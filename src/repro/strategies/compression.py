@@ -126,16 +126,14 @@ class CompressedSynchronizer:
     def synchronize(self) -> np.ndarray:
         """Perform one compressed synchronization and return the new global model."""
         cluster = self.cluster
-        payloads = [
-            self.compressor.compress(worker.get_parameters() - self._reference)
-            for worker in cluster.workers
-        ]
+        # One vectorized (K, d) drift computation; compressors consume the rows.
+        drifts = cluster.drift_matrix(self._reference)
+        payloads = [self.compressor.compress(drift) for drift in drifts]
         transmitted = payloads[0].transmitted_elements if payloads else 0
         cluster.tracker.record_allreduce(transmitted, cluster.num_workers, CATEGORY_MODEL)
         average_delta = np.mean(np.stack([p.vector for p in payloads], axis=0), axis=0)
         new_global = self._reference + average_delta
-        for worker in cluster.workers:
-            worker.set_parameters(new_global)
+        cluster.broadcast_parameters(new_global)
         cluster.synchronization_count += 1
         self._reference = new_global
         return new_global

@@ -67,9 +67,7 @@ class FedProxStrategy(Strategy):
         cluster.tracker.record_allreduce(
             cluster.model_dimension, cluster.num_workers, CATEGORY_MODEL
         )
-        new_global = np.mean(
-            np.stack([worker.get_parameters() for worker in cluster.workers], axis=0), axis=0
-        )
+        new_global = cluster.average_parameters()
         self._global_parameters = new_global
         cluster.broadcast_parameters(new_global)
         cluster.synchronization_count += 1
@@ -138,7 +136,7 @@ class ScaffoldStrategy(Strategy):
         new_variates = {}
         for worker in cluster.workers:
             steps = max(steps_taken[worker.worker_id], 1)
-            local_update = global_parameters - worker.get_parameters()
+            local_update = global_parameters - worker.parameters_view()
             new_variates[worker.worker_id] = (
                 self._worker_variates[worker.worker_id]
                 - server_variate
@@ -149,9 +147,7 @@ class ScaffoldStrategy(Strategy):
         cluster.tracker.record_allreduce(
             2 * cluster.model_dimension, cluster.num_workers, CATEGORY_MODEL
         )
-        new_global = np.mean(
-            np.stack([worker.get_parameters() for worker in cluster.workers], axis=0), axis=0
-        )
+        new_global = cluster.average_parameters()
         self._worker_variates = new_variates
         self._server_variate = np.mean(np.stack(list(new_variates.values()), axis=0), axis=0)
         self._global_parameters = new_global

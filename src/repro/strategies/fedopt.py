@@ -46,20 +46,20 @@ class FedOptStrategy(Strategy):
         for _ in range(self.local_epochs):
             mean_loss = cluster.epoch_all()
 
-        client_parameters = [worker.get_parameters() for worker in cluster.workers]
         # Clients upload their models, the server optimizer produces the new
         # global model, and it is broadcast back; in total this moves the same
-        # data volume as one full-model AllReduce.
+        # data volume as one full-model AllReduce.  The aggregation consumes
+        # the cluster's (K, d) parameter matrix directly — no gather copies.
         cluster.tracker.record_allreduce(
             cluster.model_dimension, cluster.num_workers, CATEGORY_MODEL
         )
-        new_global = self.server_optimizer.aggregate(self._global_parameters, client_parameters)
+        new_global = self.server_optimizer.aggregate(
+            self._global_parameters, cluster.parameter_matrix
+        )
         self._global_parameters = new_global
         cluster.broadcast_parameters(new_global)
         if cluster.workers[0].model.num_buffers:
-            buffer_average = cluster.average_buffers()
-            for worker in cluster.workers:
-                worker.set_buffers(buffer_average)
+            cluster.broadcast_buffers(cluster.average_buffers())
         cluster.synchronization_count += 1
         return mean_loss
 

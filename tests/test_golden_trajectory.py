@@ -1,0 +1,155 @@
+"""Golden-trajectory equivalence: the zero-copy path reproduces the seed path.
+
+The parameter-plane refactor replaced the seed implementation's
+gather/copy/scatter hot path (``get_parameters`` → ``optimizer.step`` →
+``set_parameters``) with in-place updates on contiguous flat storage.  The
+refactor's contract is *bit-identical* training: these tests run the same
+workload down both paths (``Worker(inplace=True)`` vs the retained
+``inplace=False`` legacy path) and assert exact equality of every worker's
+parameters, every per-step variance estimate, and the communication byte
+accounting.  A second group proves the optimizer-level equivalence directly:
+``step_inplace`` must produce the same bits as ``step`` for every built-in
+optimizer configuration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fda import FDATrainer
+from repro.core.monitor import make_monitor
+from repro.data.datasets import Dataset
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.worker import Worker
+from repro.nn.architectures import mlp
+from repro.optim.adam import Adam, AdamW
+from repro.optim.sgd import SGD
+
+
+def make_optimizer(kind):
+    if kind == "sgd":
+        return SGD(0.05)
+    if kind == "sgd-nesterov":
+        return SGD(0.05, momentum=0.9, nesterov=True, weight_decay=1e-3)
+    if kind == "adam":
+        return Adam(0.01)
+    if kind == "adamw":
+        return AdamW(0.01, weight_decay=0.01)
+    raise ValueError(kind)
+
+
+def build_trainer(variant, optimizer_kind, inplace, num_workers=4):
+    rng = np.random.default_rng(7)
+    workers = []
+    for worker_id in range(num_workers):
+        x = rng.normal(size=(40, 6))
+        y = rng.integers(0, 3, size=40)
+        model = mlp(6, 3, hidden_units=(10,), seed=11)
+        workers.append(
+            Worker(
+                worker_id,
+                model,
+                Dataset(x, y, 3),
+                make_optimizer(optimizer_kind),
+                batch_size=8,
+                seed=worker_id,
+                inplace=inplace,
+            )
+        )
+    cluster = SimulatedCluster(workers)
+    monitor = make_monitor(variant, cluster.model_dimension, seed=3)
+    return FDATrainer(cluster, monitor, threshold=0.5)
+
+
+class TestGoldenTrajectory:
+    @pytest.mark.parametrize("variant", ["sketch", "linear"])
+    @pytest.mark.parametrize("optimizer_kind", ["sgd-nesterov", "adam"])
+    def test_inplace_path_is_bit_identical_to_copy_path(self, variant, optimizer_kind):
+        steps = 25
+        legacy = build_trainer(variant, optimizer_kind, inplace=False)
+        modern = build_trainer(variant, optimizer_kind, inplace=True)
+
+        legacy_results = legacy.run_steps(steps)
+        modern_results = modern.run_steps(steps)
+
+        # Bit-identical parameters on every worker.
+        np.testing.assert_array_equal(
+            legacy.cluster.parameter_matrix, modern.cluster.parameter_matrix
+        )
+        # Bit-identical variance estimates at every step.
+        np.testing.assert_array_equal(
+            np.array([r.variance_estimate for r in legacy_results]),
+            np.array([r.variance_estimate for r in modern_results]),
+        )
+        # Identical protocol decisions and byte accounting.
+        assert [r.synchronized for r in legacy_results] == [
+            r.synchronized for r in modern_results
+        ]
+        assert legacy.cluster.total_bytes == modern.cluster.total_bytes
+        assert legacy.synchronization_count == modern.synchronization_count
+
+    def test_exact_variant_matches_too(self):
+        legacy = build_trainer("exact", "sgd", inplace=False)
+        modern = build_trainer("exact", "sgd", inplace=True)
+        legacy.run_steps(15)
+        modern.run_steps(15)
+        np.testing.assert_array_equal(
+            legacy.cluster.parameter_matrix, modern.cluster.parameter_matrix
+        )
+        assert legacy.cluster.total_bytes == modern.cluster.total_bytes
+
+
+class TestOptimizerInplaceEquivalence:
+    @pytest.mark.parametrize(
+        "kind", ["sgd", "sgd-nesterov", "adam", "adamw"]
+    )
+    def test_step_inplace_matches_step_bitwise(self, kind):
+        rng = np.random.default_rng(0)
+        start = rng.normal(size=257)
+        copy_opt = make_optimizer(kind)
+        inplace_opt = make_optimizer(kind)
+
+        params_copy = start.copy()
+        params_inplace = start.copy()
+        gradient_rng = np.random.default_rng(1)
+        for _ in range(50):
+            grads = gradient_rng.normal(size=start.shape)
+            params_copy = copy_opt.step(params_copy, grads)
+            returned = inplace_opt.step_inplace(params_inplace, grads)
+            assert returned is params_inplace  # updates land in the given array
+            np.testing.assert_array_equal(params_copy, params_inplace)
+
+    def test_step_inplace_does_not_mutate_gradients(self):
+        for kind in ("sgd-nesterov", "adamw"):
+            optimizer = make_optimizer(kind)
+            params = np.ones(16)
+            grads = np.full(16, 0.5)
+            grads_before = grads.copy()
+            optimizer.step_inplace(params, grads)
+            np.testing.assert_array_equal(grads, grads_before)
+
+    def test_step_inplace_rejects_non_float64_params(self):
+        # An asarray copy would silently swallow the in-place update.
+        optimizer = SGD(0.1)
+        from repro.exceptions import ShapeError
+
+        with pytest.raises(ShapeError):
+            optimizer.step_inplace(np.ones(4, dtype=np.float32), np.ones(4, dtype=np.float32))
+        with pytest.raises(ShapeError):
+            optimizer.step_inplace([1.0, 2.0], np.ones(2))
+
+    def test_step_inplace_revalidates_on_gradient_shape_change(self):
+        from repro.exceptions import ShapeError
+
+        optimizer = Adam(0.01)
+        params = np.zeros(4)
+        optimizer.step_inplace(params, np.ones(4))
+        with pytest.raises(ShapeError):
+            optimizer.step_inplace(params, np.ones(1))  # would broadcast silently
+
+    def test_momentum_sgd_converges_inplace(self):
+        optimizer = SGD(0.05, momentum=0.9)
+        params = np.array([10.0, -4.0])
+        target = np.full_like(params, 3.0)
+        for _ in range(300):
+            optimizer.step_inplace(params, 2.0 * (params - target))
+        np.testing.assert_allclose(params, 3.0, atol=1e-3)
