@@ -1,0 +1,77 @@
+"""Topology × network wall-clock comparison (the fabric in action).
+
+The paper observes that FDA's communication savings are decisive on a shared
+0.5 Gbps federated channel and negligible on the ARIS InfiniBand fabric.
+This example makes the third axis visible: the *topology* the collectives are
+routed over.  It trains the same small workload with Synchronous (BSP) and
+LinearFDA on the star, ring, and hierarchical topologies under the FL and HPC
+network models, and prints where each combination spends its virtual time.
+
+Run with::
+
+    PYTHONPATH=src python examples/topologies.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import lenet_mnist_workload
+from repro.experiments.run import TrainingRun
+from repro.experiments.sweep import sweep_fabric
+from repro.strategies.fda_strategy import FDAStrategy
+from repro.strategies.synchronous import SynchronousStrategy
+from repro.utils.formatting import format_bytes, format_duration
+
+TOPOLOGIES = ("star", "ring", "hierarchical")
+NETWORKS = ("fl", "hpc")
+THETA = 8.0
+MAX_STEPS = 60
+
+
+def main() -> None:
+    workload = lenet_mnist_workload(num_workers=4)
+    run = TrainingRun(accuracy_target=0.99, max_steps=MAX_STEPS, eval_every_steps=20)
+
+    strategies = {
+        "Synchronous": lambda: SynchronousStrategy(),
+        "LinearFDA": lambda: FDAStrategy(threshold=THETA, variant="linear"),
+    }
+
+    print(f"workload: {workload.name}, K={workload.num_workers}, {MAX_STEPS} steps")
+    print("every cell: total bytes | compute s + communication s = wall-clock")
+    for name, factory in strategies.items():
+        points = sweep_fabric(
+            workload, run, factory, topologies=TOPOLOGIES, networks=NETWORKS
+        )
+        print(f"\n=== {name} ===")
+        header = f"{'topology':<14}" + "".join(f"{network:>34}" for network in NETWORKS)
+        print(header)
+        print("-" * len(header))
+        by_topology = {}
+        for point in points:
+            by_topology.setdefault(point.topology, {})[point.network] = point.result
+        for topology in TOPOLOGIES:
+            cells = []
+            for network in NETWORKS:
+                result = by_topology[topology][network]
+                cells.append(
+                    f"{format_bytes(result.communication_bytes):>10} | "
+                    f"{result.compute_seconds:.0f}s + {result.comm_seconds:5.1f}s "
+                    f"= {format_duration(result.virtual_seconds):>8}"
+                )
+            print(f"{topology:<14}" + "".join(f"{cell:>34}" for cell in cells))
+
+    print(
+        "\nReading the table: on the HPC network every fabric is compute-bound\n"
+        "(communication rounds to ~0 s), so the topology choice is free.  On the\n"
+        "FL channel this miniature model is *latency*-bound, and the fabrics\n"
+        "separate by sequential hops per collective: star (2) < hierarchical (4)\n"
+        "< ring (2(K-1)) - the ring pays those hops for every collective,\n"
+        "including FDA's tiny per-step state exchange.  At paper-sized model\n"
+        "dimensions the bandwidth term takes over and FDA's byte savings become\n"
+        "wall-clock savings on star/hierarchical fabrics; that regime is covered\n"
+        "by benchmarks/test_bench_topology.py (d = 1e6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

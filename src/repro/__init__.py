@@ -38,6 +38,8 @@ from repro.core import (
     LinearMonitor,
     SketchMonitor,
     DynamicThetaController,
+    StragglerProfile,
+    Timeline,
     fit_theta_slope,
     make_monitor,
     model_variance,
@@ -47,9 +49,17 @@ from repro.core import (
 from repro.distributed import (
     CommunicationCostModel,
     CommunicationTracker,
+    Fabric,
+    GossipTopology,
+    HierarchicalTopology,
     NetworkModel,
+    RingTopology,
     SimulatedCluster,
+    StarTopology,
+    Topology,
     Worker,
+    get_network,
+    get_topology,
 )
 from repro.experiments import (
     RunResult,
@@ -87,6 +97,18 @@ __all__ = [
     "CommunicationTracker",
     "CommunicationCostModel",
     "NetworkModel",
+    "get_network",
+    # the communication fabric
+    "Fabric",
+    "Topology",
+    "StarTopology",
+    "RingTopology",
+    "HierarchicalTopology",
+    "GossipTopology",
+    "get_topology",
+    # virtual time
+    "Timeline",
+    "StragglerProfile",
     # sketches
     "AmsSketch",
     # strategies

@@ -7,11 +7,15 @@ Examples::
     python -m repro.cli figure3
     python -m repro.cli figure8 --full
     python -m repro.cli compare --workload lenet --theta 8 --workers 5
+    python -m repro.cli compare --workload lenet --topology ring --network fl
+    python -m repro.cli fabric --workload lenet --topologies star ring --networks fl hpc
 
 ``figureN`` commands run the strategies of the corresponding registry entry on
 its workloads and print the per-strategy cost table; ``compare`` runs a custom
 single comparison (FDA variants vs Synchronous vs the matching FedOpt
-baseline) for one of the named workloads.
+baseline) for one of the named workloads, optionally on a non-default fabric;
+``fabric`` sweeps a topology × network grid and reports per-category bytes
+plus virtual wall-clock per round for each cell.
 """
 
 from __future__ import annotations
@@ -20,12 +24,19 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.distributed.network import NAMED_NETWORKS
+from repro.distributed.topology import NAMED_TOPOLOGIES
 from repro.experiments import registry
 from repro.experiments.reporting import format_comparison, format_results_table
 from repro.experiments.run import TrainingRun
 from repro.experiments.setup import build_cluster
+from repro.experiments.sweep import run_fabric_spec, sweep_fabric
 from repro.strategies.fda_strategy import FDAStrategy
 from repro.strategies.synchronous import SynchronousStrategy
+from repro.utils.formatting import format_bytes, format_duration
+
+_TOPOLOGY_CHOICES = sorted(NAMED_TOPOLOGIES)
+_NETWORK_CHOICES = sorted(NAMED_NETWORKS) + ["none"]
 
 _WORKLOAD_BUILDERS = {
     "lenet": registry.lenet_mnist_workload,
@@ -60,6 +71,39 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--workers", type=int, default=5, help="number of workers K")
     compare.add_argument("--target", type=float, default=0.9, help="test-accuracy target")
     compare.add_argument("--max-steps", type=int, default=400, help="step budget per run")
+    compare.add_argument(
+        "--topology", choices=_TOPOLOGY_CHOICES, default="star",
+        help="communication-fabric topology",
+    )
+    compare.add_argument(
+        "--network", choices=_NETWORK_CHOICES, default="none",
+        help="network model converting bytes into virtual wall-clock",
+    )
+
+    fabric = subparsers.add_parser(
+        "fabric", help="sweep a topology x network grid and report bytes + wall-clock"
+    )
+    fabric.add_argument(
+        "--spec", action="store_true",
+        help="run the registry's fabric_sweep experiment spec instead of the flags below",
+    )
+    fabric.add_argument(
+        "--full", action="store_true",
+        help="with --spec: use the full (slow) topology x network grid",
+    )
+    fabric.add_argument("--workload", choices=sorted(_WORKLOAD_BUILDERS), default="lenet")
+    fabric.add_argument("--theta", type=float, default=8.0, help="FDA variance threshold")
+    fabric.add_argument("--workers", type=int, default=4, help="number of workers K")
+    fabric.add_argument("--target", type=float, default=0.9, help="test-accuracy target")
+    fabric.add_argument("--max-steps", type=int, default=120, help="step budget per run")
+    fabric.add_argument(
+        "--topologies", nargs="+", choices=_TOPOLOGY_CHOICES,
+        default=list(_TOPOLOGY_CHOICES), help="topologies to sweep",
+    )
+    fabric.add_argument(
+        "--networks", nargs="+", choices=_NETWORK_CHOICES,
+        default=["fl", "hpc", "balanced"], help="network models to sweep",
+    )
     return parser
 
 
@@ -70,6 +114,7 @@ def _command_list() -> int:
         spec = registry.ALL_FIGURES[name](quick=True)
         print(f"  {name:<12}  {spec.title}")
     print("  compare       custom FDA vs baselines comparison (see --help)")
+    print("  fabric        topology x network sweep: bytes + virtual wall-clock")
     return 0
 
 
@@ -110,6 +155,7 @@ def _command_figure(name: str, full: bool) -> int:
 
 def _command_compare(args: argparse.Namespace) -> int:
     workload = _WORKLOAD_BUILDERS[args.workload](num_workers=args.workers)
+    workload = workload.with_fabric(topology=args.topology, network=args.network)
     run = TrainingRun(
         accuracy_target=args.target, max_steps=args.max_steps, eval_every_steps=20
     )
@@ -117,10 +163,57 @@ def _command_compare(args: argparse.Namespace) -> int:
     strategies = registry.default_strategies(args.theta, fedopt=fedopt)
     results = []
     for name, factory in strategies.items():
+        strategy = factory()
+        if args.topology not in strategy.supported_topologies:
+            print(f"(skipping {strategy.name}: no support for the {args.topology} topology)")
+            continue
         cluster, test_dataset = build_cluster(workload)
-        results.append(run.execute(factory(), cluster, test_dataset, workload_name=workload.name))
+        results.append(run.execute(strategy, cluster, test_dataset, workload_name=workload.name))
+    print(f"fabric: topology={args.topology} network={args.network}")
     print(format_results_table(results, reached_only=False))
     print(format_comparison(results, "LinearFDA", "Synchronous"))
+    return 0
+
+
+def _print_fabric_points(label: str, points) -> None:
+    header = (
+        f"{'topology':<14}{'network':<10}{'model-sync':>12}{'fda-state':>12}"
+        f"{'total':>12}{'wall-clock':>14}{'s/round':>12}"
+    )
+    print(f"\n=== {label} ===")
+    print(header)
+    print("-" * len(header))
+    for point in points:
+        result = point.result
+        print(
+            f"{point.topology:<14}{point.network:<10}"
+            f"{format_bytes(result.model_bytes):>12}"
+            f"{format_bytes(result.state_bytes):>12}"
+            f"{format_bytes(result.communication_bytes):>12}"
+            f"{format_duration(result.virtual_seconds):>14}"
+            f"{point.seconds_per_round:>11.3f}s"
+        )
+
+
+def _command_fabric(args: argparse.Namespace) -> int:
+    if args.spec:
+        spec = registry.fabric_sweep(quick=not args.full)
+        print(f"{spec.experiment_id}: {spec.title}")
+        for strategy_name, points in run_fabric_spec(spec).items():
+            _print_fabric_points(strategy_name, points)
+        return 0
+    workload = _WORKLOAD_BUILDERS[args.workload](num_workers=args.workers)
+    run = TrainingRun(
+        accuracy_target=args.target, max_steps=args.max_steps, eval_every_steps=20
+    )
+    for label, factory in (
+        ("LinearFDA", lambda: FDAStrategy(threshold=args.theta, variant="linear")),
+        ("Synchronous", lambda: SynchronousStrategy()),
+    ):
+        points = sweep_fabric(
+            workload, run, factory, topologies=args.topologies, networks=args.networks
+        )
+        _print_fabric_points(f"{label} (theta={args.theta}, K={args.workers})", points)
     return 0
 
 
@@ -134,6 +227,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_table2()
     if args.command == "compare":
         return _command_compare(args)
+    if args.command == "fabric":
+        return _command_fabric(args)
     if args.command in registry.ALL_FIGURES:
         return _command_figure(args.command, full=getattr(args, "full", False))
     parser.error(f"unknown command {args.command!r}")

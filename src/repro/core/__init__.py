@@ -27,10 +27,10 @@ from repro.core.monitor import (
     make_monitor,
 )
 from repro.core.fda import FDATrainer, FdaStepResult
+from repro.core.timeline import ComputeProfile, StragglerProfile, Timeline
 from repro.core.async_fda import (
     AsyncEvent,
     AsynchronousFDATrainer,
-    StragglerProfile,
 )
 from repro.core.theta import (
     DynamicThetaController,
@@ -58,6 +58,8 @@ __all__ = [
     "AsynchronousFDATrainer",
     "AsyncEvent",
     "StragglerProfile",
+    "ComputeProfile",
+    "Timeline",
     "theta_guideline",
     "ThetaGuideline",
     "fit_theta_slope",

@@ -9,26 +9,27 @@ When the estimate exceeds Θ the coordinator orders a synchronization; because
 local states are tiny, the benefit is not bandwidth but tolerance to stragglers
 — fast workers keep learning while slow workers catch up.
 
-:class:`AsynchronousFDATrainer` simulates that protocol with a virtual clock:
-every worker has its own step duration (drawn from a configurable straggler
-profile), worker step completions are processed in virtual-time order, and the
-communication/step accounting matches the synchronous trainer so results are
-directly comparable.
+:class:`AsynchronousFDATrainer` simulates that protocol on the shared
+:class:`~repro.core.timeline.Timeline` engine: every worker has its own step
+duration (drawn from a configurable straggler profile), worker step
+completions are processed in virtual-time order from the timeline's event
+queue, state uploads and synchronizations are charged through the cluster's
+communication fabric, and the accounting matches the synchronous trainer so
+results are directly comparable.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.core.monitor import VarianceMonitor
 from repro.core.state import LocalState, average_states
+from repro.core.timeline import StragglerProfile, Timeline
 from repro.distributed.cluster import CATEGORY_STATE, SimulatedCluster
 from repro.exceptions import ConfigurationError
-from repro.utils.rng import as_rng
+
+__all__ = ["AsyncEvent", "AsynchronousFDATrainer", "StragglerProfile"]
 
 
 @dataclass(frozen=True)
@@ -42,50 +43,18 @@ class AsyncEvent:
     synchronized: bool
 
 
-@dataclass(frozen=True)
-class StragglerProfile:
-    """Per-worker step-duration model.
-
-    Worker ``k``'s step duration is drawn once as
-    ``base * (1 + slowdown_k)`` where ``slowdown_k`` is 0 for regular workers
-    and ``straggler_factor − 1`` for the chosen stragglers; optional jitter
-    adds per-step log-normal noise.
-    """
-
-    base_step_seconds: float = 1.0
-    straggler_fraction: float = 0.0
-    straggler_factor: float = 4.0
-    jitter: float = 0.0
-
-    def __post_init__(self) -> None:
-        if self.base_step_seconds <= 0:
-            raise ConfigurationError(
-                f"base_step_seconds must be positive, got {self.base_step_seconds}"
-            )
-        if not 0.0 <= self.straggler_fraction <= 1.0:
-            raise ConfigurationError(
-                f"straggler_fraction must lie in [0, 1], got {self.straggler_fraction}"
-            )
-        if self.straggler_factor < 1.0:
-            raise ConfigurationError(
-                f"straggler_factor must be >= 1, got {self.straggler_factor}"
-            )
-        if self.jitter < 0:
-            raise ConfigurationError(f"jitter must be non-negative, got {self.jitter}")
-
-    def step_durations(self, num_workers: int, seed=None) -> np.ndarray:
-        """Base step duration per worker (before per-step jitter)."""
-        rng = as_rng(seed)
-        durations = np.full(num_workers, self.base_step_seconds, dtype=np.float64)
-        num_stragglers = int(round(num_workers * self.straggler_fraction))
-        if num_stragglers:
-            stragglers = rng.choice(num_workers, size=num_stragglers, replace=False)
-            durations[stragglers] *= self.straggler_factor
-        return durations
-
-
 class AsynchronousFDATrainer:
-    """Coordinator-based asynchronous FDA over a :class:`SimulatedCluster`."""
+    """Coordinator-based asynchronous FDA over a :class:`SimulatedCluster`.
+
+    The trainer drives the cluster's timeline.  Precedence: an explicit
+    ``timeline`` argument is installed on the cluster; otherwise an explicit
+    ``profile`` builds a fresh :class:`~repro.core.timeline.Timeline` from it
+    and ``seed``; otherwise the cluster's own timeline is used as-is — so a
+    straggler/dropout timeline configured via
+    ``WorkloadConfig.with_timeline``/``build_cluster`` is honoured.  Either
+    way, communication charged by the fabric and compute completions advance
+    the same clock.
+    """
 
     def __init__(
         self,
@@ -94,15 +63,26 @@ class AsynchronousFDATrainer:
         threshold: float,
         profile: Optional[StragglerProfile] = None,
         seed: int = 0,
+        timeline: Optional[Timeline] = None,
     ) -> None:
         if threshold < 0:
             raise ConfigurationError(f"threshold (Theta) must be non-negative, got {threshold}")
         self.cluster = cluster
         self.monitor = monitor
         self.threshold = float(threshold)
-        self.profile = profile or StragglerProfile()
-        self._rng = as_rng(seed)
-        self.virtual_time = 0.0
+        if timeline is not None:
+            if timeline.num_workers != cluster.num_workers:
+                raise ConfigurationError(
+                    f"timeline models {timeline.num_workers} workers, "
+                    f"cluster has {cluster.num_workers}"
+                )
+            self.timeline = timeline
+        elif profile is not None:
+            self.timeline = Timeline(cluster.num_workers, profile=profile, seed=seed)
+        else:
+            self.timeline = cluster.timeline
+        cluster.timeline = self.timeline
+        self.profile = self.timeline.profile
         self.synchronization_count = 0
         self.events: List[AsyncEvent] = []
         self._latest_states: Dict[int, LocalState] = {}
@@ -110,19 +90,15 @@ class AsynchronousFDATrainer:
         cluster.broadcast_parameters(initial)
         self._reference = initial
         self._previous_reference = initial
-        self._durations = self.profile.step_durations(cluster.num_workers, seed=self._rng)
-        # Event queue of (completion_time, tiebreak, worker_id).
-        self._queue: List = []
         for worker_id in range(cluster.num_workers):
-            heapq.heappush(self._queue, (self._next_duration(worker_id), worker_id, worker_id))
+            self.timeline.schedule_step(worker_id, start_time=0.0)
 
     # -- internals -------------------------------------------------------------
 
-    def _next_duration(self, worker_id: int) -> float:
-        duration = float(self._durations[worker_id])
-        if self.profile.jitter:
-            duration *= float(np.exp(self._rng.normal(scale=self.profile.jitter)))
-        return duration
+    @property
+    def virtual_time(self) -> float:
+        """The current virtual clock (delegates to the shared timeline)."""
+        return self.timeline.now
 
     @property
     def state_elements(self) -> int:
@@ -133,18 +109,17 @@ class AsynchronousFDATrainer:
 
     def process_next_completion(self) -> AsyncEvent:
         """Advance virtual time to the next worker-step completion and handle it."""
-        completion_time, _, worker_id = heapq.heappop(self._queue)
-        self.virtual_time = completion_time
+        _, worker_id = self.timeline.pop_completion()
         worker = self.cluster.workers[worker_id]
         worker.local_step()
 
-        # The worker uploads its local state to the coordinator (point-to-point,
-        # one state's worth of traffic rather than a full AllReduce).  The
-        # drift is one row-wise subtraction off the worker's parameter-plane
-        # view (its row of the cluster's parameter matrix).
+        # The worker uploads its local state to the coordinator — point-to-point
+        # traffic routed through the fabric (one hop on the star; more on
+        # multi-hop topologies).  The drift is one row-wise subtraction off the
+        # worker's parameter-plane view (its row of the cluster's matrix).
         state = self.monitor.local_state(worker.drift_from(self._reference))
         self._latest_states[worker_id] = state
-        self.cluster.tracker.record_broadcast(self.state_elements, 2, CATEGORY_STATE)
+        upload = self.cluster.charge_upload(self.state_elements, CATEGORY_STATE, worker_id)
 
         synchronized = False
         estimate = float("nan")
@@ -154,6 +129,9 @@ class AsynchronousFDATrainer:
             )
             estimate = float(self.monitor.estimate(averaged))
             if estimate > self.threshold:
+                # The synchronization is a barrier: the fabric's virtual
+                # seconds (if a network model is configured) delay every
+                # pending completion via the shared timeline.
                 new_global = self.cluster.synchronize()
                 self.monitor.on_synchronization(new_global, self._previous_reference)
                 self._previous_reference = self._reference
@@ -162,12 +140,13 @@ class AsynchronousFDATrainer:
                 self.synchronization_count += 1
                 synchronized = True
 
-        heapq.heappush(
-            self._queue,
-            (self.virtual_time + self._next_duration(worker_id), worker_id, worker_id),
+        # The sender also pays its own upload latency before starting the next
+        # local step (zero without a network model).
+        self.timeline.schedule_step(
+            worker_id, start_time=self.timeline.now + upload.seconds
         )
         event = AsyncEvent(
-            time=self.virtual_time,
+            time=self.timeline.now,
             worker_id=worker_id,
             step_index=worker.steps_performed,
             variance_estimate=estimate,
@@ -182,11 +161,14 @@ class AsynchronousFDATrainer:
             raise ConfigurationError(
                 f"virtual_seconds must be positive, got {virtual_seconds}"
             )
-        deadline = self.virtual_time + virtual_seconds
+        deadline = self.timeline.now + virtual_seconds
         processed: List[AsyncEvent] = []
-        while self._queue and self._queue[0][0] <= deadline:
+        while True:
+            next_time = self.timeline.next_completion_time()
+            if next_time is None or next_time > deadline:
+                break
             processed.append(self.process_next_completion())
-        self.virtual_time = max(self.virtual_time, deadline)
+        self.timeline.advance_to(deadline)
         return processed
 
     def run_events(self, num_events: int) -> List[AsyncEvent]:

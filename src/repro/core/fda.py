@@ -44,6 +44,8 @@ class FdaStepResult:
     synchronized: bool
     communication_bytes: int
     parallel_steps: int
+    virtual_time: float = 0.0
+    active_workers: int = 0
 
 
 class FDATrainer:
@@ -102,27 +104,35 @@ class FDATrainer:
     def step(self) -> FdaStepResult:
         """Run one FDA step across all workers and return its observables."""
         bytes_before = self.cluster.total_bytes
-        mean_loss = self.cluster.step_all()
+        # Partial participation (timeline dropout): inactive workers neither
+        # compute nor report a state this step.  With the default timeline the
+        # mask is None and every worker runs — the paper's lockstep protocol.
+        active = self.cluster.timeline.sample_participation()
+        mean_loss = self.cluster.step_all(active=active)
 
         # Local states from the drifts relative to the last synchronization
         # point; one vectorized (K, d) subtraction, monitors consume the rows.
         drifts = self.cluster.drift_matrix(self._reference, out=self._drift_scratch)
-        states = [self.monitor.local_state(drift) for drift in drifts]
-        # AllReduce of the local states (charged as small "fda-state" traffic).
-        self.cluster.tracker.record_allreduce(
-            self.state_elements_per_step, self.cluster.num_workers, CATEGORY_STATE
-        )
+        if active is None:
+            states = [self.monitor.local_state(drift) for drift in drifts]
+            num_active = self.cluster.num_workers
+        else:
+            states = [
+                self.monitor.local_state(drift)
+                for drift, is_active in zip(drifts, active)
+                if is_active
+            ]
+            num_active = len(states)
+        # AllReduce of the local states (charged as small "fda-state" traffic,
+        # routed through the fabric's topology and network).
+        self.cluster.charge_allreduce(self.state_elements_per_step, CATEGORY_STATE)
         averaged = average_states(states)
         estimate = self.monitor.estimate(averaged)
         self.last_estimate = float(estimate)
 
         synchronized = estimate > self.threshold
         if synchronized:
-            new_global = self._synchronize()
-            self.monitor.on_synchronization(new_global, self._previous_reference)
-            self._previous_reference = self._reference
-            self._reference = new_global
-            self.synchronization_count += 1
+            self._complete_synchronization()
 
         if self.theta_controller is not None:
             self.threshold = self.theta_controller.update(
@@ -140,6 +150,8 @@ class FDATrainer:
             synchronized=bool(synchronized),
             communication_bytes=int(self.cluster.total_bytes - bytes_before),
             parallel_steps=self.cluster.parallel_steps,
+            virtual_time=float(self.cluster.virtual_time),
+            active_workers=num_active,
         )
         self.history.append(result)
         return result
@@ -156,11 +168,13 @@ class FDATrainer:
             return self._synchronizer()
         return self.cluster.synchronize(include_buffers=self.sync_buffers)
 
-    def force_synchronization(self) -> np.ndarray:
-        """Synchronize immediately regardless of the variance estimate.
+    def _complete_synchronization(self) -> np.ndarray:
+        """Exchange models and rotate the protocol bookkeeping.
 
-        Used by callers that want a final consolidation before evaluating the
-        global model (e.g. at the very end of training).
+        The single place that performs the monitor notification, reference
+        rotation (``w_{t-1} ← w_{t0} ← w̄``), and counter update — shared by
+        the in-protocol trigger (:meth:`step`) and the explicit
+        :meth:`force_synchronization`.
         """
         new_global = self._synchronize()
         self.monitor.on_synchronization(new_global, self._previous_reference)
@@ -168,6 +182,14 @@ class FDATrainer:
         self._reference = new_global
         self.synchronization_count += 1
         return new_global
+
+    def force_synchronization(self) -> np.ndarray:
+        """Synchronize immediately regardless of the variance estimate.
+
+        Used by callers that want a final consolidation before evaluating the
+        global model (e.g. at the very end of training).
+        """
+        return self._complete_synchronization()
 
     @property
     def synchronization_rate(self) -> float:

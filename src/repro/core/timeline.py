@@ -1,0 +1,253 @@
+"""The unified virtual-time engine.
+
+Historically only :class:`~repro.core.async_fda.AsynchronousFDATrainer` owned
+a clock, so synchronous FDA, BSP, and the FedOpt baselines could not report
+wall-clock numbers at all — yet the paper's headline claim (Figure 12 and the
+FL-vs-HPC discussion) is precisely about *time*.  :class:`Timeline` extracts
+that clock into one engine shared by every trainer and strategy:
+
+* **lockstep mode** (synchronous protocols): one round advances the clock by
+  the *slowest participating worker's* compute time — heterogeneous per-worker
+  step durations, optional per-step jitter, and optional per-round dropout
+  come from the same :class:`StragglerProfile` the asynchronous trainer uses;
+* **event mode** (asynchronous protocols): a completion queue orders worker
+  step-finishes in virtual time, exactly the machinery that used to live
+  inside the async trainer;
+* **communication time**: the cluster's :class:`~repro.distributed.topology.Fabric`
+  reports each collective's virtual seconds here, so compute and communication
+  accumulate on one comparable clock.
+
+With the default profile (uniform unit step time, no jitter, no stragglers,
+no dropout) and no network model, the timeline is a pure observer: byte
+counts and parameter trajectories are bit-identical to the pre-timeline code.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ExperimentError
+from repro.utils.rng import as_rng
+
+
+@dataclass(frozen=True)
+class StragglerProfile:
+    """Per-worker step-duration model.
+
+    Worker ``k``'s step duration is drawn once as
+    ``base * (1 + slowdown_k)`` where ``slowdown_k`` is 0 for regular workers
+    and ``straggler_factor − 1`` for the chosen stragglers; optional jitter
+    adds per-step log-normal noise.
+    """
+
+    base_step_seconds: float = 1.0
+    straggler_fraction: float = 0.0
+    straggler_factor: float = 4.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_step_seconds <= 0:
+            raise ConfigurationError(
+                f"base_step_seconds must be positive, got {self.base_step_seconds}"
+            )
+        if not 0.0 <= self.straggler_fraction <= 1.0:
+            raise ConfigurationError(
+                f"straggler_fraction must lie in [0, 1], got {self.straggler_fraction}"
+            )
+        if self.straggler_factor < 1.0:
+            raise ConfigurationError(
+                f"straggler_factor must be >= 1, got {self.straggler_factor}"
+            )
+        if self.jitter < 0:
+            raise ConfigurationError(f"jitter must be non-negative, got {self.jitter}")
+
+    def step_durations(self, num_workers: int, seed=None) -> np.ndarray:
+        """Base step duration per worker (before per-step jitter)."""
+        rng = as_rng(seed)
+        durations = np.full(num_workers, self.base_step_seconds, dtype=np.float64)
+        num_stragglers = int(round(num_workers * self.straggler_fraction))
+        if num_stragglers:
+            stragglers = rng.choice(num_workers, size=num_stragglers, replace=False)
+            durations[stragglers] *= self.straggler_factor
+        return durations
+
+
+#: Alias emphasising that the profile models *compute* heterogeneity.
+ComputeProfile = StragglerProfile
+
+
+class Timeline:
+    """One virtual clock for compute and communication.
+
+    ``dropout_rate`` enables partial participation: each lockstep round, every
+    worker independently sits out with that probability (at least one worker
+    always participates).  Dropped workers neither compute nor gate the
+    round's duration — the protocol layer decides what their absence means for
+    the collectives.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        profile: Optional[StragglerProfile] = None,
+        seed=0,
+        dropout_rate: float = 0.0,
+    ) -> None:
+        if num_workers <= 0:
+            raise ConfigurationError(f"num_workers must be positive, got {num_workers}")
+        if not 0.0 <= dropout_rate < 1.0:
+            raise ConfigurationError(
+                f"dropout_rate must lie in [0, 1), got {dropout_rate}"
+            )
+        self.num_workers = int(num_workers)
+        self.profile = profile or StragglerProfile()
+        self.dropout_rate = float(dropout_rate)
+        self._rng = as_rng(seed)
+        self._durations = self.profile.step_durations(self.num_workers, seed=self._rng)
+        self.now = 0.0
+        self.compute_seconds = 0.0
+        self.comm_seconds = 0.0
+        self.rounds_advanced = 0
+        # Event mode: a heap of (completion_time, worker_id) step completions.
+        self._queue: List[Tuple[float, int]] = []
+
+    # -- durations -------------------------------------------------------------
+
+    @property
+    def step_durations(self) -> np.ndarray:
+        """Per-worker base step durations (a copy; jitter is drawn per step)."""
+        return self._durations.copy()
+
+    def step_duration(self, worker_id: int) -> float:
+        """One step's duration for ``worker_id``, with fresh jitter if enabled."""
+        duration = float(self._durations[worker_id])
+        if self.profile.jitter:
+            duration *= float(np.exp(self._rng.normal(scale=self.profile.jitter)))
+        return duration
+
+    # -- participation ---------------------------------------------------------
+
+    @property
+    def perturbed(self) -> bool:
+        """Whether this timeline can alter protocol behaviour (dropout enabled)."""
+        return self.dropout_rate > 0.0
+
+    def sample_participation(self) -> Optional[np.ndarray]:
+        """Boolean participation mask for one round, or ``None`` when everyone runs.
+
+        With ``dropout_rate == 0`` no randomness is consumed, keeping default
+        trajectories bit-identical to the pre-timeline code.
+        """
+        if not self.dropout_rate:
+            return None
+        mask = self._rng.random(self.num_workers) >= self.dropout_rate
+        if not mask.any():
+            mask[int(self._rng.integers(self.num_workers))] = True
+        return mask
+
+    # -- lockstep mode ----------------------------------------------------------
+
+    def advance_round(self, steps: int = 1, active: Optional[np.ndarray] = None) -> float:
+        """Advance the clock by ``steps`` lockstep compute steps.
+
+        The round lasts as long as the slowest *participating* worker: with a
+        jitter-free profile that is ``steps * max(durations[active])``; with
+        jitter each step draws fresh per-worker noise.  Returns the elapsed
+        virtual seconds.
+        """
+        if steps < 0:
+            raise ConfigurationError(f"steps must be non-negative, got {steps}")
+        if steps == 0:
+            return 0.0
+        durations = self._durations if active is None else self._durations[active]
+        if durations.size == 0:
+            return 0.0
+        if self.profile.jitter:
+            noise = np.exp(
+                self._rng.normal(scale=self.profile.jitter, size=(steps, durations.size))
+            )
+            elapsed = float((durations * noise).max(axis=1).sum())
+        else:
+            elapsed = float(steps) * float(durations.max())
+        self.now += elapsed
+        self.compute_seconds += elapsed
+        self.rounds_advanced += 1
+        return elapsed
+
+    # -- event mode -------------------------------------------------------------
+
+    def schedule_step(self, worker_id: int, start_time: Optional[float] = None) -> float:
+        """Schedule ``worker_id``'s next step completion; returns its time."""
+        if not 0 <= worker_id < self.num_workers:
+            raise ConfigurationError(
+                f"worker_id must lie in [0, {self.num_workers}), got {worker_id}"
+            )
+        start = self.now if start_time is None else float(start_time)
+        completion = start + self.step_duration(worker_id)
+        heapq.heappush(self._queue, (completion, worker_id))
+        return completion
+
+    def next_completion_time(self) -> Optional[float]:
+        """The virtual time of the earliest pending completion (or ``None``)."""
+        return self._queue[0][0] if self._queue else None
+
+    def pop_completion(self) -> Tuple[float, int]:
+        """Advance the clock to the next completion and return ``(time, worker)``."""
+        if not self._queue:
+            raise ExperimentError("no pending step completions in the timeline")
+        completion_time, worker_id = heapq.heappop(self._queue)
+        elapsed = completion_time - self.now
+        self.now = completion_time
+        self.compute_seconds += max(elapsed, 0.0)
+        return completion_time, worker_id
+
+    def delay_pending(self, seconds: float) -> None:
+        """Push every pending completion ``seconds`` into the future (a barrier)."""
+        if seconds <= 0:
+            return
+        self._queue = [(time + seconds, worker) for time, worker in self._queue]
+        heapq.heapify(self._queue)
+
+    # -- communication & bookkeeping --------------------------------------------
+
+    def add_communication(self, seconds: float) -> None:
+        """Account virtual seconds spent communicating (reported by the fabric).
+
+        In event mode the collective acts as a barrier: pending completions are
+        delayed by the same amount.
+        """
+        if seconds < 0:
+            raise ConfigurationError(f"seconds must be non-negative, got {seconds}")
+        if seconds == 0.0:
+            return
+        self.now += seconds
+        self.comm_seconds += seconds
+        if self._queue:
+            self.delay_pending(seconds)
+
+    def note_communication(self, seconds: float) -> None:
+        """Record communication seconds in the ledger without moving the clock.
+
+        Used for point-to-point traffic whose delay is paid by a single sender
+        (the asynchronous state uploads): the caller folds the delay into that
+        worker's next completion, and this keeps the compute/communication
+        split consistent with the fabric's own ledger.
+        """
+        if seconds < 0:
+            raise ConfigurationError(f"seconds must be non-negative, got {seconds}")
+        self.comm_seconds += seconds
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time`` (idle wait); never backwards."""
+        if time > self.now:
+            self.now = float(time)
+
+    def __repr__(self) -> str:
+        return (
+            f"Timeline(K={self.num_workers}, t={self.now:.2f}, "
+            f"compute={self.compute_seconds:.2f}s, comm={self.comm_seconds:.2f}s)"
+        )

@@ -16,7 +16,23 @@ from repro.distributed.comm import (
     NAIVE_COST_MODEL,
     RING_COST_MODEL,
 )
-from repro.distributed.network import NetworkModel, FL_NETWORK, HPC_NETWORK, BALANCED_NETWORK
+from repro.distributed.network import (
+    NetworkModel,
+    FL_NETWORK,
+    HPC_NETWORK,
+    BALANCED_NETWORK,
+    get_network,
+)
+from repro.distributed.topology import (
+    Fabric,
+    GossipTopology,
+    HierarchicalTopology,
+    NAMED_TOPOLOGIES,
+    RingTopology,
+    StarTopology,
+    Topology,
+    get_topology,
+)
 from repro.distributed.worker import Worker
 from repro.distributed.cluster import SimulatedCluster
 
@@ -29,6 +45,15 @@ __all__ = [
     "FL_NETWORK",
     "HPC_NETWORK",
     "BALANCED_NETWORK",
+    "get_network",
+    "Topology",
+    "StarTopology",
+    "RingTopology",
+    "HierarchicalTopology",
+    "GossipTopology",
+    "NAMED_TOPOLOGIES",
+    "get_topology",
+    "Fabric",
     "Worker",
     "SimulatedCluster",
 ]

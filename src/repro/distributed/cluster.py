@@ -2,9 +2,14 @@
 
 :class:`SimulatedCluster` owns the workers and implements the two collective
 operations FDA needs (AllReduce of local states and AllReduce of model
-parameters), charging their byte cost to a :class:`CommunicationTracker`.
-It also maintains an *evaluation model* used to measure the accuracy of the
-global (average) model without disturbing any worker's local state.
+parameters).  Every collective is routed through the cluster's
+:class:`~repro.distributed.topology.Fabric`, which composes the interconnect
+topology (star / ring / hierarchical / gossip), the scalar cost model, and an
+optional network model into one ``(bytes, virtual-seconds)`` charge; compute
+and communication time accumulate on the cluster's shared
+:class:`~repro.core.timeline.Timeline`.  The cluster also maintains an
+*evaluation model* used to measure the accuracy of the global (average) model
+without disturbing any worker's local state.
 
 The cluster is the top of the parameter plane: on construction it stacks
 every worker's flat parameter vector (and buffer vector) into one contiguous
@@ -16,12 +21,14 @@ operations — no per-worker Python loops, no gather/scatter copies.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.data.datasets import Dataset
-from repro.distributed.comm import CommunicationCostModel, CommunicationTracker, NAIVE_COST_MODEL
+from repro.distributed.comm import CommunicationCostModel, NAIVE_COST_MODEL
+from repro.distributed.network import NetworkModel, get_network
+from repro.distributed.topology import CollectiveCharge, Fabric, Topology, get_topology
 from repro.distributed.worker import Worker
 from repro.exceptions import CommunicationError, ConfigurationError, ShapeError
 from repro.nn.losses import Loss, SoftmaxCrossEntropy
@@ -33,13 +40,25 @@ CATEGORY_OTHER = "other"
 
 
 class SimulatedCluster:
-    """A set of workers plus exact-average collectives with byte accounting."""
+    """A set of workers plus exact-average collectives with cost accounting.
+
+    ``topology`` (a name or :class:`~repro.distributed.topology.Topology`) and
+    ``network`` (a name or :class:`~repro.distributed.network.NetworkModel`)
+    configure the communication fabric; ``timeline`` supplies the virtual
+    clock (heterogeneous compute, stragglers, dropout).  All three default to
+    the paper's setting — star topology, naive cost model, instantaneous
+    network, uniform unit compute — under which byte counts and parameter
+    trajectories are bit-identical to the pre-fabric implementation.
+    """
 
     def __init__(
         self,
         workers: Sequence[Worker],
         cost_model: Optional[CommunicationCostModel] = None,
         loss: Optional[Loss] = None,
+        topology: Union[str, Topology, None] = None,
+        network: Union[str, NetworkModel, None] = None,
+        timeline: Optional["Timeline"] = None,
     ) -> None:
         if not workers:
             raise ConfigurationError("a cluster needs at least one worker")
@@ -54,7 +73,23 @@ class SimulatedCluster:
                 f"all workers must share the same buffer dimension, got {sorted(buffer_sizes)}"
             )
         self.workers: List[Worker] = list(workers)
-        self.tracker = CommunicationTracker(cost_model or NAIVE_COST_MODEL)
+        resolved_topology = get_topology(topology) if topology is not None else None
+        self.fabric = Fabric(
+            topology=resolved_topology or get_topology("star"),
+            cost_model=cost_model or NAIVE_COST_MODEL,
+            network=get_network(network),
+        )
+        self.fabric.topology.validate(len(self.workers))
+        # Compatibility alias: the tracker is owned by the fabric but remains
+        # reachable as ``cluster.tracker`` for existing callers and tests.
+        self.tracker = self.fabric.tracker
+        from repro.core.timeline import Timeline  # local import: core builds on distributed
+
+        if timeline is not None and timeline.num_workers != len(self.workers):
+            raise ConfigurationError(
+                f"timeline models {timeline.num_workers} workers, cluster has {len(self.workers)}"
+            )
+        self.timeline = timeline or Timeline(len(self.workers))
         self.loss = loss or SoftmaxCrossEntropy()
         self.synchronization_count = 0
         # The cluster-wide parameter plane: one contiguous (K, d) matrix whose
@@ -96,6 +131,39 @@ class SimulatedCluster:
         """Total communication cost so far (bytes transmitted by all workers)."""
         return self.tracker.total_bytes
 
+    @property
+    def virtual_time(self) -> float:
+        """The cluster's virtual clock (compute plus communication seconds)."""
+        return self.timeline.now
+
+    # -- fabric charges ---------------------------------------------------------
+
+    def charge_allreduce(self, num_elements: int, category: str) -> CollectiveCharge:
+        """Charge one AllReduce through the fabric and advance the clock."""
+        charge = self.fabric.allreduce(num_elements, self.num_workers, category)
+        self.timeline.add_communication(charge.seconds)
+        return charge
+
+    def charge_broadcast(self, num_elements: int, category: str) -> CollectiveCharge:
+        """Charge one root-to-all broadcast through the fabric."""
+        charge = self.fabric.broadcast(num_elements, self.num_workers, category)
+        self.timeline.add_communication(charge.seconds)
+        return charge
+
+    def charge_upload(
+        self, num_elements: int, category: str, worker_id: int = 0
+    ) -> CollectiveCharge:
+        """Charge one point-to-point worker → coordinator upload.
+
+        Unlike the collectives this does not act as a cluster-wide barrier:
+        the upload's seconds are folded into the sender's next completion by
+        the caller (the asynchronous trainer), while the timeline's
+        communication ledger still records them.
+        """
+        charge = self.fabric.upload(num_elements, self.num_workers, category, worker_id)
+        self.timeline.note_communication(charge.seconds)
+        return charge
+
     # -- the cluster parameter plane -------------------------------------------
 
     @property
@@ -130,14 +198,31 @@ class SimulatedCluster:
 
     # -- collectives -----------------------------------------------------------
 
-    def allreduce(self, vectors: Sequence[np.ndarray], category: str = CATEGORY_OTHER) -> np.ndarray:
-        """Exact element-wise average of one vector per worker, with byte accounting."""
-        if len(vectors) != self.num_workers:
-            raise CommunicationError(
-                f"allreduce needs one vector per worker ({self.num_workers}), got {len(vectors)}"
-            )
-        stacked = np.stack([np.asarray(v, dtype=np.float64) for v in vectors], axis=0)
-        self.tracker.record_allreduce(int(stacked[0].size), self.num_workers, category)
+    def allreduce(
+        self,
+        vectors: Union[Sequence[np.ndarray], np.ndarray],
+        category: str = CATEGORY_OTHER,
+    ) -> np.ndarray:
+        """Exact element-wise average of one vector per worker, with byte accounting.
+
+        ``vectors`` may be a Python sequence of ``(n,)`` arrays or — the fast
+        path — an already-stacked ``(K, n)`` matrix, which is averaged without
+        re-stacking row copies.
+        """
+        if isinstance(vectors, np.ndarray) and vectors.ndim == 2:
+            if vectors.shape[0] != self.num_workers:
+                raise CommunicationError(
+                    f"allreduce needs one vector per worker ({self.num_workers}), "
+                    f"got {vectors.shape[0]}"
+                )
+            stacked = vectors if vectors.dtype == np.float64 else vectors.astype(np.float64)
+        else:
+            if len(vectors) != self.num_workers:
+                raise CommunicationError(
+                    f"allreduce needs one vector per worker ({self.num_workers}), got {len(vectors)}"
+                )
+            stacked = np.stack([np.asarray(v, dtype=np.float64) for v in vectors], axis=0)
+        self.charge_allreduce(int(stacked[0].size), category)
         return stacked.mean(axis=0)
 
     def allreduce_scalar(self, values: Sequence[float], category: str = CATEGORY_OTHER) -> float:
@@ -146,7 +231,7 @@ class SimulatedCluster:
             raise CommunicationError(
                 f"allreduce_scalar needs one value per worker ({self.num_workers}), got {len(values)}"
             )
-        self.tracker.record_allreduce(1, self.num_workers, category)
+        self.charge_allreduce(1, category)
         return float(np.mean([float(v) for v in values]))
 
     def broadcast_parameters(self, flat: np.ndarray, count_cost: bool = False) -> None:
@@ -158,7 +243,7 @@ class SimulatedCluster:
                 f"got {flat.shape}"
             )
         if count_cost:
-            self.tracker.record_broadcast(int(flat.size), self.num_workers, CATEGORY_MODEL)
+            self.charge_broadcast(int(flat.size), CATEGORY_MODEL)
         self._param_matrix[...] = flat
 
     def broadcast_buffers(self, flat: np.ndarray) -> None:
@@ -194,27 +279,40 @@ class SimulatedCluster:
         AllReduce traffic, and returns the new global parameters.
         """
         average = self.average_parameters()
-        self.tracker.record_allreduce(int(average.size), self.num_workers, CATEGORY_MODEL)
+        self.charge_allreduce(int(average.size), CATEGORY_MODEL)
         self._param_matrix[...] = average
         if include_buffers and self._buffer_matrix.shape[1]:
             buffer_average = self.average_buffers()
-            self.tracker.record_allreduce(
-                int(buffer_average.size), self.num_workers, CATEGORY_MODEL
-            )
+            self.charge_allreduce(int(buffer_average.size), CATEGORY_MODEL)
             self._buffer_matrix[...] = buffer_average
         self.synchronization_count += 1
         return average
 
     # -- training helpers ----------------------------------------------------------
 
-    def step_all(self) -> float:
-        """Run one local mini-batch step on every worker; returns the mean loss."""
-        losses = [worker.local_step() for worker in self.workers]
-        return float(np.mean(losses))
+    def step_all(self, active: Optional[np.ndarray] = None) -> float:
+        """Run one local mini-batch step on every (participating) worker.
+
+        ``active`` is an optional boolean mask for partial participation
+        (timeline dropout); absent, every worker steps.  The timeline advances
+        by the slowest participating worker's step duration.  Returns the mean
+        loss over the workers that stepped.
+        """
+        if active is None:
+            losses = [worker.local_step() for worker in self.workers]
+        else:
+            losses = [
+                worker.local_step()
+                for worker, is_active in zip(self.workers, active)
+                if is_active
+            ]
+        self.timeline.advance_round(1, active=active)
+        return float(np.mean(losses)) if losses else 0.0
 
     def epoch_all(self) -> float:
         """Run one local epoch on every worker; returns the mean loss."""
         losses = [worker.local_epoch() for worker in self.workers]
+        self.timeline.advance_round(max(w.batches_per_epoch for w in self.workers))
         return float(np.mean(losses))
 
     # -- evaluation -------------------------------------------------------------------
@@ -251,5 +349,6 @@ class SimulatedCluster:
     def __repr__(self) -> str:
         return (
             f"SimulatedCluster(K={self.num_workers}, d={self.model_dimension}, "
-            f"syncs={self.synchronization_count}, bytes={self.total_bytes})"
+            f"topology={self.fabric.topology.name!r}, syncs={self.synchronization_count}, "
+            f"bytes={self.total_bytes}, t={self.virtual_time:.1f})"
         )

@@ -95,6 +95,20 @@ class CommunicationTracker:
         self.operations_by_category[category] = self.operations_by_category.get(category, 0) + 1
         return charged
 
+    def record_transfer(self, num_bytes: int, category: str) -> int:
+        """Record one collective whose byte total was computed by the caller.
+
+        The topology-aware :class:`~repro.distributed.topology.Fabric` prices
+        collectives itself (per-link sums, or the scalar cost model for the
+        paper-accounting star) and records the result here, so every category
+        still accumulates in one place.
+        """
+        if num_bytes < 0:
+            raise ConfigurationError(f"num_bytes must be non-negative, got {num_bytes}")
+        self.bytes_by_category[category] = self.bytes_by_category.get(category, 0) + int(num_bytes)
+        self.operations_by_category[category] = self.operations_by_category.get(category, 0) + 1
+        return int(num_bytes)
+
     @property
     def total_bytes(self) -> int:
         """Total bytes across every category (the paper's communication cost)."""

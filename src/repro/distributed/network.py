@@ -82,11 +82,21 @@ NAMED_NETWORKS = {
 }
 
 
-def get_network(name: str) -> NetworkModel:
-    """Look up one of the predefined network models by name."""
+def get_network(name):
+    """Resolve ``name`` into a :class:`NetworkModel` (or ``None``).
+
+    Accepts a predefined name (``"fl"``, ``"hpc"``, ``"balanced"``), an
+    existing :class:`NetworkModel` (returned unchanged), or ``None`` /
+    ``"none"`` for the timeless default in which communication takes no
+    virtual seconds.
+    """
+    if name is None or isinstance(name, NetworkModel):
+        return name
+    if name == "none":
+        return None
     try:
         return NAMED_NETWORKS[name]
     except KeyError:
         raise ConfigurationError(
-            f"unknown network {name!r}; known: {sorted(NAMED_NETWORKS)}"
+            f"unknown network {name!r}; known: {sorted(NAMED_NETWORKS)} or 'none'"
         ) from None

@@ -16,7 +16,14 @@ from repro.experiments.results import (
     compare_strategies,
     summarize_results,
 )
-from repro.experiments.sweep import SweepPoint, sweep_theta, sweep_workers
+from repro.experiments.sweep import (
+    FabricSweepPoint,
+    SweepPoint,
+    run_fabric_spec,
+    sweep_fabric,
+    sweep_theta,
+    sweep_workers,
+)
 from repro.experiments.kde import kde_density, log_kde_summary
 from repro.experiments.persistence import (
     load_results,
@@ -37,8 +44,11 @@ __all__ = [
     "summarize_results",
     "compare_strategies",
     "SweepPoint",
+    "FabricSweepPoint",
     "sweep_theta",
     "sweep_workers",
+    "sweep_fabric",
+    "run_fabric_spec",
     "kde_density",
     "log_kde_summary",
     "save_results",

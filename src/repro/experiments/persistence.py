@@ -37,10 +37,23 @@ _RESULT_FIELDS = (
     "final_train_accuracy",
 )
 
+#: Fabric/timeline fields added by the topology refactor; optional on load so
+#: result files written before the refactor still deserialize.
+_OPTIONAL_RESULT_FIELDS = (
+    "virtual_seconds",
+    "compute_seconds",
+    "comm_seconds",
+    "topology",
+    "network",
+)
+
 
 def result_to_dict(result: RunResult) -> Dict[str, object]:
     """Convert a :class:`RunResult` (including its history) to plain JSON types."""
-    payload: Dict[str, object] = {field: getattr(result, field) for field in _RESULT_FIELDS}
+    payload: Dict[str, object] = {
+        field: getattr(result, field)
+        for field in _RESULT_FIELDS + _OPTIONAL_RESULT_FIELDS
+    }
     payload["history"] = result.history.entries
     return payload
 
@@ -54,6 +67,9 @@ def result_from_dict(payload: Dict[str, object]) -> RunResult:
     for entry in payload.get("history", []):
         history.log(**entry)
     kwargs = {field: payload[field] for field in _RESULT_FIELDS}
+    for field in _OPTIONAL_RESULT_FIELDS:
+        if field in payload:
+            kwargs[field] = payload[field]
     return RunResult(history=history, **kwargs)
 
 

@@ -36,7 +36,14 @@ StrategyFactory = Callable[[], Strategy]
 
 @dataclass
 class ExperimentSpec:
-    """A figure/table reproduction: workloads, strategies, thresholds, run budget."""
+    """A figure/table reproduction: workloads, strategies, thresholds, run budget.
+
+    ``topologies`` and ``networks`` define an optional fabric grid: when both
+    are non-empty, :func:`repro.experiments.sweep.run_fabric_spec` (exposed as
+    ``python -m repro.cli fabric --spec``) sweeps every strategy over every
+    (topology, network) cell, reporting per-category bytes and virtual
+    wall-clock per round for each fabric.
+    """
 
     experiment_id: str
     title: str
@@ -45,6 +52,8 @@ class ExperimentSpec:
     run: TrainingRun
     fda_thetas: Sequence[float] = field(default_factory=tuple)
     worker_counts: Sequence[int] = field(default_factory=tuple)
+    topologies: Sequence[str] = field(default_factory=tuple)
+    networks: Sequence[str] = field(default_factory=tuple)
     notes: str = ""
 
 
@@ -524,6 +533,44 @@ def figure13(quick: bool = True) -> ExperimentSpec:
             eval_every_steps=40,
         ),
         fda_thetas=(0.25, 1.0, 4.0) if quick else (0.25, 0.5, 1.0, 2.0, 4.0),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The fabric grid: topology × network (the wall-clock discussion of Section 4)
+# ---------------------------------------------------------------------------
+
+
+def fabric_sweep(quick: bool = True) -> ExperimentSpec:
+    """Topology × network sweep: where do FDA's byte savings buy wall-clock?
+
+    One workload, the FDA-vs-Synchronous pair, and a grid over every fabric
+    topology crossed with the paper's three interconnects.  Per cell the
+    harness reports the model-sync / FDA-state byte split and the virtual
+    wall-clock per round — the reproduction's answer to the paper's
+    observation that communication savings matter on the 0.5 Gbps federated
+    channel and vanish on InfiniBand.
+    """
+    workload = lenet_mnist_workload(num_workers=4 if quick else 8)
+    theta = 8.0
+    return ExperimentSpec(
+        experiment_id="fabric",
+        title="Communication fabric: topology x network wall-clock comparison",
+        workloads={"iid": workload},
+        strategy_factories={
+            "LinearFDA": lambda: FDAStrategy(threshold=theta, variant="linear"),
+            "Synchronous": lambda: SynchronousStrategy(),
+        },
+        run=TrainingRun(
+            accuracy_target=0.88,
+            max_steps=80 if quick else 300,
+            eval_every_steps=20,
+        ),
+        fda_thetas=(theta,),
+        topologies=("star", "ring") if quick else ("star", "ring", "hierarchical", "gossip"),
+        networks=("fl", "hpc") if quick else ("fl", "hpc", "balanced"),
+        notes="Quick mode trims the grid to 2x2; full mode runs all four "
+        "topologies against all three networks.",
     )
 
 

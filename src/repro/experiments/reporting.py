@@ -12,7 +12,7 @@ from typing import Dict, Iterable, List, Sequence
 
 from repro.experiments.results import ResultsTable, StrategySummary, compare_strategies
 from repro.experiments.run import RunResult
-from repro.utils.formatting import format_bytes, format_count
+from repro.utils.formatting import format_bytes, format_count, format_duration
 
 
 def format_results_table(results: Sequence[RunResult], reached_only: bool = True) -> str:
@@ -31,6 +31,7 @@ def format_summaries(summaries: Iterable[StrategySummary]) -> str:
         "comm (median)",
         "steps (median)",
         "syncs (median)",
+        "wall-clock",
         "accuracy",
     ]
     rows: List[List[str]] = [header]
@@ -43,6 +44,7 @@ def format_summaries(summaries: Iterable[StrategySummary]) -> str:
                 format_bytes(summary.median_communication_bytes),
                 format_count(summary.median_parallel_steps),
                 format_count(summary.median_synchronizations),
+                format_duration(summary.median_virtual_seconds),
                 f"{summary.median_final_accuracy:.3f}",
             ]
         )

@@ -34,6 +34,7 @@ class StrategySummary:
     max_parallel_steps: float
     median_synchronizations: float
     median_final_accuracy: float
+    median_virtual_seconds: float = 0.0
 
 
 class ResultsTable:
@@ -85,6 +86,7 @@ class ResultsTable:
         steps = np.array([r.parallel_steps for r in runs], dtype=np.float64)
         syncs = np.array([r.synchronizations for r in runs], dtype=np.float64)
         accuracy = np.array([r.final_accuracy for r in runs], dtype=np.float64)
+        seconds = np.array([r.virtual_seconds for r in runs], dtype=np.float64)
         return StrategySummary(
             strategy=strategy,
             num_runs=len(all_runs),
@@ -97,6 +99,7 @@ class ResultsTable:
             max_parallel_steps=float(steps.max()),
             median_synchronizations=float(np.median(syncs)),
             median_final_accuracy=float(np.median(accuracy)),
+            median_virtual_seconds=float(np.median(seconds)),
         )
 
     def summaries(self, reached_only: bool = True) -> List[StrategySummary]:

@@ -37,12 +37,24 @@ class RunResult:
     state_bytes: int = 0
     model_bytes: int = 0
     final_train_accuracy: Optional[float] = None
+    #: Virtual wall-clock accounting from the shared timeline: total seconds,
+    #: split into compute and communication, plus the fabric that produced it.
+    virtual_seconds: float = 0.0
+    compute_seconds: float = 0.0
+    comm_seconds: float = 0.0
+    topology: str = "star"
+    network: str = "none"
     history: RunLogger = field(default_factory=RunLogger)
 
     @property
     def communication_gb(self) -> float:
         """Communication cost in gigabytes (the unit used in the figures)."""
         return self.communication_bytes / 1e9
+
+    @property
+    def seconds_per_round(self) -> float:
+        """Mean virtual seconds per in-parallel learning step (round pacing)."""
+        return self.virtual_seconds / max(self.parallel_steps, 1)
 
     @property
     def generalization_gap(self) -> Optional[float]:
@@ -62,6 +74,9 @@ class RunResult:
             "communication_bytes": self.communication_bytes,
             "parallel_steps": self.parallel_steps,
             "synchronizations": self.synchronizations,
+            "virtual_seconds": round(self.virtual_seconds, 6),
+            "topology": self.topology,
+            "network": self.network,
         }
 
 
@@ -133,6 +148,7 @@ class TrainingRun:
                 "test_accuracy": test_accuracy,
                 "train_loss": mean_loss,
                 "synchronizations": cluster.synchronization_count,
+                "virtual_seconds": cluster.virtual_time,
             }
             if train_eval is not None:
                 _, train_accuracy = cluster.evaluate_global(train_eval)
@@ -159,5 +175,10 @@ class TrainingRun:
             state_bytes=cluster.tracker.bytes_for("fda-state"),
             model_bytes=cluster.tracker.bytes_for("model-sync"),
             final_train_accuracy=final_train_accuracy,
+            virtual_seconds=cluster.virtual_time,
+            compute_seconds=cluster.timeline.compute_seconds,
+            comm_seconds=cluster.timeline.comm_seconds,
+            topology=cluster.fabric.topology.name,
+            network=cluster.fabric.network_name,
             history=history,
         )

@@ -11,12 +11,15 @@ initialized worker models and per-worker data shards.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple, Union
 
+from repro.core.timeline import StragglerProfile, Timeline
 from repro.data.datasets import Dataset
 from repro.data.partition import partition_dataset
 from repro.distributed.cluster import SimulatedCluster
 from repro.distributed.comm import CommunicationCostModel, NAIVE_COST_MODEL
+from repro.distributed.network import NetworkModel
+from repro.distributed.topology import Topology
 from repro.distributed.worker import Worker
 from repro.exceptions import ConfigurationError
 from repro.nn.losses import Loss, SoftmaxCrossEntropy
@@ -28,6 +31,11 @@ from repro.utils.rng import RngFactory
 
 ModelFactory = Callable[[], Sequential]
 OptimizerFactory = Callable[[], Optimizer]
+
+#: Sentinel distinguishing "argument not given" from an explicit ``None``, so
+#: the ``with_*`` copy helpers never silently reset fields they weren't asked
+#: to change.
+_KEEP = object()
 
 
 def make_optimizer(name: str, **kwargs) -> OptimizerFactory:
@@ -72,6 +80,15 @@ class WorkloadConfig:
     partition_kwargs: Dict[str, object] = field(default_factory=dict)
     loss: Optional[Loss] = None
     cost_model: CommunicationCostModel = field(default_factory=lambda: NAIVE_COST_MODEL)
+    #: Fabric configuration: a topology name (``"star"``, ``"ring"``,
+    #: ``"hierarchical"``, ``"gossip"``) or instance, and a network-model name
+    #: (``"fl"``, ``"hpc"``, ``"balanced"``, ``"none"``) or instance.
+    topology: Union[str, Topology, None] = None
+    network: Union[str, NetworkModel, None] = None
+    #: Timeline configuration: per-worker compute heterogeneity and optional
+    #: per-round dropout.  ``None`` keeps the default unperturbed clock.
+    compute_profile: Optional[StragglerProfile] = None
+    dropout_rate: float = 0.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -79,6 +96,10 @@ class WorkloadConfig:
             raise ConfigurationError(f"num_workers must be positive, got {self.num_workers}")
         if self.batch_size <= 0:
             raise ConfigurationError(f"batch_size must be positive, got {self.batch_size}")
+        if not 0.0 <= self.dropout_rate < 1.0:
+            raise ConfigurationError(
+                f"dropout_rate must lie in [0, 1), got {self.dropout_rate}"
+            )
 
     def with_workers(self, num_workers: int) -> "WorkloadConfig":
         """A copy of this workload with a different worker count (for K sweeps)."""
@@ -91,6 +112,32 @@ class WorkloadConfig:
     def with_seed(self, seed: int) -> "WorkloadConfig":
         """A copy of this workload with a different random seed."""
         return replace(self, seed=seed)
+
+    def with_fabric(self, topology=_KEEP, network=_KEEP) -> "WorkloadConfig":
+        """A copy of this workload on a different fabric (topology × network).
+
+        Only the arguments actually passed change; the other fabric axis keeps
+        its current value (pass ``None`` explicitly to reset one to default).
+        """
+        changes = {}
+        if topology is not _KEEP:
+            changes["topology"] = topology
+        if network is not _KEEP:
+            changes["network"] = network
+        return replace(self, **changes)
+
+    def with_timeline(self, compute_profile=_KEEP, dropout_rate=_KEEP) -> "WorkloadConfig":
+        """A copy of this workload with different timeline perturbations.
+
+        Only the arguments actually passed change — enabling dropout does not
+        discard a configured compute profile, and vice versa.
+        """
+        changes = {}
+        if compute_profile is not _KEEP:
+            changes["compute_profile"] = compute_profile
+        if dropout_rate is not _KEEP:
+            changes["dropout_rate"] = dropout_rate
+        return replace(self, **changes)
 
 
 def build_cluster(config: WorkloadConfig) -> Tuple[SimulatedCluster, Dataset]:
@@ -124,5 +171,20 @@ def build_cluster(config: WorkloadConfig) -> Tuple[SimulatedCluster, Dataset]:
                 seed=rng_factory.worker(worker_id),
             )
         )
-    cluster = SimulatedCluster(workers, cost_model=config.cost_model, loss=loss)
+    timeline = None
+    if config.compute_profile is not None or config.dropout_rate:
+        timeline = Timeline(
+            config.num_workers,
+            profile=config.compute_profile,
+            seed=rng_factory.named("timeline"),
+            dropout_rate=config.dropout_rate,
+        )
+    cluster = SimulatedCluster(
+        workers,
+        cost_model=config.cost_model,
+        loss=loss,
+        topology=config.topology,
+        network=config.network,
+        timeline=timeline,
+    )
     return cluster, config.test_dataset

@@ -1,16 +1,17 @@
-"""Parameter sweeps over Θ and K (Figures 8-11 and 13).
+"""Parameter sweeps over Θ, K, and the communication fabric.
 
 The paper studies how communication and computation respond to the variance
-threshold Θ (at fixed K) and to the number of workers K (at fixed Θ).  These
-helpers run those one-dimensional sweeps for any strategy factory and return
-one :class:`SweepPoint` per grid value, which the benchmarks then check for
-the monotone trends the paper reports.
+threshold Θ (at fixed K) and to the number of workers K (at fixed Θ); the
+fabric refactor adds the third axis the paper's wall-clock discussion needs:
+topology × network.  These helpers run those sweeps for any strategy factory
+and return one point per grid value, which the benchmarks then check for the
+monotone trends the paper reports.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.exceptions import ConfigurationError
 from repro.experiments.run import RunResult, TrainingRun
@@ -19,6 +20,10 @@ from repro.strategies.base import Strategy
 from repro.strategies.fda_strategy import FDAStrategy
 
 StrategyFactory = Callable[[], Strategy]
+
+#: Default grids for :func:`sweep_fabric`.
+DEFAULT_TOPOLOGIES = ("star", "ring", "hierarchical", "gossip")
+DEFAULT_NETWORKS = ("fl", "hpc", "balanced")
 
 
 @dataclass(frozen=True)
@@ -93,6 +98,91 @@ def sweep_workers(
         result = _run_one(scaled, strategy, run)
         points.append(SweepPoint(parameter="num_workers", value=float(num_workers), result=result))
     return points
+
+
+@dataclass(frozen=True)
+class FabricSweepPoint:
+    """One cell of a topology × network grid: the fabric plus the run result."""
+
+    topology: str
+    network: str
+    result: RunResult
+
+    @property
+    def bytes_by_category(self) -> Dict[str, int]:
+        """Per-category traffic: model-sync vs FDA-state bytes."""
+        return {
+            "model-sync": self.result.model_bytes,
+            "fda-state": self.result.state_bytes,
+        }
+
+    @property
+    def virtual_seconds(self) -> float:
+        return self.result.virtual_seconds
+
+    @property
+    def seconds_per_round(self) -> float:
+        """Virtual wall-clock per in-parallel learning step."""
+        return self.result.seconds_per_round
+
+
+def sweep_fabric(
+    workload: WorkloadConfig,
+    run: TrainingRun,
+    strategy_factory: StrategyFactory,
+    topologies: Sequence[str] = DEFAULT_TOPOLOGIES,
+    networks: Sequence[str] = DEFAULT_NETWORKS,
+) -> List[FabricSweepPoint]:
+    """Run one strategy across a topology × network grid on one workload.
+
+    Every cell rebuilds the cluster on the requested fabric and reports the
+    per-category byte split plus the virtual wall-clock series, which is how
+    a single experiment spec answers the paper's "does the saving translate
+    into time?" question for an arbitrary interconnect.
+    """
+    if not topologies:
+        raise ConfigurationError("topologies must contain at least one name")
+    if not networks:
+        raise ConfigurationError("networks must contain at least one name")
+    points = []
+    for topology in topologies:
+        for network in networks:
+            fabric_workload = workload.with_fabric(topology=topology, network=network)
+            result = _run_one(fabric_workload, strategy_factory(), run)
+            points.append(
+                FabricSweepPoint(topology=str(topology), network=str(network), result=result)
+            )
+    return points
+
+
+def run_fabric_spec(spec) -> Dict[str, List[FabricSweepPoint]]:
+    """Execute an :class:`~repro.experiments.registry.ExperimentSpec`'s fabric grid.
+
+    Runs every strategy of the spec over every workload × topology × network
+    cell (``spec.topologies`` / ``spec.networks`` must be non-empty) and
+    returns the :class:`FabricSweepPoint` lists keyed by strategy name — the
+    single-spec entry point behind ``python -m repro.cli fabric --spec``.
+    """
+    if not getattr(spec, "topologies", None) or not getattr(spec, "networks", None):
+        raise ConfigurationError(
+            f"spec {getattr(spec, 'experiment_id', '?')!r} declares no fabric grid "
+            "(topologies and networks must both be non-empty)"
+        )
+    results: Dict[str, List[FabricSweepPoint]] = {}
+    for strategy_name, factory in spec.strategy_factories.items():
+        points: List[FabricSweepPoint] = []
+        for workload in spec.workloads.values():
+            points.extend(
+                sweep_fabric(
+                    workload,
+                    spec.run,
+                    factory,
+                    topologies=spec.topologies,
+                    networks=spec.networks,
+                )
+            )
+        results[strategy_name] = points
+    return results
 
 
 def sweep_strategies(

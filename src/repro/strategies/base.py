@@ -25,6 +25,7 @@ class StrategyRound:
     steps_advanced: int
     synchronized: bool
     communication_bytes: int
+    virtual_seconds: float = 0.0
 
 
 class Strategy:
@@ -32,6 +33,12 @@ class Strategy:
 
     #: Name used in experiment reports and figures.
     name = "strategy"
+
+    #: Fabric topologies this protocol can run on.  Peer-to-peer collectives
+    #: (AllReduce averaging) work on any layout; server-based protocols that
+    #: need a central aggregator declare the subset they support and
+    #: :meth:`attach` rejects a cluster whose fabric uses anything else.
+    supported_topologies = ("star", "ring", "hierarchical", "gossip")
 
     def __init__(self) -> None:
         self._cluster: Optional[SimulatedCluster] = None
@@ -41,6 +48,12 @@ class Strategy:
 
     def attach(self, cluster: SimulatedCluster) -> "Strategy":
         """Bind the strategy to a cluster and perform protocol initialization."""
+        topology_name = cluster.fabric.topology.name
+        if topology_name not in self.supported_topologies:
+            raise ConfigurationError(
+                f"strategy {self.name!r} does not support the {topology_name!r} topology; "
+                f"supported: {sorted(self.supported_topologies)}"
+            )
         self._cluster = cluster
         # Every algorithm in the paper starts all workers from the same model.
         cluster.broadcast_parameters(cluster.workers[0].get_parameters())
@@ -69,6 +82,7 @@ class Strategy:
         bytes_before = cluster.total_bytes
         steps_before = cluster.parallel_steps
         syncs_before = cluster.synchronization_count
+        time_before = cluster.virtual_time
         mean_loss = self._run_round(cluster)
         self.rounds_completed += 1
         return StrategyRound(
@@ -76,6 +90,7 @@ class Strategy:
             steps_advanced=cluster.parallel_steps - steps_before,
             synchronized=cluster.synchronization_count > syncs_before,
             communication_bytes=cluster.total_bytes - bytes_before,
+            virtual_seconds=cluster.virtual_time - time_before,
         )
 
     def run_steps(self, num_steps: int) -> float:

@@ -130,7 +130,7 @@ class CompressedSynchronizer:
         drifts = cluster.drift_matrix(self._reference)
         payloads = [self.compressor.compress(drift) for drift in drifts]
         transmitted = payloads[0].transmitted_elements if payloads else 0
-        cluster.tracker.record_allreduce(transmitted, cluster.num_workers, CATEGORY_MODEL)
+        cluster.charge_allreduce(transmitted, CATEGORY_MODEL)
         average_delta = np.mean(np.stack([p.vector for p in payloads], axis=0), axis=0)
         new_global = self._reference + average_delta
         cluster.broadcast_parameters(new_global)

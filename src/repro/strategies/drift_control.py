@@ -34,6 +34,9 @@ class FedProxStrategy(Strategy):
 
     name = "FedProx"
 
+    #: Server-based round structure, like FedOpt.
+    supported_topologies = ("star", "hierarchical")
+
     def __init__(self, mu: float = 0.01, local_epochs: int = 1) -> None:
         super().__init__()
         if mu < 0:
@@ -63,10 +66,11 @@ class FedProxStrategy(Strategy):
         for _ in range(self.local_epochs):
             losses = [worker.local_epoch(gradient_transform=proximal) for worker in cluster.workers]
             mean_loss = float(np.mean(losses))
-
-        cluster.tracker.record_allreduce(
-            cluster.model_dimension, cluster.num_workers, CATEGORY_MODEL
+        cluster.timeline.advance_round(
+            self.local_epochs * max(w.batches_per_epoch for w in cluster.workers)
         )
+
+        cluster.charge_allreduce(cluster.model_dimension, CATEGORY_MODEL)
         new_global = cluster.average_parameters()
         self._global_parameters = new_global
         cluster.broadcast_parameters(new_global)
@@ -86,6 +90,9 @@ class ScaffoldStrategy(Strategy):
     """
 
     name = "SCAFFOLD"
+
+    #: Server-based round structure, like FedOpt.
+    supported_topologies = ("star", "hierarchical")
 
     def __init__(self, local_epochs: int = 1, local_learning_rate_hint: float = 0.01) -> None:
         super().__init__()
@@ -143,10 +150,11 @@ class ScaffoldStrategy(Strategy):
                 + local_update / (steps * self.local_learning_rate_hint)
             )
 
-        # Model + control variate move across the network each round.
-        cluster.tracker.record_allreduce(
-            2 * cluster.model_dimension, cluster.num_workers, CATEGORY_MODEL
+        cluster.timeline.advance_round(
+            self.local_epochs * max(w.batches_per_epoch for w in cluster.workers)
         )
+        # Model + control variate move across the network each round.
+        cluster.charge_allreduce(2 * cluster.model_dimension, CATEGORY_MODEL)
         new_global = cluster.average_parameters()
         self._worker_variates = new_variates
         self._server_variate = np.mean(np.stack(list(new_variates.values()), axis=0), axis=0)

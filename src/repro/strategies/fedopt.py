@@ -22,6 +22,11 @@ class FedOptStrategy(Strategy):
 
     name = "FedOpt"
 
+    #: FedOpt needs a central server holding the optimizer state; it runs on
+    #: the star directly and on the two-level hierarchy (the root is the
+    #: server), but not on serverless ring/gossip layouts.
+    supported_topologies = ("star", "hierarchical")
+
     def __init__(self, server_optimizer: ServerOptimizer, local_epochs: int = 1) -> None:
         super().__init__()
         if local_epochs <= 0:
@@ -48,11 +53,10 @@ class FedOptStrategy(Strategy):
 
         # Clients upload their models, the server optimizer produces the new
         # global model, and it is broadcast back; in total this moves the same
-        # data volume as one full-model AllReduce.  The aggregation consumes
-        # the cluster's (K, d) parameter matrix directly — no gather copies.
-        cluster.tracker.record_allreduce(
-            cluster.model_dimension, cluster.num_workers, CATEGORY_MODEL
-        )
+        # data volume as one full-model AllReduce, routed through the fabric.
+        # The aggregation consumes the cluster's (K, d) parameter matrix
+        # directly — no gather copies.
+        cluster.charge_allreduce(cluster.model_dimension, CATEGORY_MODEL)
         new_global = self.server_optimizer.aggregate(
             self._global_parameters, cluster.parameter_matrix
         )

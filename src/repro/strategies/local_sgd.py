@@ -61,10 +61,12 @@ class LocalSGDStrategy(Strategy):
 
     ``tau`` may be an integer (fixed period) or a callable mapping the round
     index to that round's period, which covers the increasing/decreasing
-    schedules discussed in the related-work section.
+    schedules discussed in the related-work section.  The synchronization is a
+    plain AllReduce average, so any fabric topology works.
     """
 
     name = "LocalSGD"
+    supported_topologies = ("star", "ring", "hierarchical", "gossip")
 
     def __init__(self, tau: Union[int, TauSchedule] = 10) -> None:
         super().__init__()

@@ -17,6 +17,7 @@ class SynchronousStrategy(Strategy):
     """BSP training: one local step, then a full model AllReduce, every round."""
 
     name = "Synchronous"
+    supported_topologies = ("star", "ring", "hierarchical", "gossip")
 
     @property
     def steps_per_round(self) -> int:

@@ -1,0 +1,358 @@
+"""Integration tests for the fabric: sync/async parity, topology routing, time.
+
+The headline contract: with a zero-jitter, no-straggler profile and the star
+topology, the synchronous and asynchronous FDA trainers must charge identical
+model-synchronization bytes for the same number of synchronizations — the
+fabric prices the collective, not the protocol that triggered it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.async_fda import AsynchronousFDATrainer
+from repro.core.fda import FDATrainer
+from repro.core.monitor import ExactMonitor
+from repro.core.timeline import StragglerProfile, Timeline
+from repro.data.partition import partition_dataset
+from repro.data.synthetic import gaussian_blobs
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.comm import NAIVE_COST_MODEL, RING_COST_MODEL
+from repro.distributed.worker import Worker
+from repro.exceptions import ConfigurationError
+from repro.nn.architectures import mlp
+from repro.optim.adam import Adam
+from repro.strategies.fda_strategy import FDAStrategy
+from repro.strategies.fedopt import fedadam_strategy
+from repro.strategies.synchronous import SynchronousStrategy
+
+
+def make_cluster(num_workers=4, seed=0, **cluster_kwargs):
+    data = gaussian_blobs(320, feature_dim=8, num_classes=3, seed=seed)
+    shards = partition_dataset(data, num_workers, "iid", seed=seed)
+    workers = [
+        Worker(
+            worker_id=i,
+            model=mlp(8, 3, hidden_units=(12,), seed=seed),
+            dataset=shard,
+            optimizer=Adam(0.02),
+            batch_size=16,
+            seed=seed + i,
+        )
+        for i, shard in enumerate(shards)
+    ]
+    return SimulatedCluster(workers, **cluster_kwargs)
+
+
+class TestSyncAsyncAccountingParity:
+    def test_model_sync_bytes_per_synchronization_match(self):
+        # Zero jitter, no stragglers, star topology: the async coordinator and
+        # the lockstep trainer must charge the same model-sync bytes per sync.
+        sync_trainer = FDATrainer(make_cluster(), ExactMonitor(), threshold=0.0)
+        sync_trainer.run_steps(6)
+        assert sync_trainer.synchronization_count > 0
+        sync_bytes = sync_trainer.cluster.tracker.bytes_for("model-sync")
+        per_sync = sync_bytes / sync_trainer.synchronization_count
+
+        async_trainer = AsynchronousFDATrainer(
+            make_cluster(),
+            ExactMonitor(),
+            threshold=0.0,
+            profile=StragglerProfile(),  # uniform, jitter-free
+            seed=0,
+        )
+        async_trainer.run_events(24)
+        assert async_trainer.synchronization_count > 0
+        async_bytes = async_trainer.cluster.tracker.bytes_for("model-sync")
+        assert async_bytes / async_trainer.synchronization_count == per_sync
+
+    def test_state_traffic_matches_per_report_across_modes(self):
+        # A lockstep step AllReduces K reports at n·4·K bytes; an async upload
+        # moves one report at n·4 bytes — identical cost per worker report, so
+        # the same number of reports charges the same fda-state total.
+        sync_trainer = FDATrainer(make_cluster(), ExactMonitor(), threshold=1e9)
+        sync_trainer.run_steps(5)
+        async_trainer = AsynchronousFDATrainer(
+            make_cluster(), ExactMonitor(), threshold=1e9, seed=0
+        )
+        async_trainer.run_events(5 * async_trainer.cluster.num_workers)
+        sync_state = sync_trainer.cluster.tracker.bytes_for("fda-state")
+        async_state = async_trainer.cluster.tracker.bytes_for("fda-state")
+        assert async_state == sync_state
+
+
+class TestTopologyRouting:
+    def test_ring_cluster_charges_ring_volume_per_sync(self):
+        star = make_cluster()
+        ring = make_cluster(topology="ring")
+        star.synchronize(include_buffers=False)
+        ring.synchronize(include_buffers=False)
+        d, K = star.model_dimension, star.num_workers
+        assert star.tracker.bytes_for("model-sync") == NAIVE_COST_MODEL.allreduce_bytes(d, K)
+        assert ring.tracker.bytes_for("model-sync") == RING_COST_MODEL.allreduce_bytes(d, K)
+
+    def test_topology_name_resolution_on_the_cluster(self):
+        assert make_cluster().fabric.topology.name == "star"
+        assert make_cluster(topology="gossip").fabric.topology.name == "gossip"
+        with pytest.raises(ConfigurationError):
+            make_cluster(topology="torus")
+
+    def test_server_based_strategy_rejects_serverless_topology(self):
+        cluster = make_cluster(topology="ring")
+        with pytest.raises(ConfigurationError):
+            fedadam_strategy().attach(cluster)
+
+    def test_allreduce_strategies_run_on_every_topology(self):
+        for topology in ("star", "ring", "hierarchical", "gossip"):
+            cluster = make_cluster(topology=topology)
+            strategy = SynchronousStrategy().attach(cluster)
+            result = strategy.run_round()
+            assert result.communication_bytes > 0
+
+    def test_mismatched_timeline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_cluster(num_workers=4, timeline=Timeline(3))
+
+
+class TestVirtualTime:
+    def test_default_clock_counts_compute_only(self):
+        cluster = make_cluster()
+        strategy = SynchronousStrategy().attach(cluster)
+        rounds = [strategy.run_round() for _ in range(3)]
+        assert cluster.virtual_time == pytest.approx(3.0)  # one second per step
+        assert cluster.timeline.comm_seconds == 0.0
+        assert all(r.virtual_seconds == pytest.approx(1.0) for r in rounds)
+
+    def test_network_model_adds_communication_time(self):
+        timeless = make_cluster()
+        timed = make_cluster(network="fl")
+        for cluster in (timeless, timed):
+            SynchronousStrategy().attach(cluster).run_round()
+        assert timed.virtual_time > timeless.virtual_time
+        assert timed.timeline.comm_seconds > 0
+        # Same protocol, same traffic — only the clock differs.
+        assert timed.total_bytes == timeless.total_bytes
+
+    def test_fl_slower_than_hpc_for_the_same_protocol(self):
+        fl = make_cluster(network="fl")
+        hpc = make_cluster(network="hpc")
+        for cluster in (fl, hpc):
+            SynchronousStrategy().attach(cluster).run_round()
+        assert fl.virtual_time > hpc.virtual_time
+
+    def test_straggler_timeline_slows_lockstep_rounds(self):
+        profile = StragglerProfile(straggler_fraction=0.25, straggler_factor=4.0)
+        slow = make_cluster(timeline=Timeline(4, profile=profile, seed=0))
+        fast = make_cluster()
+        SynchronousStrategy().attach(slow).run_round()
+        SynchronousStrategy().attach(fast).run_round()
+        assert slow.virtual_time == pytest.approx(4.0)
+        assert fast.virtual_time == pytest.approx(1.0)
+
+    def test_fda_step_reports_virtual_time(self):
+        trainer = FDATrainer(make_cluster(), ExactMonitor(), threshold=0.5)
+        results = trainer.run_steps(4)
+        times = [r.virtual_time for r in results]
+        assert times == sorted(times)
+        assert times[-1] == pytest.approx(trainer.cluster.virtual_time)
+        assert all(r.active_workers == 4 for r in results)
+
+
+class TestPartialParticipation:
+    def test_dropout_reduces_active_workers_but_training_proceeds(self):
+        timeline = Timeline(4, seed=5, dropout_rate=0.5)
+        cluster = make_cluster(timeline=timeline)
+        trainer = FDATrainer(cluster, ExactMonitor(), threshold=0.5)
+        results = trainer.run_steps(12)
+        active_counts = [r.active_workers for r in results]
+        assert min(active_counts) >= 1
+        assert any(count < 4 for count in active_counts)
+        assert all(np.isfinite(r.mean_loss) for r in results)
+
+    def test_default_timeline_keeps_everyone_active(self):
+        trainer = FDATrainer(make_cluster(), ExactMonitor(), threshold=0.5)
+        results = trainer.run_steps(5)
+        assert all(r.active_workers == 4 for r in results)
+
+
+class TestTimelineOwnership:
+    def test_async_trainer_inherits_a_configured_cluster_timeline(self):
+        profile = StragglerProfile(straggler_fraction=0.25, straggler_factor=4.0)
+        timeline = Timeline(4, profile=profile, seed=0)
+        cluster = make_cluster(timeline=timeline)
+        trainer = AsynchronousFDATrainer(cluster, ExactMonitor(), threshold=1e9)
+        assert trainer.timeline is timeline  # with_timeline config is honoured
+        trainer.run_for(30.0)
+        steps = np.asarray(trainer.steps_by_worker())
+        assert steps.max() > 2 * steps.min()  # the straggler actually straggles
+
+    def test_explicit_profile_still_overrides(self):
+        cluster = make_cluster()
+        default_timeline = cluster.timeline
+        profile = StragglerProfile(straggler_fraction=0.5, straggler_factor=3.0)
+        trainer = AsynchronousFDATrainer(
+            cluster, ExactMonitor(), threshold=1e9, profile=profile, seed=1
+        )
+        assert trainer.timeline is not default_timeline
+        assert cluster.timeline is trainer.timeline
+        assert trainer.profile is profile
+
+    def test_mismatched_explicit_timeline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AsynchronousFDATrainer(
+                make_cluster(num_workers=4), ExactMonitor(), 1.0, timeline=Timeline(3)
+            )
+
+    def test_async_upload_seconds_land_in_both_comm_ledgers(self):
+        cluster = make_cluster(network="fl")
+        trainer = AsynchronousFDATrainer(cluster, ExactMonitor(), threshold=1e9, seed=0)
+        trainer.run_events(8)
+        assert cluster.fabric.comm_seconds > 0
+        assert cluster.timeline.comm_seconds == pytest.approx(cluster.fabric.comm_seconds)
+
+
+class TestWorkloadCopyHelpers:
+    def test_with_fabric_preserves_the_unspecified_axis(self, blobs_workload):
+        configured = blobs_workload.with_fabric(topology="ring", network="fl")
+        retopologized = configured.with_fabric(topology="hierarchical")
+        assert retopologized.network == "fl"  # not silently reset
+        renetworked = configured.with_fabric(network="hpc")
+        assert renetworked.topology == "ring"
+        reset = configured.with_fabric(topology=None, network=None)
+        assert reset.topology is None and reset.network is None
+
+    def test_with_timeline_preserves_the_unspecified_field(self, blobs_workload):
+        profile = StragglerProfile(straggler_fraction=0.5)
+        configured = blobs_workload.with_timeline(compute_profile=profile)
+        dropped = configured.with_timeline(dropout_rate=0.3)
+        assert dropped.compute_profile is profile
+        assert dropped.dropout_rate == 0.3
+
+
+class TestFabricSweep:
+    def test_run_fabric_spec_executes_every_cell(self, blobs_workload):
+        from repro.experiments.registry import ExperimentSpec
+        from repro.experiments.run import TrainingRun
+        from repro.experiments.sweep import run_fabric_spec
+
+        spec = ExperimentSpec(
+            experiment_id="fabric-test",
+            title="tiny fabric grid",
+            workloads={"iid": blobs_workload},
+            strategy_factories={
+                "Synchronous": lambda: SynchronousStrategy(),
+                "LinearFDA": lambda: FDAStrategy(threshold=2.0, variant="linear"),
+            },
+            run=TrainingRun(accuracy_target=0.999, max_steps=8, eval_every_steps=8),
+            topologies=("star", "ring"),
+            networks=("hpc",),
+        )
+        grouped = run_fabric_spec(spec)
+        assert set(grouped) == {"Synchronous", "LinearFDA"}
+        for points in grouped.values():
+            assert [(p.topology, p.network) for p in points] == [
+                ("star", "hpc"), ("ring", "hpc"),
+            ]
+            assert all(p.virtual_seconds > 0 for p in points)
+
+    def test_run_fabric_spec_requires_a_grid(self):
+        from repro.experiments.registry import figure3
+        from repro.experiments.sweep import run_fabric_spec
+
+        with pytest.raises(ConfigurationError):
+            run_fabric_spec(figure3(quick=True))  # no topologies/networks declared
+    def test_sweep_fabric_covers_the_grid(self, blobs_workload):
+        from repro.experiments.run import TrainingRun
+        from repro.experiments.sweep import sweep_fabric
+
+        run = TrainingRun(accuracy_target=0.999, max_steps=8, eval_every_steps=8)
+        points = sweep_fabric(
+            blobs_workload,
+            run,
+            lambda: SynchronousStrategy(),
+            topologies=("star", "ring"),
+            networks=("fl", "hpc"),
+        )
+        assert [(p.topology, p.network) for p in points] == [
+            ("star", "fl"), ("star", "hpc"), ("ring", "fl"), ("ring", "hpc"),
+        ]
+        for point in points:
+            assert point.result.topology == point.topology
+            assert point.result.network == point.network
+            assert point.bytes_by_category["model-sync"] > 0
+            assert point.virtual_seconds > 0
+            assert point.seconds_per_round > 0
+        by_cell = {(p.topology, p.network): p for p in points}
+        # Per-cell wall-clock reflects the fabric: fl slower than hpc.
+        assert by_cell[("star", "fl")].virtual_seconds > by_cell[("star", "hpc")].virtual_seconds
+
+    def test_registry_fabric_spec_declares_the_grid(self):
+        from repro.experiments.registry import fabric_sweep
+
+        spec = fabric_sweep(quick=True)
+        assert spec.topologies and spec.networks
+        assert "LinearFDA" in spec.strategy_factories
+        assert "Synchronous" in spec.strategy_factories
+        full = fabric_sweep(quick=False)
+        assert len(full.topologies) * len(full.networks) > len(spec.topologies) * len(
+            spec.networks
+        )
+
+    def test_cli_fabric_command(self, capsys):
+        from repro.cli import main
+
+        exit_code = main(
+            [
+                "fabric",
+                "--workload", "lenet",
+                "--workers", "3",
+                "--target", "0.999",
+                "--max-steps", "20",
+                "--topologies", "star",
+                "--networks", "fl", "hpc",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "LinearFDA" in output and "Synchronous" in output
+        assert "wall-clock" in output and "star" in output
+
+    def test_run_result_serialization_round_trips_fabric_fields(self, tmp_path, blobs_workload):
+        from repro.experiments.persistence import load_results, save_results
+        from repro.experiments.run import TrainingRun
+        from repro.experiments.setup import build_cluster
+
+        workload = blobs_workload.with_fabric(topology="ring", network="fl")
+        cluster, test_dataset = build_cluster(workload)
+        run = TrainingRun(accuracy_target=0.999, max_steps=8, eval_every_steps=8)
+        result = run.execute(SynchronousStrategy(), cluster, test_dataset)
+        path = save_results([result], tmp_path / "results.json")
+        loaded = load_results(path)[0]
+        assert loaded.topology == "ring"
+        assert loaded.network == "fl"
+        assert loaded.virtual_seconds == pytest.approx(result.virtual_seconds)
+        assert loaded.comm_seconds == pytest.approx(result.comm_seconds)
+
+
+class TestVectorizedAllreduce:
+    def test_matrix_fast_path_matches_list_path(self):
+        cluster = make_cluster(num_workers=3)
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(3, 17))
+        from_list = cluster.allreduce([row for row in matrix], "other")
+        from_matrix = cluster.allreduce(matrix, "other")
+        np.testing.assert_array_equal(from_list, from_matrix)
+        # Both paths charged the same bytes.
+        assert cluster.tracker.bytes_for("other") == 2 * 17 * 4 * 3
+
+    def test_matrix_fast_path_validates_row_count(self):
+        from repro.exceptions import CommunicationError
+
+        cluster = make_cluster(num_workers=3)
+        with pytest.raises(CommunicationError):
+            cluster.allreduce(np.zeros((2, 5)), "other")
+
+    def test_matrix_fast_path_avoids_copy_for_float64(self):
+        cluster = make_cluster(num_workers=3)
+        matrix = np.ones((3, 8), dtype=np.float64)
+        result = cluster.allreduce(matrix, "other")
+        np.testing.assert_allclose(result, 1.0)

@@ -37,7 +37,7 @@ def make_optimizer(kind):
     raise ValueError(kind)
 
 
-def build_trainer(variant, optimizer_kind, inplace, num_workers=4):
+def build_trainer(variant, optimizer_kind, inplace, num_workers=4, **cluster_kwargs):
     rng = np.random.default_rng(7)
     workers = []
     for worker_id in range(num_workers):
@@ -55,7 +55,7 @@ def build_trainer(variant, optimizer_kind, inplace, num_workers=4):
                 inplace=inplace,
             )
         )
-    cluster = SimulatedCluster(workers)
+    cluster = SimulatedCluster(workers, **cluster_kwargs)
     monitor = make_monitor(variant, cluster.model_dimension, seed=3)
     return FDATrainer(cluster, monitor, threshold=0.5)
 
@@ -96,6 +96,58 @@ class TestGoldenTrajectory:
             legacy.cluster.parameter_matrix, modern.cluster.parameter_matrix
         )
         assert legacy.cluster.total_bytes == modern.cluster.total_bytes
+
+
+class TestFabricDefaultEquivalence:
+    """The topology-aware fabric must not perturb the paper's default setting.
+
+    With the defaults — star topology, naive cost model, no network model, an
+    unperturbed timeline — byte counts and parameter trajectories must be
+    bit-identical to the pre-fabric implementation, whose per-step accounting
+    is reproduced here in closed form.
+    """
+
+    def test_explicit_star_fabric_matches_implicit_default(self):
+        steps = 25
+        implicit = build_trainer("linear", "adam", inplace=True)
+        explicit = build_trainer(
+            "linear", "adam", inplace=True, topology="star", network="none"
+        )
+        implicit_results = implicit.run_steps(steps)
+        explicit_results = explicit.run_steps(steps)
+        np.testing.assert_array_equal(
+            implicit.cluster.parameter_matrix, explicit.cluster.parameter_matrix
+        )
+        assert implicit.cluster.total_bytes == explicit.cluster.total_bytes
+        assert [r.communication_bytes for r in implicit_results] == [
+            r.communication_bytes for r in explicit_results
+        ]
+
+    @pytest.mark.parametrize("variant", ["sketch", "linear", "exact"])
+    def test_default_byte_counts_match_the_seed_closed_form(self, variant):
+        steps = 20
+        trainer = build_trainer(variant, "sgd", inplace=True)
+        trainer.run_steps(steps)
+        cluster = trainer.cluster
+        d, K = cluster.model_dimension, cluster.num_workers
+        # Pre-refactor accounting: one naive state AllReduce per step plus one
+        # naive full-model AllReduce per triggered synchronization (the mlp
+        # has no buffers, so each sync is exactly one collective).
+        state_elements = trainer.state_elements_per_step
+        expected_state = steps * state_elements * 4 * K
+        expected_model = trainer.synchronization_count * d * 4 * K
+        assert cluster.tracker.bytes_for("fda-state") == expected_state
+        assert cluster.tracker.bytes_for("model-sync") == expected_model
+        assert cluster.total_bytes == expected_state + expected_model
+
+    def test_default_timeline_is_a_pure_observer(self):
+        # The clock ticks, but consumes no randomness and charges no traffic.
+        steps = 15
+        trainer = build_trainer("linear", "adam", inplace=True)
+        results = trainer.run_steps(steps)
+        assert trainer.cluster.virtual_time == pytest.approx(float(steps))
+        assert trainer.cluster.timeline.comm_seconds == 0.0
+        assert results[-1].virtual_time == pytest.approx(float(steps))
 
 
 class TestOptimizerInplaceEquivalence:

@@ -1,0 +1,241 @@
+"""Property tests for the communication fabric: topologies, charges, timing.
+
+The central conservation property: for every topology, the bytes charged for
+one model synchronization (an AllReduce of the full parameter vector) equal
+the sum of the per-link volumes and are never below the information-theoretic
+minimum — at least ``K − 1`` workers must transmit their vector at least once,
+i.e. ``(K − 1) · n · bytes_per_element``.  The ring must reproduce the
+existing :data:`RING_COST_MODEL` volume, and the star must reproduce the
+paper's naive accounting bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed.comm import BYTES_PER_ELEMENT, NAIVE_COST_MODEL, RING_COST_MODEL
+from repro.distributed.network import FL_NETWORK, HPC_NETWORK
+from repro.distributed.topology import (
+    Fabric,
+    GossipTopology,
+    HierarchicalTopology,
+    NAMED_TOPOLOGIES,
+    RingTopology,
+    StarTopology,
+    Topology,
+    get_topology,
+)
+from repro.exceptions import ConfigurationError
+
+ALL_TOPOLOGIES = sorted(NAMED_TOPOLOGIES)
+
+#: The information-theoretic floor for one exact AllReduce: all but one worker
+#: must move their vector at least once.
+def info_min_bytes(num_elements: int, num_workers: int) -> int:
+    return (num_workers - 1) * num_elements * BYTES_PER_ELEMENT
+
+
+@st.composite
+def allreduce_cases(draw):
+    num_elements = draw(st.integers(min_value=1, max_value=200_000))
+    num_workers = draw(st.integers(min_value=2, max_value=24))
+    return num_elements, num_workers
+
+
+class TestConservation:
+    @pytest.mark.parametrize("name", ALL_TOPOLOGIES)
+    @settings(max_examples=40, deadline=None)
+    @given(case=allreduce_cases())
+    def test_allreduce_bytes_equal_link_sum_and_respect_info_minimum(self, name, case):
+        num_elements, num_workers = case
+        topology = get_topology(name)
+        fabric = Fabric(topology=topology)
+        charge = fabric.allreduce(num_elements, num_workers, "model-sync")
+        link_elements = topology.allreduce_link_elements(num_elements, num_workers)
+        link_bytes = sum(link_elements.values()) * BYTES_PER_ELEMENT
+        # Total equals the sum over links (up to integer rounding of the total).
+        assert charge.num_bytes == pytest.approx(link_bytes, abs=1.0)
+        # ... and the same bytes landed on the fabric's per-link ledger.
+        assert sum(fabric.bytes_by_link.values()) == pytest.approx(charge.num_bytes, abs=len(link_elements))
+        # Information-theoretic minimum.
+        assert charge.num_bytes >= info_min_bytes(num_elements, num_workers)
+
+    @settings(max_examples=40, deadline=None)
+    @given(case=allreduce_cases())
+    def test_ring_matches_the_ring_cost_model_volume(self, case):
+        num_elements, num_workers = case
+        fabric = Fabric(topology=RingTopology())
+        charge = fabric.allreduce(num_elements, num_workers, "model-sync")
+        assert charge.num_bytes == RING_COST_MODEL.allreduce_bytes(num_elements, num_workers)
+
+    @settings(max_examples=40, deadline=None)
+    @given(case=allreduce_cases())
+    def test_star_matches_the_naive_cost_model_bit_for_bit(self, case):
+        num_elements, num_workers = case
+        fabric = Fabric(topology=StarTopology())
+        charge = fabric.allreduce(num_elements, num_workers, "model-sync")
+        assert charge.num_bytes == NAIVE_COST_MODEL.allreduce_bytes(num_elements, num_workers)
+        # The star's link loads (the worker uplinks) sum to the same total.
+        loads = StarTopology().allreduce_link_elements(num_elements, num_workers)
+        assert sum(loads.values()) * BYTES_PER_ELEMENT == charge.num_bytes
+
+    @pytest.mark.parametrize("name", ALL_TOPOLOGIES)
+    @settings(max_examples=20, deadline=None)
+    @given(case=allreduce_cases())
+    def test_broadcast_bytes_equal_link_sum(self, name, case):
+        num_elements, num_workers = case
+        topology = get_topology(name)
+        fabric = Fabric(topology=topology)
+        charge = fabric.broadcast(num_elements, num_workers, "model-sync")
+        link_bytes = sum(
+            topology.broadcast_link_elements(num_elements, num_workers).values()
+        ) * BYTES_PER_ELEMENT
+        assert charge.num_bytes == pytest.approx(link_bytes, abs=1.0)
+        # Reaching K - 1 receivers needs at least K - 1 transmissions.
+        assert charge.num_bytes >= info_min_bytes(num_elements, num_workers)
+
+    @pytest.mark.parametrize("name", ALL_TOPOLOGIES)
+    def test_degenerate_cases_are_free(self, name):
+        topology = get_topology(name)
+        fabric = Fabric(topology=topology)
+        assert fabric.allreduce(0, 8, "x").num_bytes == 0
+        assert fabric.allreduce(100, 1, "x").num_bytes == 0
+        assert fabric.broadcast(100, 1, "x").num_bytes == 0
+
+
+class TestTopologyStructure:
+    @pytest.mark.parametrize("name", ALL_TOPOLOGIES)
+    def test_links_cover_all_loaded_links(self, name):
+        topology = get_topology(name)
+        links = set(topology.links(9))
+        for link in topology.allreduce_link_elements(64, 9):
+            assert link in links
+        for link in topology.broadcast_link_elements(64, 9):
+            assert link in links
+
+    def test_get_topology_lookup(self):
+        assert isinstance(get_topology("star"), StarTopology)
+        assert isinstance(get_topology("ring"), RingTopology)
+        assert isinstance(get_topology("hierarchical"), HierarchicalTopology)
+        assert isinstance(get_topology("gossip"), GossipTopology)
+        ring = RingTopology()
+        assert get_topology(ring) is ring
+        with pytest.raises(ConfigurationError):
+            get_topology("torus")
+
+    def test_hierarchical_group_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            HierarchicalTopology(group_size=1)
+
+    def test_gossip_validation(self):
+        with pytest.raises(ConfigurationError):
+            GossipTopology(degree=0)
+        with pytest.raises(ConfigurationError):
+            GossipTopology(rounds=0)
+
+    def test_only_star_uses_paper_accounting(self):
+        for name in ALL_TOPOLOGIES:
+            assert get_topology(name).paper_accounting == (name == "star")
+
+    @pytest.mark.parametrize("name", ALL_TOPOLOGIES)
+    @pytest.mark.parametrize("num_workers", [2, 5, 9])
+    def test_upload_paths_use_real_links(self, name, num_workers):
+        topology = get_topology(name)
+        links = set(topology.links(num_workers))
+        for worker in range(num_workers):
+            path = topology.upload_path(worker, num_workers)
+            for link in path:
+                assert link in links, f"{name}: upload link {link} not in topology"
+            # The path must actually arrive at the coordinator.
+            if path:
+                from repro.distributed.topology import SERVER
+
+                destination = path[-1][1]
+                assert destination in (SERVER, 0)
+                for first, second in zip(path, path[1:]):
+                    assert first[1] == second[0]
+
+    def test_ring_upload_takes_the_short_way_round(self):
+        ring = RingTopology()
+        # Worker 2 of 8 goes backward (2 hops), worker 6 forward (2 hops).
+        assert ring.upload_path(2, 8) == [(2, 1), (1, 0)]
+        assert ring.upload_path(6, 8) == [(6, 7), (7, 0)]
+        assert ring.upload_path(0, 8) == []  # the coordinator itself
+        assert len(ring.upload_path(4, 8)) == 4  # worst case: K/2 hops
+
+
+class TestFabricTiming:
+    def test_no_network_means_no_virtual_seconds(self):
+        fabric = Fabric(topology=StarTopology())
+        charge = fabric.allreduce(10_000, 8, "model-sync")
+        assert charge.seconds == 0.0
+        assert fabric.comm_seconds == 0.0
+
+    @pytest.mark.parametrize("name", ALL_TOPOLOGIES)
+    def test_fl_is_slower_than_hpc(self, name):
+        slow = Fabric(topology=get_topology(name), network=FL_NETWORK)
+        fast = Fabric(topology=get_topology(name), network=HPC_NETWORK)
+        assert (
+            slow.allreduce(100_000, 8, "x").seconds
+            > fast.allreduce(100_000, 8, "x").seconds
+        )
+
+    def test_ring_pays_more_latency_rounds_than_star(self):
+        # With a latency-dominated network the ring's 2(K-1) sequential hops
+        # must cost more time than the star's 2.
+        star = Fabric(topology=StarTopology(), network=FL_NETWORK)
+        ring = Fabric(topology=RingTopology(), network=FL_NETWORK)
+        assert ring.allreduce(10, 16, "x").seconds > star.allreduce(10, 16, "x").seconds
+
+    def test_seconds_accumulate_by_category(self):
+        fabric = Fabric(topology=StarTopology(), network=FL_NETWORK)
+        fabric.allreduce(1000, 4, "model-sync")
+        fabric.allreduce(10, 4, "fda-state")
+        assert fabric.seconds_by_category["model-sync"] > 0
+        assert fabric.seconds_by_category["fda-state"] > 0
+        assert fabric.comm_seconds == pytest.approx(
+            sum(fabric.seconds_by_category.values())
+        )
+
+    def test_upload_charges_one_hop_on_the_star(self):
+        fabric = Fabric(topology=StarTopology())
+        charge = fabric.upload(7, 5, "fda-state", worker_id=3)
+        assert charge.num_bytes == 7 * BYTES_PER_ELEMENT
+        assert fabric.tracker.operations_for("fda-state") == 1
+
+    def test_upload_charges_per_hop_on_the_hierarchy(self):
+        fabric = Fabric(topology=HierarchicalTopology(group_size=2))
+        # Worker 3 is a group member: member -> head -> root, two hops.
+        charge = fabric.upload(7, 6, "fda-state", worker_id=3)
+        assert charge.num_bytes == 2 * 7 * BYTES_PER_ELEMENT
+        # Worker 2 is its group's head: one hop to the root.
+        head_charge = fabric.upload(7, 6, "fda-state", worker_id=2)
+        assert head_charge.num_bytes == 7 * BYTES_PER_ELEMENT
+
+    def test_snapshot_shape(self):
+        fabric = Fabric(topology=RingTopology(), network=FL_NETWORK)
+        fabric.allreduce(100, 4, "model-sync")
+        snapshot = fabric.snapshot()
+        assert snapshot["topology"] == "ring"
+        assert snapshot["network"] == "fl"
+        assert snapshot["comm_seconds"] > 0
+        assert snapshot["total_bytes"] == fabric.tracker.total_bytes
+        assert snapshot["bytes_by_link"]
+
+
+class TestValidation:
+    def test_negative_elements_rejected(self):
+        from repro.exceptions import CommunicationError
+
+        fabric = Fabric()
+        with pytest.raises(CommunicationError):
+            fabric.allreduce(-1, 4, "x")
+        with pytest.raises(CommunicationError):
+            fabric.broadcast(-1, 4, "x")
+        with pytest.raises(CommunicationError):
+            fabric.upload(-1, 4, "x")
+
+    def test_topology_validate_rejects_nonpositive_workers(self):
+        with pytest.raises(ConfigurationError):
+            StarTopology().validate(0)
