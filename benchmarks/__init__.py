@@ -1,0 +1,7 @@
+"""Paper-figure and perf-canary benchmarks.
+
+Declared as a package so the intra-suite imports (``benchmarks.conftest``,
+``benchmarks.bench_json``, ``benchmarks.sweep_helpers``) resolve under both
+``python -m pytest`` and the bare ``pytest`` entry point (pytest inserts the
+repo root, the package's parent, into ``sys.path``).
+"""

@@ -1,0 +1,73 @@
+"""Machine-readable benchmark output (``BENCH_<name>.json``).
+
+The perf-canary benchmarks print human tables; CI additionally needs a
+stable, parseable record so the perf trajectory can be tracked PR-over-PR
+(the bench-smoke job uploads these files as build artifacts).  Each
+benchmark test contributes one *section* (a list of row dicts); sections
+merge into one document per benchmark file, so partially run suites still
+produce valid JSON.
+
+Output location: the current working directory, or ``REPRO_BENCH_JSON_DIR``
+when set.  Set ``REPRO_BENCH_JSON=0`` to disable emission entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+from typing import Dict, List
+
+
+def bench_json_path(name: str) -> Path:
+    """Where ``BENCH_<name>.json`` is written."""
+    directory = Path(os.environ.get("REPRO_BENCH_JSON_DIR", "."))
+    return directory / f"BENCH_{name}.json"
+
+
+#: Benchmark names already written by *this* process.  The first emit for a
+#: name starts a fresh document — a pre-existing file from an earlier run in
+#: a reused workspace must not leak stale sections into the current record —
+#: while later emits in the same run merge their sections into it.
+_EMITTED_NAMES: set = set()
+
+
+def emit_bench_section(name: str, section: str, rows: List[Dict[str, object]]) -> None:
+    """Merge one section of rows into ``BENCH_<name>.json`` (best effort).
+
+    Emission must never fail a benchmark: I/O errors are swallowed after a
+    warning print.
+    """
+    if os.environ.get("REPRO_BENCH_JSON", "1") == "0":
+        return
+    path = bench_json_path(name)
+    try:
+        document = {}
+        if name in _EMITTED_NAMES and path.exists():
+            try:
+                document = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                # A corrupt/truncated file (e.g. from an interrupted run in a
+                # reused workspace) is discarded, not propagated.
+                document = {}
+        if not isinstance(document, dict) or document.get("format") != "repro.bench":
+            document = {"format": "repro.bench", "version": 1, "benchmark": name}
+        _EMITTED_NAMES.add(name)
+        # Overwritten (not setdefault) on every emit: a stale environment
+        # block from a previous run must not misdescribe fresh rows.
+        document["environment"] = {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "small_mode": os.environ.get("REPRO_BENCH_SMALL", "0") == "1",
+            "strict_mode": os.environ.get("REPRO_BENCH_STRICT", "1") != "0",
+        }
+        sections = document.setdefault("sections", {})
+        sections[section] = rows
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"  [bench-json] wrote section {section!r} to {path}")
+    except OSError as error:  # pragma: no cover - depends on the filesystem
+        print(f"  [bench-json] WARNING: could not write {path}: {error}")

@@ -23,6 +23,7 @@ import time
 
 import pytest
 
+from benchmarks.bench_json import emit_bench_section
 from repro.distributed.network import get_network
 from repro.distributed.topology import Fabric, NAMED_TOPOLOGIES, get_topology
 
@@ -63,15 +64,28 @@ def test_bench_topology_wallclock_grid():
     print(header)
     print("-" * len(header))
     speedups = {}
+    rows = []
     for topology in sorted(NAMED_TOPOLOGIES):
         for network in ("fl", "balanced", "hpc"):
             bsp_seconds, bsp_bytes = simulate(topology, network, fda=False)
             fda_seconds, fda_bytes = simulate(topology, network, fda=True)
             speedups[(topology, network)] = bsp_seconds / fda_seconds
+            rows.append(
+                {
+                    "topology": topology,
+                    "network": network,
+                    "bsp_seconds": round(bsp_seconds, 4),
+                    "fda_seconds": round(fda_seconds, 4),
+                    "speedup": round(bsp_seconds / fda_seconds, 3),
+                    "bsp_bytes": int(bsp_bytes),
+                    "fda_bytes": int(fda_bytes),
+                }
+            )
             print(
                 f"{topology:<14}{network:<10}{bsp_seconds:>10.2f}{fda_seconds:>10.2f}"
                 f"{bsp_seconds / fda_seconds:>8.2f}x{bsp_bytes:>14,}{fda_bytes:>14,}"
             )
+    emit_bench_section("topology", "fda-vs-bsp-wallclock", rows)
 
     # The paper's claim holds on the few-hop topologies (star, two-level
     # hierarchy, gossip with its log K rounds): the byte savings buy real
@@ -107,6 +121,7 @@ def test_bench_sync_wallclock_by_topology():
     print(f"\n=== one model sync (d={MODEL_DIMENSION:,}, K={NUM_WORKERS}) ===")
     print(f"{'topology':<14}{'fl s':>10}{'hpc s':>10}{'bytes':>14}")
     times = {}
+    rows = []
     for topology in sorted(NAMED_TOPOLOGIES):
         row = {}
         num_bytes = 0
@@ -118,7 +133,16 @@ def test_bench_sync_wallclock_by_topology():
             row[network] = charge.seconds
             num_bytes = charge.num_bytes
         times[topology] = row
+        rows.append(
+            {
+                "topology": topology,
+                "fl_seconds": round(row["fl"], 6),
+                "hpc_seconds": round(row["hpc"], 6),
+                "bytes": int(num_bytes),
+            }
+        )
         print(f"{topology:<14}{row['fl']:>10.3f}{row['hpc']:>10.5f}{num_bytes:>14,}")
+    emit_bench_section("topology", "sync-wallclock-by-topology", rows)
     # Every topology is slower on the federated channel than on InfiniBand,
     # and the ring's 2(K-1) latency hops cost more than the star's 2 on the
     # latency-heavy FL network.
@@ -138,6 +162,11 @@ def test_bench_fabric_accounting_overhead():
     elapsed = time.perf_counter() - start
     rate = iterations / elapsed
     print(f"\nfabric.allreduce accounting: {rate:,.0f} charges/s")
+    emit_bench_section(
+        "topology",
+        "accounting-overhead",
+        [{"iterations": iterations, "charges_per_sec": round(rate, 1)}],
+    )
     floor = 20_000.0
     if rate < floor and not STRICT:
         print(f"  WARNING: {rate:,.0f} charges/s < {floor:,.0f} (REPRO_BENCH_STRICT=0)")

@@ -24,8 +24,10 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.distributed.engine import EXECUTION_MODES
 from repro.distributed.network import NAMED_NETWORKS
 from repro.distributed.topology import NAMED_TOPOLOGIES
+from repro.exceptions import ConfigurationError
 from repro.experiments import registry
 from repro.experiments.reporting import format_comparison, format_results_table
 from repro.experiments.run import TrainingRun
@@ -78,6 +80,11 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--network", choices=_NETWORK_CHOICES, default="none",
         help="network model converting bytes into virtual wall-clock",
+    )
+    compare.add_argument(
+        "--execution", choices=sorted(EXECUTION_MODES), default="sequential",
+        help="execution engine: per-worker 'sequential' steps or one "
+             "vectorized 'batched' pass for all K workers (A/B the engines)",
     )
 
     fabric = subparsers.add_parser(
@@ -156,6 +163,7 @@ def _command_figure(name: str, full: bool) -> int:
 def _command_compare(args: argparse.Namespace) -> int:
     workload = _WORKLOAD_BUILDERS[args.workload](num_workers=args.workers)
     workload = workload.with_fabric(topology=args.topology, network=args.network)
+    workload = workload.with_execution(args.execution)
     run = TrainingRun(
         accuracy_target=args.target, max_steps=args.max_steps, eval_every_steps=20
     )
@@ -167,9 +175,19 @@ def _command_compare(args: argparse.Namespace) -> int:
         if args.topology not in strategy.supported_topologies:
             print(f"(skipping {strategy.name}: no support for the {args.topology} topology)")
             continue
-        cluster, test_dataset = build_cluster(workload)
+        try:
+            cluster, test_dataset = build_cluster(workload)
+        except ConfigurationError as error:
+            # e.g. --execution batched on a model with Dropout/DenseBlock
+            # layers: report the incompatibility cleanly instead of a
+            # traceback (the message names the offending layers).
+            print(f"error: {error}")
+            return 2
         results.append(run.execute(strategy, cluster, test_dataset, workload_name=workload.name))
-    print(f"fabric: topology={args.topology} network={args.network}")
+    print(
+        f"fabric: topology={args.topology} network={args.network} "
+        f"execution={args.execution}"
+    )
     print(format_results_table(results, reached_only=False))
     print(format_comparison(results, "LinearFDA", "Synchronous"))
     return 0

@@ -108,10 +108,17 @@ class AsynchronousFDATrainer:
     # -- the protocol ------------------------------------------------------------
 
     def process_next_completion(self) -> AsyncEvent:
-        """Advance virtual time to the next worker-step completion and handle it."""
+        """Advance virtual time to the next worker-step completion and handle it.
+
+        The step is routed through the cluster's execution engine: event
+        completions are inherently per-worker (nothing lockstep to batch), so
+        both engines run the worker's own sequential step — the batched
+        engine merely notes the event-driven drive mode.  Trajectories are
+        therefore engine-independent for the asynchronous protocol.
+        """
         _, worker_id = self.timeline.pop_completion()
         worker = self.cluster.workers[worker_id]
-        worker.local_step()
+        self.cluster.engine.step_worker(worker_id)
 
         # The worker uploads its local state to the coordinator — point-to-point
         # traffic routed through the fabric (one hop on the star; more on

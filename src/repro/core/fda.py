@@ -114,7 +114,13 @@ class FDATrainer:
         # point; one vectorized (K, d) subtraction, monitors consume the rows.
         drifts = self.cluster.drift_matrix(self._reference, out=self._drift_scratch)
         if active is None:
-            states = [self.monitor.local_state(drift) for drift in drifts]
+            # The monitor consumes the whole drift matrix and batches what it
+            # can without changing bits (e.g. the flat-bincount sketch of all
+            # rows); its contract makes every state bit-identical to a
+            # per-row local_state call, so this one path serves both engines
+            # — sync decisions, byte ledgers, and the golden trajectories are
+            # unaffected by the engine choice.
+            states = self.monitor.local_states(drifts)
             num_active = self.cluster.num_workers
         else:
             states = [

@@ -18,7 +18,7 @@ turns the AllReduce-averaged state back into the variance over-estimate
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -37,6 +37,25 @@ class VarianceMonitor:
     def local_state(self, drift: np.ndarray) -> LocalState:
         """Build the state a worker transmits for its current drift ``u_t^{(k)}``."""
         raise NotImplementedError
+
+    def local_states(self, drifts: np.ndarray) -> List[LocalState]:
+        """All workers' states from the stacked ``(K, d)`` drift matrix.
+
+        The batched execution engine's entry point: subclasses override to
+        batch the expensive part (one flat-``bincount`` sketch of all rows
+        for SketchFDA) instead of ``K`` independent evaluations.  The default
+        falls back to :meth:`local_state` per row, so custom monitors keep
+        working unvectorized.
+
+        Contract: row ``k`` of the result must be **bit-identical** to
+        ``local_state(drifts[k])``.  The FDA sync decision is a threshold
+        comparison on these values, and the engines promise exactly equal
+        communication ledgers — so overrides must reduce each row with the
+        same operations the scalar path uses (e.g. per-row ``np.dot``, whose
+        BLAS reduction order differs bitwise from an ``einsum`` over the
+        matrix), batching only computations that are order-identical.
+        """
+        return [self.local_state(drift) for drift in drifts]
 
     def estimate(self, average_state: LocalState) -> float:
         """The variance over-estimate ``H(S̄_t)`` from the averaged state."""
@@ -83,6 +102,22 @@ class SketchMonitor(VarianceMonitor):
             float(np.dot(drift, drift)),
             self.sketch_operator.sketch(drift),
         )
+
+    def local_states(self, drifts: np.ndarray) -> List[SketchState]:
+        """All workers' sketch states with one batched sketch of the matrix.
+
+        The sketch — the expensive part — is built for all rows at once
+        (``sketch_rows``, bit-identical to per-row sketching because
+        ``bincount`` accumulates coordinates in index order either way); the
+        squared norms stay per-row ``np.dot`` so each state is bit-identical
+        to :meth:`local_state` (see the base-class contract).
+        """
+        drifts = np.asarray(drifts, dtype=np.float64)
+        sketches = self.sketch_operator.sketch_rows(drifts)
+        return [
+            SketchState(float(np.dot(drift, drift)), sketch)
+            for drift, sketch in zip(drifts, sketches)
+        ]
 
     def estimate(self, average_state: LocalState) -> float:
         if not isinstance(average_state, SketchState):
@@ -137,6 +172,13 @@ class LinearMonitor(VarianceMonitor):
             float(np.dot(self.direction, drift)),
         )
 
+    # LinearFDA's per-row state is two BLAS dot products; a matrix einsum /
+    # matrix-vector product would be marginally tidier but reduces in a
+    # different order bitwise, which would break the engines' exact-ledger
+    # contract (see VarianceMonitor.local_states) — so the base class's
+    # per-row fallback, which reuses local_state verbatim, is already the
+    # correct batched implementation and no override is defined here.
+
     def estimate(self, average_state: LocalState) -> float:
         if not isinstance(average_state, LinearState):
             raise CommunicationError(
@@ -170,6 +212,11 @@ class ExactMonitor(VarianceMonitor):
         # largest state variant for nothing.
         drift = np.asarray(drift, dtype=np.float64)
         return ExactState(float(np.dot(drift, drift)), drift)
+
+    # The base-class per-row local_states fallback is already right here:
+    # local_state keeps each drift row as a zero-copy view, and the squared
+    # norm must be the same per-row np.dot either way (exact-ledger
+    # contract, see VarianceMonitor.local_states) — no override needed.
 
     def estimate(self, average_state: LocalState) -> float:
         if not isinstance(average_state, ExactState):

@@ -23,7 +23,7 @@ from repro.data.partition import (
     partition_dataset,
     partition_statistics,
 )
-from repro.data.loaders import BatchSampler, EpochIterator
+from repro.data.loaders import BatchSampler, EpochIterator, StackedSampler
 from repro.data.features import PretrainedFeatureExtractor
 
 __all__ = [
@@ -41,5 +41,6 @@ __all__ = [
     "partition_statistics",
     "BatchSampler",
     "EpochIterator",
+    "StackedSampler",
     "PretrainedFeatureExtractor",
 ]

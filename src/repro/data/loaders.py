@@ -9,7 +9,7 @@ FedOpt baselines that train whole local epochs between rounds.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -34,6 +34,68 @@ class BatchSampler:
         """Return one mini-batch ``(x, y)``."""
         indices = self._rng.integers(0, len(self.dataset), size=self.batch_size)
         return self.dataset.x[indices], self.dataset.y[indices]
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        while True:
+            yield self.sample()
+
+
+class StackedSampler:
+    """Draws all ``K`` workers' mini-batches as one stacked ``(K, B, ...)`` array.
+
+    Wraps the workers' own :class:`BatchSampler` instances, so each worker's
+    with-replacement index stream is drawn from *its* private generator in
+    exactly the order the sequential engine would — a cluster can switch
+    between sequential and batched execution (or compare the two) without
+    perturbing which samples any worker sees.  The per-worker batches are
+    stacked into one ``(K, B, *sample_shape)`` feature array and one
+    ``(K, B)`` label array per call, which is the input layout of
+    :class:`repro.nn.batched.BatchedModel`.
+
+    All wrapped samplers must agree on the batch size and per-sample shape
+    (they index different shards of the same dataset family).
+    """
+
+    def __init__(self, samplers: Sequence[BatchSampler]) -> None:
+        if not samplers:
+            raise DataError("StackedSampler needs at least one per-worker sampler")
+        batch_sizes = {sampler.batch_size for sampler in samplers}
+        if len(batch_sizes) != 1:
+            raise DataError(
+                f"all workers must share one batch size, got {sorted(batch_sizes)}"
+            )
+        sample_shapes = {sampler.dataset.x.shape[1:] for sampler in samplers}
+        if len(sample_shapes) != 1:
+            raise DataError(
+                f"all workers must share one per-sample shape, got {sorted(sample_shapes)}"
+            )
+        self.samplers: List[BatchSampler] = list(samplers)
+        self.batch_size = batch_sizes.pop()
+
+    @classmethod
+    def for_datasets(
+        cls, datasets: Sequence[Dataset], batch_size: int, seeds: Sequence
+    ) -> "StackedSampler":
+        """Build a stacked sampler from per-worker shards and per-worker seeds."""
+        if len(datasets) != len(seeds):
+            raise DataError(
+                f"need one seed per dataset, got {len(datasets)} datasets and {len(seeds)} seeds"
+            )
+        return cls([
+            BatchSampler(dataset, batch_size, seed=seed)
+            for dataset, seed in zip(datasets, seeds)
+        ])
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.samplers)
+
+    def sample(self) -> Tuple[np.ndarray, np.ndarray]:
+        """One stacked mini-batch: ``(x, y)`` of shapes ``(K, B, ...)`` / ``(K, B)``."""
+        batches = [sampler.sample() for sampler in self.samplers]
+        x = np.stack([batch_x for batch_x, _ in batches], axis=0)
+        y = np.stack([batch_y for _, batch_y in batches], axis=0)
+        return x, y
 
     def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
         while True:

@@ -33,10 +33,20 @@ from repro.distributed.topology import (
     Topology,
     get_topology,
 )
+from repro.distributed.engine import (
+    BatchedEngine,
+    ClusterEngine,
+    EXECUTION_MODES,
+    SequentialEngine,
+)
 from repro.distributed.worker import Worker
 from repro.distributed.cluster import SimulatedCluster
 
 __all__ = [
+    "ClusterEngine",
+    "SequentialEngine",
+    "BatchedEngine",
+    "EXECUTION_MODES",
     "CommunicationCostModel",
     "CommunicationTracker",
     "NAIVE_COST_MODEL",

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.data.datasets import Dataset
 from repro.distributed.comm import CommunicationCostModel, NAIVE_COST_MODEL
+from repro.distributed.engine import ClusterEngine, build_engine
 from repro.distributed.network import NetworkModel, get_network
 from repro.distributed.topology import CollectiveCharge, Fabric, Topology, get_topology
 from repro.distributed.worker import Worker
@@ -49,6 +50,11 @@ class SimulatedCluster:
     the paper's setting — star topology, naive cost model, instantaneous
     network, uniform unit compute — under which byte counts and parameter
     trajectories are bit-identical to the pre-fabric implementation.
+
+    ``execution`` selects the compute engine below ``step_all``:
+    ``"sequential"`` (default, per-worker steps, golden-trajectory
+    bit-identical) or ``"batched"`` (one vectorized pass advancing all ``K``
+    workers at once; see :mod:`repro.distributed.engine`).
     """
 
     def __init__(
@@ -59,6 +65,7 @@ class SimulatedCluster:
         topology: Union[str, Topology, None] = None,
         network: Union[str, NetworkModel, None] = None,
         timeline: Optional["Timeline"] = None,
+        execution: str = "sequential",
     ) -> None:
         if not workers:
             raise ConfigurationError("a cluster needs at least one worker")
@@ -104,6 +111,10 @@ class SimulatedCluster:
         for row, worker in zip(self._buffer_matrix, self.workers):
             worker.model.rebind_buffer_storage(row)
         self._evaluation_model = self.workers[0].model.clone()
+        # The execution engine (sequential per-worker loop or one batched
+        # pass) sits below step_all; built last because the batched engine
+        # stacks gradients next to the matrices created above.
+        self._engine = build_engine(execution, self)
 
     # -- basic properties ------------------------------------------------------
 
@@ -111,6 +122,21 @@ class SimulatedCluster:
     def num_workers(self) -> int:
         """``K`` in the paper."""
         return len(self.workers)
+
+    @property
+    def engine(self) -> ClusterEngine:
+        """The execution engine driving local compute (see :mod:`repro.distributed.engine`)."""
+        return self._engine
+
+    @property
+    def execution(self) -> str:
+        """The selected execution mode: ``"sequential"`` or ``"batched"``."""
+        return self._engine.name
+
+    @property
+    def gradient_matrix(self) -> Optional[np.ndarray]:
+        """The live ``(K, d)`` gradient matrix (batched engine only, else ``None``)."""
+        return self._engine.gradient_matrix
 
     @property
     def model_dimension(self) -> int:
@@ -293,27 +319,22 @@ class SimulatedCluster:
     def step_all(self, active: Optional[np.ndarray] = None) -> float:
         """Run one local mini-batch step on every (participating) worker.
 
+        The step is delegated to the execution engine (one per-worker loop on
+        the sequential engine, one vectorized pass on the batched engine).
         ``active`` is an optional boolean mask for partial participation
         (timeline dropout); absent, every worker steps.  The timeline advances
         by the slowest participating worker's step duration.  Returns the mean
         loss over the workers that stepped.
         """
-        if active is None:
-            losses = [worker.local_step() for worker in self.workers]
-        else:
-            losses = [
-                worker.local_step()
-                for worker, is_active in zip(self.workers, active)
-                if is_active
-            ]
+        mean_loss = self._engine.step_all(active=active)
         self.timeline.advance_round(1, active=active)
-        return float(np.mean(losses)) if losses else 0.0
+        return mean_loss
 
     def epoch_all(self) -> float:
         """Run one local epoch on every worker; returns the mean loss."""
-        losses = [worker.local_epoch() for worker in self.workers]
+        mean_loss = self._engine.epoch_all()
         self.timeline.advance_round(max(w.batches_per_epoch for w in self.workers))
-        return float(np.mean(losses))
+        return mean_loss
 
     # -- evaluation -------------------------------------------------------------------
 
@@ -349,6 +370,7 @@ class SimulatedCluster:
     def __repr__(self) -> str:
         return (
             f"SimulatedCluster(K={self.num_workers}, d={self.model_dimension}, "
-            f"topology={self.fabric.topology.name!r}, syncs={self.synchronization_count}, "
+            f"topology={self.fabric.topology.name!r}, execution={self.execution!r}, "
+            f"syncs={self.synchronization_count}, "
             f"bytes={self.total_bytes}, t={self.virtual_time:.1f})"
         )

@@ -1,0 +1,353 @@
+"""Execution engines: how a cluster physically advances its workers.
+
+A :class:`~repro.distributed.cluster.SimulatedCluster` separates the training
+*protocol* (when to communicate, owned by the trainers/strategies) from the
+*mechanics* of a local step.  The engine owns the mechanics:
+
+* :class:`SequentialEngine` (``execution="sequential"``, the default) runs
+  ``K`` independent per-worker steps — the seed semantics, kept bit-identical
+  for the golden-trajectory suite.
+* :class:`BatchedEngine` (``execution="batched"``) advances **all workers in
+  one vectorized pass**: a :class:`~repro.data.loaders.StackedSampler` draws
+  the ``K`` mini-batches (from the workers' own RNG streams) as one
+  ``(K, B, ...)`` array, a :class:`~repro.nn.batched.BatchedModel` runs one
+  stacked forward/backward writing every worker's gradients into a shared
+  ``(K, d)`` gradient matrix, and a single ``Optimizer.step_inplace`` on the
+  cluster's ``(K, d)`` parameter matrix applies all ``K`` updates at once.
+
+Both engines plug in below ``cluster.step_all``, so every lockstep protocol —
+``FDATrainer``, the Synchronous/BSP baseline, Local-SGD/FedAvg, compression —
+picks the engine up transparently.  The event-driven asynchronous trainer
+steps single workers through :meth:`ClusterEngine.step_worker`, which is the
+per-worker path on either engine (its completions are not lockstep, so there
+is nothing to batch); an engine refuses to mix the two drive modes.
+
+The batched engine requires lockstep in the strict sense: full participation
+(no timeline dropout), ``inplace`` workers, and identically configured
+optimizers/losses across workers, all validated at construction or first use
+with actionable errors.  Per-worker arithmetic is element-for-element the
+sequential arithmetic, so trajectories agree to tight tolerance and all
+communication accounting — which lives above the engine — is identical.
+
+One asymmetry is inherent and deliberate: the *error* path of a non-finite
+loss (``TrainingError``).  The sequential engine fails mid-loop — workers
+before the diverging one have already stepped — while the batched engine
+fails atomically before any parameter/optimizer update (though every
+worker's sampler stream has advanced).  ``TrainingError`` signals a diverged
+run to be aborted or restarted, not resumed, so the engines only guarantee
+matching state on completed steps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.data.loaders import StackedSampler
+from repro.exceptions import ConfigurationError, TrainingError
+from repro.nn.batched import BatchedModel, BatchedPlane, unsupported_layers
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster builds engines)
+    from repro.distributed.cluster import SimulatedCluster
+
+#: Engine names accepted by ``SimulatedCluster(execution=...)`` and
+#: ``WorkloadConfig.execution``.
+EXECUTION_MODES = ("sequential", "batched")
+
+
+class ClusterEngine:
+    """Base class: one engine instance drives one cluster's local compute."""
+
+    #: Engine name as selected via ``execution=...``.
+    name = "engine"
+    #: Whether :meth:`step_all` advances all workers in one vectorized pass.
+    is_batched = False
+
+    def __init__(self, cluster: "SimulatedCluster") -> None:
+        self.cluster = cluster
+
+    @property
+    def gradient_matrix(self) -> Optional[np.ndarray]:
+        """The live ``(K, d)`` gradient matrix, if this engine maintains one."""
+        return None
+
+    def step_all(self, active: Optional[np.ndarray] = None) -> float:
+        """One local mini-batch step on every (participating) worker.
+
+        Returns the mean loss over the workers that stepped.  ``active`` is
+        the timeline's optional participation mask.
+        """
+        raise NotImplementedError
+
+    def step_worker(self, worker_id: int) -> float:
+        """One local step on a single worker (the asynchronous event path)."""
+        return self.cluster.workers[worker_id].local_step()
+
+    def epoch_all(self) -> float:
+        """One full local epoch on every worker; returns the mean loss.
+
+        Epochs stay per-worker on every engine: shards may differ in size, so
+        the per-round batch sequences are ragged across workers and cannot be
+        stacked into one ``(K, B, ...)`` tensor without changing what each
+        worker trains on.
+        """
+        workers = self.cluster.workers
+        return float(np.mean([worker.local_epoch() for worker in workers]))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(K={self.cluster.num_workers})"
+
+
+class SequentialEngine(ClusterEngine):
+    """Per-worker Python-loop execution — the seed-faithful default."""
+
+    name = "sequential"
+    is_batched = False
+
+    def step_all(self, active: Optional[np.ndarray] = None) -> float:
+        workers = self.cluster.workers
+        if active is None:
+            losses = [worker.local_step() for worker in workers]
+        else:
+            losses = [
+                worker.local_step()
+                for worker, is_active in zip(workers, active)
+                if is_active
+            ]
+        return float(np.mean(losses)) if losses else 0.0
+
+
+class BatchedEngine(ClusterEngine):
+    """One einsum-driven forward/backward/update for the whole cluster.
+
+    Construction stacks the cluster's state for vectorized compute:
+
+    * every worker model's *gradient* storage is rebound onto the rows of a
+      freshly allocated ``(K, d)`` matrix (parameters and buffers are already
+      stacked by the cluster), so the batched backward pass and the per-worker
+      layer views observe the same memory;
+    * a :class:`BatchedPlane` carves per-layer ``(K, *shape)`` views out of
+      the three matrices and a :class:`BatchedModel` chains the batched layer
+      kernels over them;
+    * worker 0's optimizer becomes the cluster optimizer, updating the whole
+      ``(K, d)`` matrix per step (its elementwise rules make that exactly
+      ``K`` per-worker updates; construction verifies all workers' optimizers
+      are identically configured).
+    """
+
+    name = "batched"
+    is_batched = True
+
+    def __init__(self, cluster: "SimulatedCluster") -> None:
+        super().__init__(cluster)
+        workers = cluster.workers
+        reference = workers[0]
+
+        not_inplace = [w.worker_id for w in workers if not w.inplace]
+        if not_inplace:
+            raise ConfigurationError(
+                f"execution='batched' requires inplace workers; workers {not_inplace} "
+                "use the legacy copy path (inplace=False)"
+            )
+        pre_stepped = [w.worker_id for w in workers if w.optimizer.step_count]
+        if pre_stepped:
+            # A pre-stepped optimizer holds (d,)-shaped moment/velocity
+            # buffers that the first (K, d) update would silently re-zero
+            # while its step count (Adam bias correction, LR schedules) kept
+            # counting — a quietly wrong trajectory.  Demand fresh optimizers.
+            raise ConfigurationError(
+                "execution='batched' requires fresh optimizers (their state "
+                "becomes cluster-wide (K, d) matrices); workers "
+                f"{pre_stepped} have optimizers that already stepped — call "
+                "optimizer.reset() or construct new optimizers"
+            )
+        missing = unsupported_layers(reference.model)
+        if missing:
+            raise ConfigurationError(
+                "execution='batched' does not support these layers: "
+                f"{', '.join(missing)}; use execution='sequential' for this model"
+            )
+        for worker in workers[1:]:
+            self._require_compatible(reference, worker)
+        if cluster.timeline.dropout_rate > 0.0:
+            raise ConfigurationError(
+                "execution='batched' requires full lockstep participation; "
+                "the timeline's dropout_rate is "
+                f"{cluster.timeline.dropout_rate} — use execution='sequential' "
+                "for partial-participation studies"
+            )
+
+        # Stack all workers' gradients next to the cluster's parameter matrix.
+        self._grad_matrix = np.empty_like(cluster.parameter_matrix)
+        for row, worker in zip(self._grad_matrix, workers):
+            worker.model.rebind_gradient_storage(row)
+        self._plane = BatchedPlane(
+            reference.model,
+            cluster.parameter_matrix,
+            self._grad_matrix,
+            cluster.buffer_matrix,
+        )
+        self._model = BatchedModel(reference.model, self._plane)
+        self._sampler = StackedSampler([worker._sampler for worker in workers])
+        self._optimizer = reference.optimizer
+        self._loss = reference.loss
+        # Drive-mode exclusion: lockstep step_all shares one optimizer across
+        # all workers, per-worker stepping uses each worker's own — the two
+        # kinds of optimizer state cannot coexist.  step_all detects *any*
+        # prior per-worker driving from the workers' optimizer step counts
+        # (which also catches callers that step workers directly, e.g. the
+        # drift-control strategies' local epochs, without going through this
+        # engine); the latches below additionally lock the engine's own
+        # entry points in both directions with a precise error.  The one
+        # undetectable order — direct worker stepping *after* lockstep steps
+        # — does not arise in-library: every strategy attaches to a fresh
+        # cluster and drives it in a single mode.
+        self._per_worker_stepped = False
+        self._lockstep_stepped = False
+        self._lockstep_steps = 0
+
+    @staticmethod
+    def _model_signature(model) -> List[tuple]:
+        """A structural fingerprint of a model: per-layer type, geometry, config.
+
+        The batched kernels are built from worker 0's layers and applied to
+        every row of the stacked matrices, so all workers' models must be the
+        *same architecture*, not merely the same parameter count.  The
+        signature captures everything a kernel reads from its layer.
+        """
+        signature = []
+        config_attrs = (
+            "units", "filters", "kernel_size", "stride", "padding_mode",
+            "pool_size", "use_bias", "momentum", "epsilon",
+        )
+        for layer in model.layers:
+            entry = [type(layer).__name__, tuple(layer.output_shape)]
+            for attr in config_attrs:
+                if hasattr(layer, attr):
+                    entry.append((attr, getattr(layer, attr)))
+            activation = getattr(layer, "activation", None)
+            if activation is not None:
+                entry.append(("activation", activation.name))
+            signature.append(tuple(entry))
+        return signature
+
+    @staticmethod
+    def _require_compatible(reference, worker) -> None:
+        """All workers must be interchangeable up to their data shard and RNG."""
+        problems: List[str] = []
+        if BatchedEngine._model_signature(worker.model) != BatchedEngine._model_signature(
+            reference.model
+        ):
+            problems.append("model architecture differs (layer types/geometry/config)")
+        if type(worker.optimizer) is not type(reference.optimizer):
+            problems.append(
+                f"optimizer type {type(worker.optimizer).__name__} != "
+                f"{type(reference.optimizer).__name__}"
+            )
+        elif worker.optimizer.state_dict() != reference.optimizer.state_dict() or (
+            type(worker.optimizer.schedule) is not type(reference.optimizer.schedule)
+            or vars(worker.optimizer.schedule) != vars(reference.optimizer.schedule)
+        ):
+            problems.append("optimizer hyper-parameters/state differ")
+        if type(worker.loss) is not type(reference.loss) or vars(worker.loss) != vars(
+            reference.loss
+        ):
+            problems.append("loss configuration differs")
+        if worker.batch_size != reference.batch_size:
+            problems.append(
+                f"batch_size {worker.batch_size} != {reference.batch_size}"
+            )
+        if problems:
+            raise ConfigurationError(
+                f"execution='batched' needs identically configured workers; worker "
+                f"{worker.worker_id}: {'; '.join(problems)}"
+            )
+
+    @property
+    def batched_model(self) -> BatchedModel:
+        """The stacked kernel chain (exposed for tests and diagnostics)."""
+        return self._model
+
+    @property
+    def gradient_matrix(self) -> np.ndarray:
+        """The live ``(K, d)`` gradient matrix; row ``k`` IS worker ``k``'s grads."""
+        return self._grad_matrix
+
+    def step_all(self, active: Optional[np.ndarray] = None) -> float:
+        if active is not None and not bool(np.all(active)):
+            raise ConfigurationError(
+                "execution='batched' cannot step a partial worker set; "
+                "use execution='sequential' with dropout timelines"
+            )
+        if self._per_worker_stepped or self._per_worker_drive_detected():
+            raise ConfigurationError(
+                "this batched engine's workers have already been driven "
+                "individually (event-driven steps or local epochs); lockstep "
+                "step_all would desynchronize the shared optimizer state"
+            )
+        self._lockstep_stepped = True
+        x, y = self._sampler.sample()
+        losses = self._model.train_batch(x, y, self._loss)
+        bad = np.flatnonzero(~np.isfinite(losses))
+        if bad.size:
+            raise TrainingError(
+                f"worker {int(bad[0])}: loss became non-finite ({losses[bad[0]]}); "
+                "reduce the learning rate or variance threshold"
+            )
+        self._optimizer.step_inplace(self.cluster.parameter_matrix, self._grad_matrix)
+        self._lockstep_steps += 1
+        for worker, value in zip(self.cluster.workers, losses):
+            worker.steps_performed += 1
+            worker.last_loss = float(value)
+        return float(losses.mean())
+
+    def _per_worker_drive_detected(self) -> bool:
+        """Whether any worker optimizer has stepped outside lockstep mode.
+
+        All optimizers start fresh (enforced at construction).  In lockstep
+        mode only the shared optimizer (worker 0's) advances, by exactly one
+        count per step_all; workers 1..K-1 never step.  Any other count means
+        something drove workers directly (e.g. the drift-control strategies'
+        local epochs, which bypass the engine's entry points).
+        """
+        workers = self.cluster.workers
+        if workers[0].optimizer.step_count != self._lockstep_steps:
+            return True
+        return any(worker.optimizer.step_count for worker in workers[1:])
+
+    def _require_no_lockstep_history(self, mode: str) -> None:
+        if self._lockstep_stepped:
+            raise ConfigurationError(
+                f"this batched engine has already run lockstep step_all; {mode} "
+                "would desynchronize the shared optimizer state (worker "
+                "optimizers would restart from scratch while the cluster "
+                "optimizer holds the accumulated (K, d) state)"
+            )
+
+    def step_worker(self, worker_id: int) -> float:
+        # Event-driven completions are per-worker by nature; they run the
+        # worker's own (sequential) step and lock this engine out of lockstep
+        # mode so the shared (K, d) optimizer state can never be half-updated.
+        self._require_no_lockstep_history("per-worker stepping")
+        self._per_worker_stepped = True
+        return self.cluster.workers[worker_id].local_step()
+
+    def epoch_all(self) -> float:
+        # Ragged shards force per-worker epochs (see the base class); the
+        # workers' own optimizers carry the state, so lockstep batched steps
+        # are locked out afterwards.
+        self._require_no_lockstep_history("per-worker epochs")
+        self._per_worker_stepped = True
+        return super().epoch_all()
+
+
+def build_engine(execution: str, cluster: "SimulatedCluster") -> ClusterEngine:
+    """Construct the engine selected by ``execution`` for ``cluster``."""
+    if execution == "sequential":
+        return SequentialEngine(cluster)
+    if execution == "batched":
+        return BatchedEngine(cluster)
+    raise ConfigurationError(
+        f"unknown execution mode {execution!r}; expected one of {EXECUTION_MODES}"
+    )

@@ -81,8 +81,16 @@ class Worker:
         self.model.set_buffers(flat)
 
     def drift_from(self, reference: np.ndarray) -> np.ndarray:
-        """The local model drift ``u_t^{(k)} = w_t^{(k)} − reference``."""
-        return self.model.parameters_view() - np.asarray(reference, dtype=np.float64)
+        """The local model drift ``u_t^{(k)} = w_t^{(k)} − reference``.
+
+        Hot-path contract: ``reference`` must already be a float64 ndarray of
+        shape ``(d,)`` — every trainer holds its reference that way (it comes
+        from ``get_parameters``/``synchronize``) — so the subtraction runs
+        straight off the parameter-plane view with no per-call ``asarray``
+        conversion.  Callers with convertible inputs convert once at the call
+        site, not here.
+        """
+        return self.model.parameters_view() - reference
 
     @property
     def num_parameters(self) -> int:

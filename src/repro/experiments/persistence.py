@@ -37,14 +37,16 @@ _RESULT_FIELDS = (
     "final_train_accuracy",
 )
 
-#: Fabric/timeline fields added by the topology refactor; optional on load so
-#: result files written before the refactor still deserialize.
+#: Fields added after the seed format (fabric/timeline by the topology
+#: refactor, ``execution`` by the batched engine); optional on load so result
+#: files written by earlier versions still deserialize.
 _OPTIONAL_RESULT_FIELDS = (
     "virtual_seconds",
     "compute_seconds",
     "comm_seconds",
     "topology",
     "network",
+    "execution",
 )
 
 

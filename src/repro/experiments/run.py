@@ -44,6 +44,14 @@ class RunResult:
     comm_seconds: float = 0.0
     topology: str = "star"
     network: str = "none"
+    #: Execution engine the cluster was *configured* with ("sequential" or
+    #: "batched").  The engines must produce equivalent results (see the
+    #: parity suite), so this documents configuration, not arithmetic: note
+    #: that protocols driving workers individually (FedOpt local epochs,
+    #: FedProx/SCAFFOLD, the asynchronous trainer) take the per-worker path
+    #: on either engine, so "batched" only implies vectorized stepping for
+    #: lockstep step-driven strategies (FDA, BSP, Local-SGD, compression).
+    execution: str = "sequential"
     history: RunLogger = field(default_factory=RunLogger)
 
     @property
@@ -180,5 +188,6 @@ class TrainingRun:
             comm_seconds=cluster.timeline.comm_seconds,
             topology=cluster.fabric.topology.name,
             network=cluster.fabric.network_name,
+            execution=cluster.execution,
             history=history,
         )

@@ -18,6 +18,7 @@ from repro.data.datasets import Dataset
 from repro.data.partition import partition_dataset
 from repro.distributed.cluster import SimulatedCluster
 from repro.distributed.comm import CommunicationCostModel, NAIVE_COST_MODEL
+from repro.distributed.engine import EXECUTION_MODES
 from repro.distributed.network import NetworkModel
 from repro.distributed.topology import Topology
 from repro.distributed.worker import Worker
@@ -89,6 +90,10 @@ class WorkloadConfig:
     #: per-round dropout.  ``None`` keeps the default unperturbed clock.
     compute_profile: Optional[StragglerProfile] = None
     dropout_rate: float = 0.0
+    #: Execution engine for the built cluster: ``"sequential"`` (per-worker
+    #: steps, the default) or ``"batched"`` (one vectorized pass advancing all
+    #: K workers at once; see :mod:`repro.distributed.engine`).
+    execution: str = "sequential"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -99,6 +104,10 @@ class WorkloadConfig:
         if not 0.0 <= self.dropout_rate < 1.0:
             raise ConfigurationError(
                 f"dropout_rate must lie in [0, 1), got {self.dropout_rate}"
+            )
+        if self.execution not in EXECUTION_MODES:
+            raise ConfigurationError(
+                f"execution must be one of {EXECUTION_MODES}, got {self.execution!r}"
             )
 
     def with_workers(self, num_workers: int) -> "WorkloadConfig":
@@ -138,6 +147,14 @@ class WorkloadConfig:
         if dropout_rate is not _KEEP:
             changes["dropout_rate"] = dropout_rate
         return replace(self, **changes)
+
+    def with_execution(self, execution: str) -> "WorkloadConfig":
+        """A copy of this workload on a different execution engine.
+
+        ``execution`` is ``"sequential"`` or ``"batched"``; used by the CLI's
+        ``compare --execution`` flag and the engine A/B benchmarks.
+        """
+        return replace(self, execution=execution)
 
 
 def build_cluster(config: WorkloadConfig) -> Tuple[SimulatedCluster, Dataset]:
@@ -186,5 +203,6 @@ def build_cluster(config: WorkloadConfig) -> Tuple[SimulatedCluster, Dataset]:
         topology=config.topology,
         network=config.network,
         timeline=timeline,
+        execution=config.execution,
     )
     return cluster, config.test_dataset

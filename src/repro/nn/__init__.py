@@ -34,6 +34,7 @@ from repro.nn.losses import (
     MeanSquaredError,
     SoftmaxCrossEntropy,
 )
+from repro.nn.batched import BatchedModel, BatchedPlane
 from repro.nn.metrics import accuracy, confusion_matrix, top_k_accuracy
 from repro.nn.model import Sequential
 from repro.nn.plane import ParameterPlane
@@ -71,6 +72,8 @@ __all__ = [
     "confusion_matrix",
     "Sequential",
     "ParameterPlane",
+    "BatchedModel",
+    "BatchedPlane",
     "lenet5",
     "vgg_mini",
     "densenet_mini",

@@ -115,6 +115,78 @@ def col2im(
     return padded[:, padding:-padding, padding:-padding, :]
 
 
+def _pool_row_coordinates(
+    input_shape: Tuple[int, int, int, int], out_h: int, out_w: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-output-row (sample, out-row, out-col) coordinates for pooling scatter.
+
+    Pooling rows enumerate ``(n, oh, ow)`` in C order, exactly the layout
+    produced by :func:`im2col` on an unpadded NHWC tensor.
+    """
+    batch = input_shape[0]
+    row_ids = np.arange(batch * out_h * out_w)
+    sample = row_ids // (out_h * out_w)
+    remainder = row_ids % (out_h * out_w)
+    return sample, remainder // out_w, remainder % out_w
+
+
+def max_pool_backward(
+    argmax: np.ndarray,
+    grad_output: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    pool_size: int,
+    stride: int,
+) -> np.ndarray:
+    """Adjoint of max pooling via one flat ``np.add.at`` scatter.
+
+    ``argmax`` is the ``(rows, channels)`` within-window winner index cached
+    by the forward pass (``rows = N * out_h * out_w``).  Each pooled gradient
+    is routed straight to its winning input element by flat indexing — no
+    patch-matrix materialization, no per-kernel-position ``col2im`` loop.
+    ``np.add.at`` (not plain fancy-index assignment) keeps overlapping
+    windows (``stride < pool_size``) correct: coinciding winners accumulate.
+    """
+    batch, height, width, channels = input_shape
+    out_h, out_w = grad_output.shape[1], grad_output.shape[2]
+    rows = batch * out_h * out_w
+    sample, out_row, out_col = _pool_row_coordinates(input_shape, out_h, out_w)
+    in_row = out_row[:, None] * stride + argmax // pool_size
+    in_col = out_col[:, None] * stride + argmax % pool_size
+    flat_index = (
+        (sample[:, None] * height + in_row) * width + in_col
+    ) * channels + np.arange(channels)[None, :]
+    grad_input = np.zeros(batch * height * width * channels, dtype=grad_output.dtype)
+    np.add.at(grad_input, flat_index.ravel(), grad_output.reshape(rows * channels))
+    return grad_input.reshape(input_shape)
+
+
+def avg_pool_backward(
+    grad_output: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    pool_size: int,
+    stride: int,
+) -> np.ndarray:
+    """Adjoint of average pooling via ``pool_size²`` strided window adds.
+
+    Every input element covered by a window receives ``grad / window`` from
+    that window; overlapping windows accumulate, matching ``col2im``.  Unlike
+    max pooling there are no data-dependent indices here, so a gather/scatter
+    (``np.add.at``) would only add overhead — each within-window offset
+    ``(i, j)`` contributes the *same* share tensor to a strided slice of the
+    input, which is a plain vectorized add (and skips the old path's
+    materialization of the full patch matrix).
+    """
+    out_h, out_w = grad_output.shape[1], grad_output.shape[2]
+    share = grad_output / float(pool_size * pool_size)
+    grad_input = np.zeros(input_shape, dtype=grad_output.dtype)
+    for i in range(pool_size):
+        row_end = i + stride * out_h
+        for j in range(pool_size):
+            col_end = j + stride * out_w
+            grad_input[:, i:row_end:stride, j:col_end:stride, :] += share
+    return grad_input
+
+
 def flatten_batch(x: np.ndarray) -> np.ndarray:
     """Flatten everything but the batch dimension."""
     return x.reshape(x.shape[0], -1)

@@ -25,11 +25,13 @@ import numpy as np
 from repro.exceptions import ConfigurationError, ModelNotBuiltError, ShapeError
 from repro.nn.activations import ActivationFunction, get_activation
 from repro.nn.functional import (
+    avg_pool_backward,
     col2im,
     conv_output_size,
     flatten_batch,
     global_average_pool,
     im2col,
+    max_pool_backward,
 )
 from repro.nn.initializers import get_initializer, ones_init, zeros_init
 
@@ -435,20 +437,10 @@ class MaxPool2D(_Pool2D):
             raise ModelNotBuiltError(
                 f"MaxPool2D {self.name!r}: backward called without a training forward pass"
             )
-        batch, height, width, channels = self._cache_shape
-        rows = self._cache_argmax.shape[0]
-        window = self.pool_size * self.pool_size
-        grad_patches = np.zeros((rows, window, channels), dtype=grad_output.dtype)
-        grad_flat = grad_output.reshape(rows, channels)
-        np.put_along_axis(grad_patches, self._cache_argmax[:, None, :], grad_flat[:, None, :], axis=1)
-        grad_columns = grad_patches.reshape(rows, window * channels)
-        return col2im(
-            grad_columns,
-            self._cache_shape,
-            self.pool_size,
-            self.pool_size,
-            self.stride,
-            0,
+        # One flat argmax-indexed scatter instead of the patch-matrix +
+        # per-kernel-position col2im loop; see nn.functional.max_pool_backward.
+        return max_pool_backward(
+            self._cache_argmax, grad_output, self._cache_shape, self.pool_size, self.stride
         )
 
 
@@ -476,19 +468,9 @@ class AvgPool2D(_Pool2D):
             raise ModelNotBuiltError(
                 f"AvgPool2D {self.name!r}: backward called without a training forward pass"
             )
-        batch, height, width, channels = self._cache_shape
-        rows = grad_output.shape[0] * grad_output.shape[1] * grad_output.shape[2]
-        window = self.pool_size * self.pool_size
-        grad_flat = grad_output.reshape(rows, channels) / float(window)
-        grad_patches = np.repeat(grad_flat[:, None, :], window, axis=1)
-        grad_columns = grad_patches.reshape(rows, window * channels)
-        return col2im(
-            grad_columns,
-            self._cache_shape,
-            self.pool_size,
-            self.pool_size,
-            self.stride,
-            0,
+        # Strided window adds of the shared gradient; see nn.functional.avg_pool_backward.
+        return avg_pool_backward(
+            grad_output, self._cache_shape, self.pool_size, self.stride
         )
 
 

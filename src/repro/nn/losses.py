@@ -24,6 +24,24 @@ class Loss:
     def gradient(self, outputs: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
         raise NotImplementedError
 
+    def batched_gradient(
+        self, outputs: np.ndarray, targets: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-worker losses and gradients for stacked ``(K, B, ...)`` outputs.
+
+        Used by the batched execution engine: ``outputs`` carries one leading
+        worker axis, ``targets`` is ``(K, B)``-shaped, and the return value is
+        ``(losses, grads)`` with ``losses`` of shape ``(K,)`` and ``grads``
+        aligned with ``outputs``.  Worker ``k``'s slice must equal what
+        :meth:`gradient` computes on its mini-batch alone.  The default
+        iterates; subclasses override with one vectorized evaluation.
+        """
+        losses = np.empty(outputs.shape[0], dtype=np.float64)
+        grads = np.empty_like(outputs, dtype=np.float64)
+        for worker, (worker_out, worker_targets) in enumerate(zip(outputs, targets)):
+            losses[worker], grads[worker] = self.gradient(worker_out, worker_targets)
+        return losses, grads
+
 
 class SoftmaxCrossEntropy(Loss):
     """Cross-entropy over logits with integrated softmax.
@@ -67,6 +85,31 @@ class SoftmaxCrossEntropy(Loss):
         grad = (probs - distribution) / outputs.shape[0]
         return loss, grad
 
+    def batched_gradient(
+        self, outputs: np.ndarray, targets: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One softmax/log-softmax sweep over all ``K`` workers' logits at once."""
+        if outputs.ndim != 3:
+            raise ShapeError(
+                f"batched outputs must be (K, B, num_classes) logits, got shape {outputs.shape}"
+            )
+        targets = np.asarray(targets)
+        if targets.shape != outputs.shape[:2]:
+            raise ShapeError(
+                f"batched targets must have shape {outputs.shape[:2]}, got {targets.shape}"
+            )
+        num_workers, batch, num_classes = outputs.shape
+        probs = softmax(outputs, axis=-1)
+        log_probs = log_softmax(outputs, axis=-1)
+        # One flattened (K*B, C) target distribution via the shared helper
+        # (single source of the label-smoothing semantics), regrouped per worker.
+        distribution = self._target_distribution(
+            targets.reshape(-1), num_classes
+        ).reshape(outputs.shape)
+        losses = -(distribution * log_probs).sum(axis=-1).mean(axis=-1)
+        grads = (probs - distribution) / batch
+        return losses, grads
+
 
 class MeanSquaredError(Loss):
     """Mean squared error for regression outputs of any shape."""
@@ -89,3 +132,18 @@ class MeanSquaredError(Loss):
         loss = float(np.mean(diff**2))
         grad = 2.0 * diff / diff.size
         return loss, grad
+
+    def batched_gradient(
+        self, outputs: np.ndarray, targets: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-worker MSE over a stacked ``(K, B, ...)`` prediction tensor."""
+        targets = np.asarray(targets, dtype=np.float64)
+        if outputs.shape != targets.shape:
+            raise ShapeError(
+                f"outputs and targets must have the same shape, got {outputs.shape} and {targets.shape}"
+            )
+        diff = outputs - targets
+        per_worker = diff[0].size
+        losses = (diff * diff).reshape(diff.shape[0], -1).mean(axis=1)
+        grads = 2.0 * diff / per_worker
+        return losses, grads

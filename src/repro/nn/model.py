@@ -222,6 +222,16 @@ class Sequential:
         self._require_built()
         self._plane.rebind_parameters(storage)
 
+    def rebind_gradient_storage(self, storage: np.ndarray) -> None:
+        """Move gradient storage onto caller-owned ``storage`` (values kept).
+
+        Used by the batched execution engine to stack all workers' gradients
+        into one ``(K, d)`` matrix so a single batched backward pass writes
+        every worker's gradients and a single ``step_inplace`` consumes them.
+        """
+        self._require_built()
+        self._plane.rebind_gradients(storage)
+
     def rebind_buffer_storage(self, storage: np.ndarray) -> None:
         """Move buffer storage onto caller-owned ``storage`` (values kept)."""
         self._require_built()

@@ -32,6 +32,21 @@ ArrayRef = Tuple[object, str]
 
 
 @dataclass(frozen=True)
+class SlotLayout:
+    """Public description of where one layer array lives in a flat vector.
+
+    ``offset``/``size`` address the array inside the flat storage; ``shape``
+    is its logical layer shape.  The batched execution engine uses these to
+    carve ``(K, *shape)`` views out of a cluster's ``(K, d)`` matrices (see
+    :class:`repro.nn.batched.BatchedPlane`).
+    """
+
+    offset: int
+    size: int
+    shape: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
 class _Slot:
     """Where one layer array lives inside a flat vector."""
 
@@ -162,6 +177,28 @@ class ParameterPlane:
     @property
     def num_buffers(self) -> int:
         return self._buffers.size
+
+    # -- layout introspection --------------------------------------------------
+
+    @staticmethod
+    def _layout(space: _FlatSpace) -> List[SlotLayout]:
+        return [SlotLayout(s.offset, s.size, s.shape) for s in space.slots]
+
+    def parameter_layout(self) -> List[SlotLayout]:
+        """One :class:`SlotLayout` per parameter array, in storage order.
+
+        The order matches the concatenation of every layer's
+        ``parameter_refs()``, which is also the order of ``parameters()``.
+        """
+        return self._layout(self._params)
+
+    def gradient_layout(self) -> List[SlotLayout]:
+        """One :class:`SlotLayout` per gradient array (aligned with parameters)."""
+        return self._layout(self._grads)
+
+    def buffer_layout(self) -> List[SlotLayout]:
+        """One :class:`SlotLayout` per non-trainable buffer array."""
+        return self._layout(self._buffers)
 
     # -- storage rebinding -----------------------------------------------------
 

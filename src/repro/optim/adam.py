@@ -16,7 +16,12 @@ from repro.optim.base import Optimizer, check_beta
 
 
 class Adam(Optimizer):
-    """Adam with bias-corrected first/second moments (Kingma & Ba defaults)."""
+    """Adam with bias-corrected first/second moments (Kingma & Ba defaults).
+
+    Elementwise throughout: accepts a flat ``(d,)`` vector or a stacked
+    ``(K, d)`` worker matrix (batched engine), with moment buffers taking the
+    matching shape — ``K`` per-worker Adam updates in one call.
+    """
 
     def __init__(
         self,

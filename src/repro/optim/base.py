@@ -14,6 +14,16 @@ Two entry points exist:
   Input validation is hoisted behind a one-time check so that schedule lookup
   and the arithmetic of :meth:`_update_inplace` dominate the per-call cost.
   The gradient vector is treated as read-only by every built-in optimizer.
+
+Both entry points also accept a stacked ``(K, d)`` parameter matrix with a
+matching gradient matrix — the batched execution engine's layout, where row
+``k`` is worker ``k``'s flat vector.  Every built-in update rule is purely
+elementwise over (params, grads, state), so one call on the matrix performs
+``K`` independent per-worker updates with arithmetic identical to ``K``
+separate flat-vector calls; moment/scratch buffers simply take the matrix
+shape.  One optimizer instance then serves a whole lockstep cluster (all
+workers share hyper-parameters and step count, exactly as ``K`` freshly
+constructed copies would).
 """
 
 from __future__ import annotations
@@ -41,6 +51,7 @@ class Optimizer:
         self.name = name or type(self).__name__.lower()
         self.step_count = 0
         self._validated_key: Optional[Tuple] = None
+        self._bound_shape: Optional[Tuple[int, ...]] = None
 
     # -- public API ----------------------------------------------------------
 
@@ -50,14 +61,39 @@ class Optimizer:
             raise ShapeError(
                 f"params and grads must have the same shape, got {params.shape} and {grads.shape}"
             )
-        if params.ndim != 1:
-            raise ShapeError(f"optimizers operate on flat vectors, got shape {params.shape}")
+        if params.ndim not in (1, 2):
+            raise ShapeError(
+                "optimizers operate on flat vectors (d,) or stacked worker "
+                f"matrices (K, d), got shape {params.shape}"
+            )
+
+    def _require_bound_shape(self, shape: Tuple[int, ...]) -> None:
+        """Reject a parameter-layout change on an optimizer that has stepped.
+
+        Moment/velocity buffers silently re-zero on a shape change while
+        ``step_count`` (bias correction, schedules) keeps counting — a
+        quietly wrong trajectory.  Reusing a stepped optimizer with a
+        different model or a ``(K, d)`` stacking layout requires an explicit
+        :meth:`reset`.  Enforced by both stepping entry points.
+        """
+        if (
+            self.step_count > 0
+            and self._bound_shape is not None
+            and shape != self._bound_shape
+        ):
+            raise ShapeError(
+                f"optimizer state is bound to parameter shape {self._bound_shape}, "
+                f"got {shape}; call reset() before reusing this optimizer with a "
+                "different layout"
+            )
 
     def step(self, params: np.ndarray, grads: np.ndarray) -> np.ndarray:
         """Return the updated parameter vector for one optimization step."""
         params = np.asarray(params, dtype=np.float64)
         grads = np.asarray(grads, dtype=np.float64)
         self._validate(params, grads)
+        self._require_bound_shape(params.shape)
+        self._bound_shape = params.shape
         learning_rate = self.schedule(self.step_count)
         updated = self._update(params, grads, learning_rate)
         self.step_count += 1
@@ -66,11 +102,13 @@ class Optimizer:
     def step_inplace(self, params: np.ndarray, grads: np.ndarray) -> np.ndarray:
         """Apply one optimization step directly to ``params`` and return it.
 
-        ``params`` must be a 1-D float64 ndarray (typically the model's
-        parameter-plane view); it is mutated.  ``grads`` must be a float64
-        ndarray of the same shape and is never modified.  Validation is
-        memoized on the shape/dtype of both inputs so that repeated calls pay
-        only for the schedule lookup and the update itself; any change in
+        ``params`` must be a float64 ndarray — either a flat ``(d,)`` vector
+        (typically the model's parameter-plane view) or a stacked ``(K, d)``
+        worker matrix (the batched engine's layout, updated as ``K``
+        independent per-worker steps); it is mutated.  ``grads`` must be a
+        float64 ndarray of the same shape and is never modified.  Validation
+        is memoized on the shape/dtype of both inputs so that repeated calls
+        pay only for the schedule lookup and the update itself; any change in
         layout re-validates.  Other input types are rejected outright — an
         ``asarray`` copy of ``params`` would silently swallow the in-place
         update, and a converted ``grads`` would change arithmetic precision
@@ -90,7 +128,9 @@ class Optimizer:
                         "use step() for other inputs"
                     )
             self._validate(params, grads)
+            self._require_bound_shape(params.shape)
             self._validated_key = key
+            self._bound_shape = params.shape
         learning_rate = self.schedule(self.step_count)
         self._update_inplace(params, grads, learning_rate)
         self.step_count += 1
@@ -100,6 +140,7 @@ class Optimizer:
         """Clear all internal state (momentum buffers, step count)."""
         self.step_count = 0
         self._validated_key = None
+        self._bound_shape = None
         self._reset_state()
 
     @property

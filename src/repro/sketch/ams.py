@@ -123,6 +123,39 @@ class AmsSketch:
             )
         return result
 
+    def sketch_rows(self, matrix: np.ndarray) -> np.ndarray:
+        """Sketch every row of a ``(K, d)`` matrix at once; returns ``(K, depth, width)``.
+
+        The batched form of :meth:`sketch` used by the batched execution
+        engine: for each depth row, the ``K`` per-worker scatters become one
+        flat ``bincount`` over worker-offset bucket indices (worker ``k``'s
+        coordinates land in ``[k·width, (k+1)·width)``).  Row ``k`` of the
+        result equals ``sketch(matrix[k])`` up to summation order inside a
+        bucket (``bincount`` accumulates coordinates in index order either
+        way, so in practice the values coincide bitwise).
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ShapeError(f"can only sketch a (K, d) matrix, got shape {matrix.shape}")
+        num_rows, dimension = matrix.shape
+        if self._dimension != dimension:
+            self._prepare(dimension)
+        worker_offsets = np.arange(num_rows, dtype=np.int64)[:, None] * self.width
+        result = np.empty((num_rows, self.depth, self.width), dtype=np.float64)
+        for row in range(self.depth):
+            weighted = self._signs[row] * matrix
+            # Flat bincount target of every (worker, coordinate) pair; built
+            # per call — a transient (K, d) index array is far cheaper than
+            # holding depth copies of it on the operator.
+            offsets = worker_offsets + self._buckets[row][None, :]
+            counts = np.bincount(
+                offsets.reshape(-1),
+                weights=weighted.reshape(-1),
+                minlength=num_rows * self.width,
+            )
+            result[:, row, :] = counts.reshape(num_rows, self.width)
+        return result
+
     def estimate_l2_squared(self, sketch_matrix: np.ndarray) -> float:
         """Estimate ``‖v‖²`` from a sketch produced by this operator (or a linear mix)."""
         sketch_matrix = np.asarray(sketch_matrix, dtype=np.float64)

@@ -63,6 +63,10 @@ class LocalSGDStrategy(Strategy):
     index to that round's period, which covers the increasing/decreasing
     schedules discussed in the related-work section.  The synchronization is a
     plain AllReduce average, so any fabric topology works.
+
+    Each of the ``tau`` local steps goes through ``cluster.step_all`` and thus
+    the cluster's execution engine — ``execution="batched"`` advances all
+    workers per step in one vectorized pass with unchanged protocol semantics.
     """
 
     name = "LocalSGD"

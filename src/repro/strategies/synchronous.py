@@ -14,7 +14,13 @@ from repro.strategies.base import Strategy
 
 
 class SynchronousStrategy(Strategy):
-    """BSP training: one local step, then a full model AllReduce, every round."""
+    """BSP training: one local step, then a full model AllReduce, every round.
+
+    The local step goes through ``cluster.step_all`` and therefore through the
+    cluster's execution engine: with ``execution="batched"`` all ``K`` worker
+    steps of a round run as one vectorized pass (identical protocol, identical
+    byte accounting).
+    """
 
     name = "Synchronous"
     supported_topologies = ("star", "ring", "hierarchical", "gossip")

@@ -1,0 +1,442 @@
+"""Batched-vs-sequential execution parity, per strategy.
+
+The batched engine must be an *execution* optimization only: for every
+protocol, a run on ``execution="batched"`` must reproduce the sequential
+run's training trajectory and its communication ledger.  Floating-point
+trajectories are compared with ``rtol=1e-6`` (documented tolerance: batched
+GEMMs may legally re-associate reductions; in practice per-worker slices run
+the same BLAS kernels and the trajectories come out bit-identical on common
+platforms).  Ledgers — byte counts per category, synchronization decisions,
+step counts — are compared exactly: protocol decisions may not drift.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.async_fda import AsynchronousFDATrainer
+from repro.core.fda import FDATrainer
+from repro.core.monitor import make_monitor
+from repro.core.timeline import StragglerProfile
+from repro.data.datasets import Dataset
+from repro.data.loaders import BatchSampler, StackedSampler
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.engine import BatchedEngine, SequentialEngine
+from repro.distributed.worker import Worker
+from repro.exceptions import ConfigurationError
+from repro.nn.architectures import lenet5, mlp, transfer_head
+from repro.nn.layers import (
+    Activation,
+    AvgPool2D,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    GlobalAvgPool2D,
+)
+from repro.nn.model import Sequential
+from repro.optim.adam import Adam
+from repro.optim.sgd import SGD
+from repro.strategies.fda_strategy import FDAStrategy
+from repro.strategies.local_sgd import LocalSGDStrategy
+from repro.strategies.synchronous import SynchronousStrategy
+
+#: Documented trajectory tolerance (see module docstring and ISSUE 3).
+RTOL = 1e-6
+
+
+def mlp_factory():
+    return mlp(6, 3, hidden_units=(10, 8), seed=11)
+
+
+def lenet_factory():
+    return lenet5(input_shape=(8, 8, 1), num_classes=4, seed=2)
+
+
+def bn_factory():
+    model = Sequential(
+        [
+            Conv2D(4, kernel_size=3, padding="same", activation=None, name="conv"),
+            BatchNorm(name="bn"),
+            Activation("relu", name="act"),
+            AvgPool2D(2, name="pool"),
+            GlobalAvgPool2D(name="gap"),
+            Dense(4, activation=None, name="logits"),
+        ],
+        name="bn-net",
+    )
+    model.build((8, 8, 1), seed=3)
+    return model
+
+
+def make_cluster(
+    execution,
+    model_factory=mlp_factory,
+    sample_shape=(6,),
+    num_classes=3,
+    num_workers=8,
+    optimizer_factory=lambda: Adam(0.01),
+    **cluster_kwargs,
+):
+    rng = np.random.default_rng(7)
+    workers = []
+    for worker_id in range(num_workers):
+        x = rng.normal(size=(40,) + sample_shape)
+        y = rng.integers(0, num_classes, size=40)
+        workers.append(
+            Worker(
+                worker_id,
+                model_factory(),
+                Dataset(x, y, num_classes),
+                optimizer_factory(),
+                batch_size=8,
+                seed=worker_id,
+            )
+        )
+    return SimulatedCluster(workers, execution=execution, **cluster_kwargs)
+
+
+def assert_ledgers_equal(cluster_a, cluster_b):
+    """Byte accounting must be *exactly* equal between the engines."""
+    assert cluster_a.total_bytes == cluster_b.total_bytes
+    for category in ("model-sync", "fda-state", "other"):
+        assert cluster_a.tracker.bytes_for(category) == cluster_b.tracker.bytes_for(
+            category
+        )
+    assert cluster_a.synchronization_count == cluster_b.synchronization_count
+    assert [w.steps_performed for w in cluster_a.workers] == [
+        w.steps_performed for w in cluster_b.workers
+    ]
+
+
+class TestFdaParity:
+    @pytest.mark.parametrize("threshold", [0.05, 0.5, 5.0])
+    @pytest.mark.parametrize("variant", ["linear", "sketch"])
+    def test_fda_trajectory_and_ledger_match(self, variant, threshold):
+        steps = 40
+        results = {}
+        for execution in ("sequential", "batched"):
+            cluster = make_cluster(execution)
+            monitor = make_monitor(variant, cluster.model_dimension, seed=3)
+            trainer = FDATrainer(cluster, monitor, threshold=threshold)
+            results[execution] = (trainer, trainer.run_steps(steps))
+        seq_trainer, seq_steps = results["sequential"]
+        bat_trainer, bat_steps = results["batched"]
+
+        np.testing.assert_allclose(
+            [r.mean_loss for r in seq_steps],
+            [r.mean_loss for r in bat_steps],
+            rtol=RTOL,
+        )
+        np.testing.assert_allclose(
+            [r.variance_estimate for r in seq_steps],
+            [r.variance_estimate for r in bat_steps],
+            rtol=RTOL,
+            atol=1e-9,
+        )
+        np.testing.assert_allclose(
+            seq_trainer.cluster.parameter_matrix,
+            bat_trainer.cluster.parameter_matrix,
+            rtol=RTOL,
+        )
+        # Protocol decisions and the communication ledger are exact.
+        assert [r.synchronized for r in seq_steps] == [r.synchronized for r in bat_steps]
+        assert [r.communication_bytes for r in seq_steps] == [
+            r.communication_bytes for r in bat_steps
+        ]
+        assert_ledgers_equal(seq_trainer.cluster, bat_trainer.cluster)
+
+    def test_acceptance_fda_k8_loss_trajectory_and_ledger(self):
+        """The ISSUE-3 acceptance cell: K=8 FDA, rtol=1e-6 losses, exact bytes."""
+        runs = {}
+        for execution in ("sequential", "batched"):
+            cluster = make_cluster(execution, num_workers=8)
+            trainer = FDATrainer(
+                cluster, make_monitor("linear", cluster.model_dimension, seed=3), 0.5
+            )
+            runs[execution] = (cluster, trainer.run_steps(60))
+        seq_cluster, seq_steps = runs["sequential"]
+        bat_cluster, bat_steps = runs["batched"]
+        np.testing.assert_allclose(
+            [r.mean_loss for r in seq_steps],
+            [r.mean_loss for r in bat_steps],
+            rtol=RTOL,
+        )
+        assert_ledgers_equal(seq_cluster, bat_cluster)
+
+
+class TestStrategyParity:
+    @pytest.mark.parametrize(
+        "strategy_factory",
+        [
+            SynchronousStrategy,
+            lambda: LocalSGDStrategy(tau=4),  # FedAvg-style local SGD
+            lambda: FDAStrategy(threshold=0.5, variant="linear"),
+        ],
+        ids=["bsp", "local-sgd", "fda-strategy"],
+    )
+    def test_round_trajectories_match(self, strategy_factory):
+        rounds = 12
+        outcomes = {}
+        for execution in ("sequential", "batched"):
+            cluster = make_cluster(execution)
+            strategy = strategy_factory().attach(cluster)
+            outcomes[execution] = (cluster, [strategy.run_round() for _ in range(rounds)])
+        seq_cluster, seq_rounds = outcomes["sequential"]
+        bat_cluster, bat_rounds = outcomes["batched"]
+        np.testing.assert_allclose(
+            [r.mean_loss for r in seq_rounds],
+            [r.mean_loss for r in bat_rounds],
+            rtol=RTOL,
+        )
+        assert [r.synchronized for r in seq_rounds] == [
+            r.synchronized for r in bat_rounds
+        ]
+        assert [r.communication_bytes for r in seq_rounds] == [
+            r.communication_bytes for r in bat_rounds
+        ]
+        np.testing.assert_allclose(
+            seq_cluster.parameter_matrix, bat_cluster.parameter_matrix, rtol=RTOL
+        )
+        assert_ledgers_equal(seq_cluster, bat_cluster)
+
+    @pytest.mark.parametrize("model_factory,shape,classes", [
+        (lenet_factory, (8, 8, 1), 4),
+        (bn_factory, (8, 8, 1), 4),
+    ], ids=["lenet-conv", "batchnorm-net"])
+    def test_conv_and_batchnorm_models_match(self, model_factory, shape, classes):
+        outcomes = {}
+        for execution in ("sequential", "batched"):
+            cluster = make_cluster(
+                execution,
+                model_factory=model_factory,
+                sample_shape=shape,
+                num_classes=classes,
+                num_workers=4,
+                optimizer_factory=lambda: SGD(0.05, momentum=0.9, nesterov=True),
+            )
+            losses = [cluster.step_all() for _ in range(10)]
+            cluster.synchronize()
+            outcomes[execution] = (cluster, losses)
+        seq_cluster, seq_losses = outcomes["sequential"]
+        bat_cluster, bat_losses = outcomes["batched"]
+        np.testing.assert_allclose(seq_losses, bat_losses, rtol=RTOL)
+        np.testing.assert_allclose(
+            seq_cluster.parameter_matrix, bat_cluster.parameter_matrix, rtol=RTOL
+        )
+        np.testing.assert_allclose(
+            seq_cluster.buffer_matrix, bat_cluster.buffer_matrix, rtol=RTOL
+        )
+        assert_ledgers_equal(seq_cluster, bat_cluster)
+
+
+class TestAsyncParity:
+    def test_async_runs_are_engine_independent(self):
+        """Event-driven completions take the per-worker path on both engines,
+        so asynchronous trajectories must be *exactly* equal."""
+        outcomes = {}
+        for execution in ("sequential", "batched"):
+            cluster = make_cluster(execution)
+            trainer = AsynchronousFDATrainer(
+                cluster,
+                make_monitor("linear", cluster.model_dimension, seed=3),
+                threshold=0.5,
+                profile=StragglerProfile(straggler_fraction=0.25, straggler_factor=3.0),
+                seed=5,
+            )
+            events = trainer.run_events(80)
+            outcomes[execution] = (cluster, trainer, events)
+        seq_cluster, seq_trainer, seq_events = outcomes["sequential"]
+        bat_cluster, bat_trainer, bat_events = outcomes["batched"]
+        assert [(e.worker_id, e.step_index, e.synchronized) for e in seq_events] == [
+            (e.worker_id, e.step_index, e.synchronized) for e in bat_events
+        ]
+        np.testing.assert_array_equal(
+            seq_cluster.parameter_matrix, bat_cluster.parameter_matrix
+        )
+        assert seq_trainer.synchronization_count == bat_trainer.synchronization_count
+        assert_ledgers_equal(seq_cluster, bat_cluster)
+
+
+class TestStackedSampler:
+    def test_reproduces_per_worker_rng_streams(self):
+        rng = np.random.default_rng(0)
+        datasets = [
+            Dataset(rng.normal(size=(30, 5)), rng.integers(0, 3, size=30), 3)
+            for _ in range(4)
+        ]
+        stacked = StackedSampler.for_datasets(datasets, batch_size=6, seeds=range(4))
+        solo = [BatchSampler(ds, 6, seed=seed) for seed, ds in enumerate(datasets)]
+        for _ in range(5):
+            x, y = stacked.sample()
+            assert x.shape == (4, 6, 5) and y.shape == (4, 6)
+            for worker, sampler in enumerate(solo):
+                expected_x, expected_y = sampler.sample()
+                np.testing.assert_array_equal(x[worker], expected_x)
+                np.testing.assert_array_equal(y[worker], expected_y)
+
+    def test_rejects_mismatched_workers(self):
+        from repro.exceptions import DataError
+
+        rng = np.random.default_rng(0)
+        a = Dataset(rng.normal(size=(10, 5)), rng.integers(0, 2, size=10), 2)
+        b = Dataset(rng.normal(size=(10, 4)), rng.integers(0, 2, size=10), 2)
+        with pytest.raises(DataError):
+            StackedSampler([BatchSampler(a, 4, seed=0), BatchSampler(b, 4, seed=1)])
+        with pytest.raises(DataError):
+            StackedSampler([BatchSampler(a, 4, seed=0), BatchSampler(a, 5, seed=1)])
+        with pytest.raises(DataError):
+            StackedSampler([])
+
+
+class TestEngineSelection:
+    def test_cluster_exposes_engine_and_execution(self):
+        sequential = make_cluster("sequential", num_workers=2)
+        assert sequential.execution == "sequential"
+        assert isinstance(sequential.engine, SequentialEngine)
+        assert sequential.gradient_matrix is None
+
+        batched = make_cluster("batched", num_workers=2)
+        assert batched.execution == "batched"
+        assert isinstance(batched.engine, BatchedEngine)
+        assert batched.gradient_matrix.shape == (2, batched.model_dimension)
+        # The gradient matrix aliases the workers' gradient planes.
+        batched.step_all()
+        np.testing.assert_array_equal(
+            batched.gradient_matrix[1], batched.workers[1].model.gradients_view()
+        )
+
+    def test_unknown_execution_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_cluster("vectorized")
+
+    def test_unsupported_layers_rejected_with_clear_message(self):
+        # transfer_head contains Dropout, whose private RNG stream has no
+        # batched equivalent.
+        with pytest.raises(ConfigurationError, match="[Dd]ropout"):
+            make_cluster(
+                "batched",
+                model_factory=lambda: transfer_head(6, num_classes=3, seed=0),
+                sample_shape=(6,),
+            )
+
+    def test_incompatible_optimizers_rejected(self):
+        rng = np.random.default_rng(0)
+        workers = []
+        for worker_id in range(2):
+            x = rng.normal(size=(20, 6))
+            y = rng.integers(0, 3, size=20)
+            optimizer = Adam(0.01) if worker_id == 0 else Adam(0.02)
+            workers.append(
+                Worker(worker_id, mlp_factory(), Dataset(x, y, 3), optimizer, batch_size=4)
+            )
+        with pytest.raises(ConfigurationError, match="identically configured"):
+            SimulatedCluster(workers, execution="batched")
+
+    def test_structurally_different_models_rejected(self):
+        # Same parameter count, different activation: the batched kernels are
+        # built from worker 0's layers, so this must be rejected, not
+        # silently trained with the wrong activation.
+        rng = np.random.default_rng(0)
+        workers = []
+        for worker_id, activation in enumerate(("relu", "tanh")):
+            x = rng.normal(size=(20, 6))
+            y = rng.integers(0, 3, size=20)
+            model = mlp(6, 3, hidden_units=(10, 8), activation=activation, seed=11)
+            workers.append(
+                Worker(worker_id, model, Dataset(x, y, 3), Adam(0.01), batch_size=4)
+            )
+        with pytest.raises(ConfigurationError, match="architecture"):
+            SimulatedCluster(workers, execution="batched")
+
+    def test_pre_stepped_optimizers_rejected(self):
+        # A pre-stepped optimizer's (d,) moments would be silently re-zeroed
+        # by the first (K, d) update while its step count kept counting.
+        rng = np.random.default_rng(0)
+        workers = []
+        for worker_id in range(2):
+            x = rng.normal(size=(20, 6))
+            y = rng.integers(0, 3, size=20)
+            workers.append(
+                Worker(worker_id, mlp_factory(), Dataset(x, y, 3), Adam(0.01), batch_size=4)
+            )
+        for worker in workers:
+            worker.local_step()
+        with pytest.raises(ConfigurationError, match="fresh optimizers"):
+            SimulatedCluster(workers, execution="batched")
+
+    def test_dropout_timeline_rejected(self):
+        from repro.core.timeline import Timeline
+
+        with pytest.raises(ConfigurationError, match="participation"):
+            make_cluster(
+                "batched",
+                num_workers=4,
+                timeline=Timeline(4, dropout_rate=0.5, seed=0),
+            )
+
+    def test_mixed_drive_modes_rejected(self):
+        # Per-worker first, then lockstep:
+        cluster = make_cluster("batched", num_workers=2)
+        cluster.engine.step_worker(0)
+        with pytest.raises(ConfigurationError, match="desynchronize"):
+            cluster.step_all()
+        # ... and the reverse order — lockstep first, then per-worker steps
+        # or epochs — is equally corrupting and equally rejected.
+        cluster = make_cluster("batched", num_workers=2)
+        cluster.step_all()
+        with pytest.raises(ConfigurationError, match="desynchronize"):
+            cluster.engine.step_worker(0)
+        with pytest.raises(ConfigurationError, match="desynchronize"):
+            cluster.epoch_all()
+
+    def test_direct_worker_driving_detected_by_step_all(self):
+        # Strategies like FedProx/SCAFFOLD step workers *directly*
+        # (worker.local_epoch), bypassing the engine's entry points; step_all
+        # must still detect the per-worker optimizer state and refuse.
+        cluster = make_cluster("batched", num_workers=2)
+        cluster.workers[1].local_step()
+        with pytest.raises(ConfigurationError, match="driven"):
+            cluster.step_all()
+        # ... including when only worker 0 (whose optimizer doubles as the
+        # engine's shared cluster optimizer) was driven.
+        cluster = make_cluster("batched", num_workers=2)
+        cluster.workers[0].local_epoch()
+        with pytest.raises(ConfigurationError, match="driven"):
+            cluster.step_all()
+
+
+class TestWorkloadExecutionField:
+    def test_build_cluster_threads_execution_through(self, blobs_workload):
+        from repro.experiments.setup import build_cluster
+
+        cluster, _ = build_cluster(blobs_workload.with_execution("batched"))
+        assert cluster.execution == "batched"
+        cluster2, _ = build_cluster(blobs_workload)
+        assert cluster2.execution == "sequential"
+
+    def test_invalid_execution_rejected(self, blobs_workload):
+        with pytest.raises(ConfigurationError):
+            blobs_workload.with_execution("turbo")
+
+    def test_run_result_records_and_persists_execution(self, tmp_path, blobs_workload):
+        from repro.experiments.persistence import load_results, save_results
+        from repro.experiments.run import TrainingRun
+        from repro.experiments.setup import build_cluster
+
+        cluster, test_dataset = build_cluster(blobs_workload.with_execution("batched"))
+        run = TrainingRun(accuracy_target=0.99, max_steps=8, eval_every_steps=4)
+        result = run.execute(
+            SynchronousStrategy(), cluster, test_dataset, workload_name="blobs"
+        )
+        assert result.execution == "batched"
+        path = tmp_path / "results.json"
+        save_results([result], path)
+        (loaded,) = load_results(path)
+        assert loaded.execution == "batched"
+        # Files written before the field existed still load (default applies).
+        import json
+
+        document = json.loads(path.read_text())
+        del document["results"][0]["execution"]
+        path.write_text(json.dumps(document))
+        (legacy,) = load_results(path)
+        assert legacy.execution == "sequential"

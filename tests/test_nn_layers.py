@@ -185,6 +185,59 @@ class TestPooling:
         check_input_gradient(layer, x)
 
 
+def _col2im_pool_backward_reference(layer, grad_output):
+    """The pre-vectorization backward scatter (patch matrix + col2im loop).
+
+    Kept verbatim as the reference implementation for the flat ``np.add.at``
+    scatter that replaced it; exercised for both pool types, including
+    overlapping (stride < pool_size) windows.
+    """
+    from repro.nn.functional import col2im
+    from repro.nn.layers import AvgPool2D as _Avg
+
+    if isinstance(layer, _Avg):
+        shape = layer._cache_shape
+        rows = grad_output.shape[0] * grad_output.shape[1] * grad_output.shape[2]
+        window = layer.pool_size * layer.pool_size
+        channels = shape[3]
+        grad_flat = grad_output.reshape(rows, channels) / float(window)
+        grad_patches = np.repeat(grad_flat[:, None, :], window, axis=1)
+    else:
+        shape = layer._cache_shape
+        rows = layer._cache_argmax.shape[0]
+        window = layer.pool_size * layer.pool_size
+        channels = shape[3]
+        grad_patches = np.zeros((rows, window, channels), dtype=grad_output.dtype)
+        grad_flat = grad_output.reshape(rows, channels)
+        np.put_along_axis(
+            grad_patches, layer._cache_argmax[:, None, :], grad_flat[:, None, :], axis=1
+        )
+    grad_columns = grad_patches.reshape(rows, window * channels)
+    return col2im(
+        grad_columns, shape, layer.pool_size, layer.pool_size, layer.stride, 0
+    )
+
+
+class TestPoolBackwardScatter:
+    """The vectorized flat-index scatter must match the col2im reference."""
+
+    @pytest.mark.parametrize("pool_cls", [MaxPool2D, AvgPool2D])
+    @pytest.mark.parametrize(
+        "pool_size,stride", [(2, 2), (3, 3), (3, 2), (2, 1)],
+        ids=["2x2", "3x3", "overlap-3s2", "overlap-2s1"],
+    )
+    def test_matches_col2im_reference(self, pool_cls, pool_size, stride):
+        rng = np.random.default_rng(42)
+        layer = build(pool_cls(pool_size, stride=stride), (7, 7, 3))
+        x = rng.normal(size=(4, 7, 7, 3))
+        out = layer.forward(x, training=True)
+        grad_output = rng.normal(size=out.shape)
+        vectorized = layer.backward(grad_output)
+        reference = _col2im_pool_backward_reference(layer, grad_output)
+        np.testing.assert_allclose(vectorized, reference, rtol=1e-12, atol=1e-12)
+        assert vectorized.shape == x.shape
+
+
 class TestFlattenDropoutActivation:
     def test_flatten_round_trip(self):
         layer = build(Flatten(), (2, 3, 4))

@@ -66,9 +66,59 @@ class TestSGD:
         with pytest.raises(ShapeError):
             SGD(0.1).step(np.zeros(3), np.zeros(4))
 
-    def test_requires_flat_vectors(self):
+    def test_accepts_flat_vectors_and_stacked_matrices_only(self):
+        # A (K, d) matrix is K independent per-worker updates (the batched
+        # engine's layout); anything deeper is rejected.
+        stacked = SGD(0.1).step(np.ones((2, 3)), np.ones((2, 3)))
+        np.testing.assert_array_equal(stacked, np.full((2, 3), 0.9))
         with pytest.raises(ShapeError):
-            SGD(0.1).step(np.zeros((2, 2)), np.zeros((2, 2)))
+            SGD(0.1).step(np.zeros((2, 2, 2)), np.zeros((2, 2, 2)))
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: SGD(0.05, weight_decay=1e-3),
+            lambda: SGD(0.05, momentum=0.9, nesterov=True),
+            lambda: Adam(0.01),
+            lambda: AdamW(0.01, weight_decay=0.01),
+        ],
+        ids=["sgd-wd", "sgd-nesterov", "adam", "adamw"],
+    )
+    def test_stacked_step_inplace_matches_per_row_steps(self, factory):
+        # Row k of a stacked (K, d) in-place update must be bit-identical to a
+        # flat update of that row alone — the invariant the batched engine
+        # relies on when one optimizer instance serves the whole cluster.
+        rng = np.random.default_rng(3)
+        start = rng.normal(size=(4, 64))
+        grads = [rng.normal(size=(4, 64)) for _ in range(5)]
+        stacked_opt = factory()
+        stacked = start.copy()
+        for step_grads in grads:
+            stacked_opt.step_inplace(stacked, step_grads)
+        for row in range(start.shape[0]):
+            row_opt = factory()
+            flat = start[row].copy()
+            for step_grads in grads:
+                row_opt.step_inplace(flat, step_grads[row])
+            np.testing.assert_array_equal(stacked[row], flat)
+
+    def test_shape_switch_after_stepping_requires_reset(self):
+        # Reusing a stepped optimizer with a different parameter layout would
+        # silently zero its moments while step_count kept counting; both
+        # stepping entry points enforce the bound layout, in either order.
+        optimizer = Adam(0.01)
+        optimizer.step_inplace(np.zeros(8), np.ones(8))
+        with pytest.raises(ShapeError, match="reset"):
+            optimizer.step_inplace(np.zeros((2, 8)), np.ones((2, 8)))
+        with pytest.raises(ShapeError, match="reset"):
+            optimizer.step(np.zeros((2, 8)), np.ones((2, 8)))
+        optimizer.reset()
+        optimizer.step_inplace(np.zeros((2, 8)), np.ones((2, 8)))  # now fine
+
+        copy_path = Adam(0.01)
+        copy_path.step(np.zeros(8), np.ones(8))
+        with pytest.raises(ShapeError, match="reset"):
+            copy_path.step_inplace(np.zeros((2, 8)), np.ones((2, 8)))
 
 
 class TestAdam:
