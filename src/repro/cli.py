@@ -86,6 +86,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="execution engine: per-worker 'sequential' steps or one "
              "vectorized 'batched' pass for all K workers (A/B the engines)",
     )
+    compare.add_argument(
+        "--dropout-rate", type=float, default=0.0,
+        help="per-round worker dropout probability (partial participation); "
+             "runs on either engine — the batched engine executes only the "
+             "active rows",
+    )
 
     fabric = subparsers.add_parser(
         "fabric", help="sweep a topology x network grid and report bytes + wall-clock"
@@ -164,6 +170,12 @@ def _command_compare(args: argparse.Namespace) -> int:
     workload = _WORKLOAD_BUILDERS[args.workload](num_workers=args.workers)
     workload = workload.with_fabric(topology=args.topology, network=args.network)
     workload = workload.with_execution(args.execution)
+    if args.dropout_rate:
+        try:
+            workload = workload.with_timeline(dropout_rate=args.dropout_rate)
+        except ConfigurationError as error:  # out-of-range rate
+            print(f"error: {error}")
+            return 2
     run = TrainingRun(
         accuracy_target=args.target, max_steps=args.max_steps, eval_every_steps=20
     )
@@ -178,9 +190,9 @@ def _command_compare(args: argparse.Namespace) -> int:
         try:
             cluster, test_dataset = build_cluster(workload)
         except ConfigurationError as error:
-            # e.g. --execution batched on a model with Dropout/DenseBlock
-            # layers: report the incompatibility cleanly instead of a
-            # traceback (the message names the offending layers).
+            # e.g. --execution batched on a model with DenseBlock layers, or
+            # an out-of-range --dropout-rate: report the incompatibility
+            # cleanly instead of a traceback (the message names the cause).
             print(f"error: {error}")
             return 2
         results.append(run.execute(strategy, cluster, test_dataset, workload_name=workload.name))

@@ -110,11 +110,13 @@ class AsynchronousFDATrainer:
     def process_next_completion(self) -> AsyncEvent:
         """Advance virtual time to the next worker-step completion and handle it.
 
-        The step is routed through the cluster's execution engine: event
-        completions are inherently per-worker (nothing lockstep to batch), so
-        both engines run the worker's own sequential step — the batched
-        engine merely notes the event-driven drive mode.  Trajectories are
-        therefore engine-independent for the asynchronous protocol.
+        The step is routed through the cluster's execution engine via
+        ``engine.step_worker``: the sequential engine runs the worker's own
+        Python-loop step, the batched engine runs the same step as a
+        single-row slice of its stacked kernels (one-row GEMMs, the worker's
+        own sampler/dropout RNG streams, its own optimizer-state row).  The
+        per-worker arithmetic is identical, so asynchronous trajectories are
+        engine-independent.
         """
         _, worker_id = self.timeline.pop_completion()
         worker = self.cluster.workers[worker_id]

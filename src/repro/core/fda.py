@@ -107,6 +107,9 @@ class FDATrainer:
         # Partial participation (timeline dropout): inactive workers neither
         # compute nor report a state this step.  With the default timeline the
         # mask is None and every worker runs — the paper's lockstep protocol.
+        # Either engine honours the mask: the sequential engine loops over the
+        # active workers, the batched engine executes only the active rows of
+        # its (K, d) matrices (inactive rows stay bit-untouched).
         active = self.cluster.timeline.sample_participation()
         mean_loss = self.cluster.step_all(active=active)
 

@@ -90,9 +90,21 @@ class StackedSampler:
     def num_workers(self) -> int:
         return len(self.samplers)
 
-    def sample(self) -> Tuple[np.ndarray, np.ndarray]:
-        """One stacked mini-batch: ``(x, y)`` of shapes ``(K, B, ...)`` / ``(K, B)``."""
-        batches = [sampler.sample() for sampler in self.samplers]
+    def sample(self, rows=None) -> Tuple[np.ndarray, np.ndarray]:
+        """One stacked mini-batch: ``(x, y)`` of shapes ``(A, B, ...)`` / ``(A, B)``.
+
+        ``rows`` — an optional integer index array — restricts the draw to
+        those workers (partial participation): only their samplers consume a
+        draw, in ascending worker order, exactly as a sequential loop over the
+        active workers would, so every worker's private RNG stream stays
+        aligned across engines.  ``None`` draws from all ``K`` workers.
+        """
+        samplers = (
+            self.samplers
+            if rows is None
+            else [self.samplers[int(k)] for k in rows]
+        )
+        batches = [sampler.sample() for sampler in samplers]
         x = np.stack([batch_x for batch_x, _ in batches], axis=0)
         y = np.stack([batch_y for _, batch_y in batches], axis=0)
         return x, y

@@ -322,9 +322,12 @@ class SimulatedCluster:
         The step is delegated to the execution engine (one per-worker loop on
         the sequential engine, one vectorized pass on the batched engine).
         ``active`` is an optional boolean mask for partial participation
-        (timeline dropout); absent, every worker steps.  The timeline advances
-        by the slowest participating worker's step duration.  Returns the mean
-        loss over the workers that stepped.
+        (timeline dropout); absent, every worker steps.  Both engines honour
+        the mask identically: inactive workers neither compute nor consume
+        RNG draws, and on the batched engine their rows of the ``(K, d)``
+        matrices stay bit-untouched.  The timeline advances by the slowest
+        participating worker's step duration.  Returns the mean loss over the
+        workers that stepped.
         """
         mean_loss = self._engine.step_all(active=active)
         self.timeline.advance_round(1, active=active)

@@ -7,46 +7,66 @@ A :class:`~repro.distributed.cluster.SimulatedCluster` separates the training
 * :class:`SequentialEngine` (``execution="sequential"``, the default) runs
   ``K`` independent per-worker steps — the seed semantics, kept bit-identical
   for the golden-trajectory suite.
-* :class:`BatchedEngine` (``execution="batched"``) advances **all workers in
-  one vectorized pass**: a :class:`~repro.data.loaders.StackedSampler` draws
-  the ``K`` mini-batches (from the workers' own RNG streams) as one
-  ``(K, B, ...)`` array, a :class:`~repro.nn.batched.BatchedModel` runs one
-  stacked forward/backward writing every worker's gradients into a shared
-  ``(K, d)`` gradient matrix, and a single ``Optimizer.step_inplace`` on the
-  cluster's ``(K, d)`` parameter matrix applies all ``K`` updates at once.
+* :class:`BatchedEngine` (``execution="batched"``) advances workers **in one
+  vectorized pass**: a :class:`~repro.data.loaders.StackedSampler` draws the
+  participating workers' mini-batches (from the workers' own RNG streams) as
+  one ``(A, B, ...)`` array, a :class:`~repro.nn.batched.BatchedModel` runs
+  one stacked forward/backward writing every covered worker's gradients into
+  a shared gradient matrix, and a single
+  :class:`~repro.optim.base.StackedOptimizer` update applies all covered
+  per-worker optimizer steps at once.
 
-Both engines plug in below ``cluster.step_all``, so every lockstep protocol —
-``FDATrainer``, the Synchronous/BSP baseline, Local-SGD/FedAvg, compression —
-picks the engine up transparently.  The event-driven asynchronous trainer
-steps single workers through :meth:`ClusterEngine.step_worker`, which is the
-per-worker path on either engine (its completions are not lockstep, so there
-is nothing to batch); an engine refuses to mix the two drive modes.
+Both engines plug in below ``cluster.step_all``, so every protocol — FDA,
+the Synchronous/BSP baseline, Local-SGD/FedAvg, FedOpt epochs, compression,
+the event-driven asynchronous trainer — picks the engine up transparently,
+and the whole scenario grid runs on either engine:
 
-The batched engine requires lockstep in the strict sense: full participation
-(no timeline dropout), ``inplace`` workers, and identically configured
-optimizers/losses across workers, all validated at construction or first use
-with actionable errors.  Per-worker arithmetic is element-for-element the
-sequential arithmetic, so trajectories agree to tight tolerance and all
-communication accounting — which lives above the engine — is identical.
+* **Partial participation** (timeline dropout): ``step_all(active=mask)``
+  executes only the active rows.  The batched engine gathers those workers'
+  parameter/buffer rows into an ``(A, d)`` scratch block, runs one stacked
+  pass over it, applies a masked ``(A, d)`` optimizer update (per-row
+  optimizer state and step counts, so Adam moments and schedules stay
+  per-worker), and scatters the rows back — inactive rows are left
+  bit-untouched and inactive workers' RNG streams consume nothing, exactly
+  like a sequential loop over the active workers.
+* **RNG-stateful layers** (``Dropout``): the batched kernels replay each
+  worker's private mask stream (see :class:`~repro.nn.batched.BatchedDropout`).
+* **Heterogeneous workers**: optimizer hyper-parameters (learning rate,
+  momentum, weight decay, betas) may differ per worker — they become per-row
+  broadcast columns inside the stacked update.  Only *structural* differences
+  (model architecture, optimizer type, Nesterov vs classical momentum, loss
+  configuration, batch size) are rejected.
+* **Per-worker driving**: :meth:`ClusterEngine.step_worker` and
+  :meth:`ClusterEngine.epoch_worker` run single-row slices of the same
+  batched kernels, so event-driven (asynchronous) completions and
+  FedOpt-style local epochs use the fast path too.  Because the stacked
+  optimizer state *is* the workers' own optimizer state (row-bound), lockstep
+  and per-worker driving compose freely — there is no drive-mode exclusion.
+
+Per-worker arithmetic is element-for-element the sequential arithmetic, so
+trajectories agree to tight tolerance (bit-exactly for SGD on mainstream BLAS
+builds) and all communication accounting — which lives above the engine — is
+identical.
 
 One asymmetry is inherent and deliberate: the *error* path of a non-finite
 loss (``TrainingError``).  The sequential engine fails mid-loop — workers
 before the diverging one have already stepped — while the batched engine
-fails atomically before any parameter/optimizer update (though every
-worker's sampler stream has advanced).  ``TrainingError`` signals a diverged
-run to be aborted or restarted, not resumed, so the engines only guarantee
-matching state on completed steps.
+fails atomically before any parameter/optimizer/buffer update (though every
+participating worker's sampler stream has advanced).  ``TrainingError``
+signals a diverged run to be aborted or restarted, not resumed, so the
+engines only guarantee matching state on completed steps.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
 from repro.data.loaders import StackedSampler
 from repro.exceptions import ConfigurationError, TrainingError
 from repro.nn.batched import BatchedModel, BatchedPlane, unsupported_layers
+from repro.optim.base import StackedOptimizer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster builds engines)
     from repro.distributed.cluster import SimulatedCluster
@@ -84,16 +104,22 @@ class ClusterEngine:
         """One local step on a single worker (the asynchronous event path)."""
         return self.cluster.workers[worker_id].local_step()
 
+    def epoch_worker(self, worker_id: int) -> float:
+        """One full local epoch on a single worker; returns its mean batch loss."""
+        return self.cluster.workers[worker_id].local_epoch()
+
     def epoch_all(self) -> float:
         """One full local epoch on every worker; returns the mean loss.
 
         Epochs stay per-worker on every engine: shards may differ in size, so
         the per-round batch sequences are ragged across workers and cannot be
         stacked into one ``(K, B, ...)`` tensor without changing what each
-        worker trains on.
+        worker trains on.  Each worker's epoch goes through
+        :meth:`epoch_worker`, which the batched engine implements with
+        single-row slices of its stacked kernels.
         """
         workers = self.cluster.workers
-        return float(np.mean([worker.local_epoch() for worker in workers]))
+        return float(np.mean([self.epoch_worker(worker.worker_id) for worker in workers]))
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(K={self.cluster.num_workers})"
@@ -130,10 +156,18 @@ class BatchedEngine(ClusterEngine):
     * a :class:`BatchedPlane` carves per-layer ``(K, *shape)`` views out of
       the three matrices and a :class:`BatchedModel` chains the batched layer
       kernels over them;
-    * worker 0's optimizer becomes the cluster optimizer, updating the whole
-      ``(K, d)`` matrix per step (its elementwise rules make that exactly
-      ``K`` per-worker updates; construction verifies all workers' optimizers
-      are identically configured).
+    * the workers' optimizers are wrapped in one
+      :class:`~repro.optim.base.StackedOptimizer`: hyper-parameters become
+      per-row columns, moment/velocity state becomes ``(K, d)`` matrices
+      whose rows are bound back into each worker's own optimizer, and step
+      counts stay per-worker — so masked updates, per-worker driving, and
+      direct ``worker.local_step`` calls all read and write the same state.
+
+    Partial participation runs through a masked scratch path: the active
+    workers' parameter/buffer rows are gathered into ``(A, d)`` scratch
+    blocks, a per-``A`` cached :class:`BatchedModel` (carving views of the
+    scratch) runs the stacked pass, the masked optimizer update applies, and
+    the rows are scattered back.  Inactive rows are never read or written.
     """
 
     name = "batched"
@@ -153,12 +187,12 @@ class BatchedEngine(ClusterEngine):
         pre_stepped = [w.worker_id for w in workers if w.optimizer.step_count]
         if pre_stepped:
             # A pre-stepped optimizer holds (d,)-shaped moment/velocity
-            # buffers that the first (K, d) update would silently re-zero
-            # while its step count (Adam bias correction, LR schedules) kept
-            # counting — a quietly wrong trajectory.  Demand fresh optimizers.
+            # buffers that row-binding would silently discard while its step
+            # count (Adam bias correction, LR schedules) kept counting — a
+            # quietly wrong trajectory.  Demand fresh optimizers.
             raise ConfigurationError(
                 "execution='batched' requires fresh optimizers (their state "
-                "becomes cluster-wide (K, d) matrices); workers "
+                "becomes rows of cluster-wide (K, d) matrices); workers "
                 f"{pre_stepped} have optimizers that already stepped — call "
                 "optimizer.reset() or construct new optimizers"
             )
@@ -170,42 +204,34 @@ class BatchedEngine(ClusterEngine):
             )
         for worker in workers[1:]:
             self._require_compatible(reference, worker)
-        if cluster.timeline.dropout_rate > 0.0:
-            raise ConfigurationError(
-                "execution='batched' requires full lockstep participation; "
-                "the timeline's dropout_rate is "
-                f"{cluster.timeline.dropout_rate} — use execution='sequential' "
-                "for partial-participation studies"
-            )
 
         # Stack all workers' gradients next to the cluster's parameter matrix.
         self._grad_matrix = np.empty_like(cluster.parameter_matrix)
         for row, worker in zip(self._grad_matrix, workers):
             worker.model.rebind_gradient_storage(row)
+        self._worker_models = [worker.model for worker in workers]
         self._plane = BatchedPlane(
             reference.model,
             cluster.parameter_matrix,
             self._grad_matrix,
             cluster.buffer_matrix,
         )
-        self._model = BatchedModel(reference.model, self._plane)
+        self._model = BatchedModel(
+            reference.model, self._plane, worker_models=self._worker_models
+        )
         self._sampler = StackedSampler([worker._sampler for worker in workers])
-        self._optimizer = reference.optimizer
+        # May raise ConfigurationError for structurally incompatible
+        # optimizers (mixed types, mixed Nesterov) or types without a stacked
+        # update rule; binds per-row state into the workers' optimizers.
+        self._optimizer = StackedOptimizer(
+            [worker.optimizer for worker in workers], cluster.model_dimension
+        )
         self._loss = reference.loss
-        # Drive-mode exclusion: lockstep step_all shares one optimizer across
-        # all workers, per-worker stepping uses each worker's own — the two
-        # kinds of optimizer state cannot coexist.  step_all detects *any*
-        # prior per-worker driving from the workers' optimizer step counts
-        # (which also catches callers that step workers directly, e.g. the
-        # drift-control strategies' local epochs, without going through this
-        # engine); the latches below additionally lock the engine's own
-        # entry points in both directions with a precise error.  The one
-        # undetectable order — direct worker stepping *after* lockstep steps
-        # — does not arise in-library: every strategy attaches to a fresh
-        # cluster and drives it in a single mode.
-        self._per_worker_stepped = False
-        self._lockstep_stepped = False
-        self._lockstep_steps = 0
+        # Masked-path scratch (lazy: full-participation runs never pay for it).
+        self._param_scratch: Optional[np.ndarray] = None
+        self._grad_scratch: Optional[np.ndarray] = None
+        self._buffer_scratch: Optional[np.ndarray] = None
+        self._masked_models: Dict[int, BatchedModel] = {}
 
     @staticmethod
     def _model_signature(model) -> List[tuple]:
@@ -214,7 +240,9 @@ class BatchedEngine(ClusterEngine):
         The batched kernels are built from worker 0's layers and applied to
         every row of the stacked matrices, so all workers' models must be the
         *same architecture*, not merely the same parameter count.  The
-        signature captures everything a kernel reads from its layer.
+        signature captures everything a kernel reads from its layer —
+        per-worker-stateful attributes (a ``Dropout`` layer's rate and RNG)
+        are deliberately absent: their kernels read each worker's own layer.
         """
         signature = []
         config_attrs = (
@@ -234,7 +262,14 @@ class BatchedEngine(ClusterEngine):
 
     @staticmethod
     def _require_compatible(reference, worker) -> None:
-        """All workers must be interchangeable up to their data shard and RNG."""
+        """Workers must be *structurally* interchangeable.
+
+        Scalar optimizer hyper-parameters (learning rate, momentum, weight
+        decay, betas) may differ per worker — the stacked optimizer carries
+        them as per-row columns.  What must match is everything that changes
+        the shape of the computation itself: the model architecture, the
+        optimizer type, the loss configuration, and the batch size.
+        """
         problems: List[str] = []
         if BatchedEngine._model_signature(worker.model) != BatchedEngine._model_signature(
             reference.model
@@ -245,11 +280,6 @@ class BatchedEngine(ClusterEngine):
                 f"optimizer type {type(worker.optimizer).__name__} != "
                 f"{type(reference.optimizer).__name__}"
             )
-        elif worker.optimizer.state_dict() != reference.optimizer.state_dict() or (
-            type(worker.optimizer.schedule) is not type(reference.optimizer.schedule)
-            or vars(worker.optimizer.schedule) != vars(reference.optimizer.schedule)
-        ):
-            problems.append("optimizer hyper-parameters/state differ")
         if type(worker.loss) is not type(reference.loss) or vars(worker.loss) != vars(
             reference.loss
         ):
@@ -260,7 +290,7 @@ class BatchedEngine(ClusterEngine):
             )
         if problems:
             raise ConfigurationError(
-                f"execution='batched' needs identically configured workers; worker "
+                f"execution='batched' needs structurally compatible workers; worker "
                 f"{worker.worker_id}: {'; '.join(problems)}"
             )
 
@@ -270,23 +300,90 @@ class BatchedEngine(ClusterEngine):
         return self._model
 
     @property
+    def stacked_optimizer(self) -> StackedOptimizer:
+        """The cluster-wide stacked optimizer (per-row state and step counts)."""
+        return self._optimizer
+
+    @property
     def gradient_matrix(self) -> np.ndarray:
         """The live ``(K, d)`` gradient matrix; row ``k`` IS worker ``k``'s grads."""
         return self._grad_matrix
 
+    # -- the masked scratch path -------------------------------------------------
+
+    def _masked_model(self, count: int) -> BatchedModel:
+        """The cached ``(count, d)`` scratch-backed model for masked passes."""
+        model = self._masked_models.get(count)
+        if model is None:
+            if self._param_scratch is None:
+                cluster = self.cluster
+                self._param_scratch = np.empty_like(cluster.parameter_matrix)
+                self._grad_scratch = np.empty_like(self._grad_matrix)
+                self._buffer_scratch = np.empty_like(cluster.buffer_matrix)
+            reference = self.cluster.workers[0].model
+            plane = BatchedPlane(
+                reference,
+                self._param_scratch[:count],
+                self._grad_scratch[:count],
+                self._buffer_scratch[:count],
+            )
+            model = BatchedModel(reference, plane, worker_models=self._worker_models)
+            self._masked_models[count] = model
+        return model
+
+    def _train_rows(self, rows: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """One stacked step on the workers in ``rows``; returns their losses.
+
+        Gathers the active parameter/buffer rows into the scratch block, runs
+        the stacked forward/backward and the masked optimizer update there,
+        and scatters parameters, gradients, and buffers back.  Nothing is
+        written back if a loss diverges (atomic failure).
+        """
+        count = int(rows.size)
+        model = self._masked_model(count)
+        cluster = self.cluster
+        # mode="clip" skips numpy's slow bounds-checking take path; the rows
+        # come from a K-length mask, so they are always in range.
+        np.take(
+            cluster.parameter_matrix, rows, axis=0,
+            out=self._param_scratch[:count], mode="clip",
+        )
+        has_buffers = bool(cluster.buffer_matrix.shape[1])
+        if has_buffers:
+            np.take(
+                cluster.buffer_matrix, rows, axis=0,
+                out=self._buffer_scratch[:count], mode="clip",
+            )
+        losses = model.train_batch(x, y, self._loss, rows=rows)
+        bad = np.flatnonzero(~np.isfinite(losses))
+        if bad.size:
+            raise TrainingError(
+                f"worker {int(rows[bad[0]])}: loss became non-finite "
+                f"({losses[bad[0]]}); reduce the learning rate or variance threshold"
+            )
+        self._optimizer.step_rows(
+            self._param_scratch[:count], self._grad_scratch[:count], rows
+        )
+        cluster.parameter_matrix[rows] = self._param_scratch[:count]
+        self._grad_matrix[rows] = self._grad_scratch[:count]
+        if has_buffers:
+            cluster.buffer_matrix[rows] = self._buffer_scratch[:count]
+        for k in rows:
+            cluster.workers[int(k)].steps_performed += 1
+        return losses
+
+    # -- drive modes --------------------------------------------------------------
+
     def step_all(self, active: Optional[np.ndarray] = None) -> float:
         if active is not None and not bool(np.all(active)):
-            raise ConfigurationError(
-                "execution='batched' cannot step a partial worker set; "
-                "use execution='sequential' with dropout timelines"
-            )
-        if self._per_worker_stepped or self._per_worker_drive_detected():
-            raise ConfigurationError(
-                "this batched engine's workers have already been driven "
-                "individually (event-driven steps or local epochs); lockstep "
-                "step_all would desynchronize the shared optimizer state"
-            )
-        self._lockstep_stepped = True
+            rows = np.flatnonzero(np.asarray(active))
+            if rows.size == 0:
+                return 0.0
+            x, y = self._sampler.sample(rows)
+            losses = self._train_rows(rows, x, y)
+            for k, value in zip(rows, losses):
+                self.cluster.workers[int(k)].last_loss = float(value)
+            return float(losses.mean())
         x, y = self._sampler.sample()
         losses = self._model.train_batch(x, y, self._loss)
         bad = np.flatnonzero(~np.isfinite(losses))
@@ -295,51 +392,36 @@ class BatchedEngine(ClusterEngine):
                 f"worker {int(bad[0])}: loss became non-finite ({losses[bad[0]]}); "
                 "reduce the learning rate or variance threshold"
             )
-        self._optimizer.step_inplace(self.cluster.parameter_matrix, self._grad_matrix)
-        self._lockstep_steps += 1
+        self._optimizer.step_rows(self.cluster.parameter_matrix, self._grad_matrix)
         for worker, value in zip(self.cluster.workers, losses):
             worker.steps_performed += 1
             worker.last_loss = float(value)
         return float(losses.mean())
 
-    def _per_worker_drive_detected(self) -> bool:
-        """Whether any worker optimizer has stepped outside lockstep mode.
-
-        All optimizers start fresh (enforced at construction).  In lockstep
-        mode only the shared optimizer (worker 0's) advances, by exactly one
-        count per step_all; workers 1..K-1 never step.  Any other count means
-        something drove workers directly (e.g. the drift-control strategies'
-        local epochs, which bypass the engine's entry points).
-        """
-        workers = self.cluster.workers
-        if workers[0].optimizer.step_count != self._lockstep_steps:
-            return True
-        return any(worker.optimizer.step_count for worker in workers[1:])
-
-    def _require_no_lockstep_history(self, mode: str) -> None:
-        if self._lockstep_stepped:
-            raise ConfigurationError(
-                f"this batched engine has already run lockstep step_all; {mode} "
-                "would desynchronize the shared optimizer state (worker "
-                "optimizers would restart from scratch while the cluster "
-                "optimizer holds the accumulated (K, d) state)"
-            )
-
     def step_worker(self, worker_id: int) -> float:
-        # Event-driven completions are per-worker by nature; they run the
-        # worker's own (sequential) step and lock this engine out of lockstep
-        # mode so the shared (K, d) optimizer state can never be half-updated.
-        self._require_no_lockstep_history("per-worker stepping")
-        self._per_worker_stepped = True
-        return self.cluster.workers[worker_id].local_step()
+        # Event-driven completions are per-worker by nature; they run as a
+        # single-row slice of the batched kernels, sharing optimizer state
+        # and RNG streams with every other drive mode.
+        rows = np.array([worker_id])
+        x, y = self._sampler.sample(rows)
+        losses = self._train_rows(rows, x, y)
+        worker = self.cluster.workers[worker_id]
+        worker.last_loss = float(losses[0])
+        return worker.last_loss
 
-    def epoch_all(self) -> float:
-        # Ragged shards force per-worker epochs (see the base class); the
-        # workers' own optimizers carry the state, so lockstep batched steps
-        # are locked out afterwards.
-        self._require_no_lockstep_history("per-worker epochs")
-        self._per_worker_stepped = True
-        return super().epoch_all()
+    def epoch_worker(self, worker_id: int) -> float:
+        # Ragged shards force per-worker epochs (see the base class); each
+        # batch of the worker's own shuffled epoch stream runs as a
+        # single-row slice of the batched kernels.
+        worker = self.cluster.workers[worker_id]
+        rows = np.array([worker_id])
+        losses: List[float] = []
+        for batch_x, batch_y in worker._epoch_iterator.epoch():
+            batch_losses = self._train_rows(rows, batch_x[None], batch_y[None])
+            losses.append(float(batch_losses[0]))
+        if losses:
+            worker.last_loss = float(np.mean(losses))
+        return worker.last_loss if worker.last_loss is not None else 0.0
 
 
 def build_engine(execution: str, cluster: "SimulatedCluster") -> ClusterEngine:

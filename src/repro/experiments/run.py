@@ -46,11 +46,13 @@ class RunResult:
     network: str = "none"
     #: Execution engine the cluster was *configured* with ("sequential" or
     #: "batched").  The engines must produce equivalent results (see the
-    #: parity suite), so this documents configuration, not arithmetic: note
-    #: that protocols driving workers individually (FedOpt local epochs,
-    #: FedProx/SCAFFOLD, the asynchronous trainer) take the per-worker path
-    #: on either engine, so "batched" only implies vectorized stepping for
-    #: lockstep step-driven strategies (FDA, BSP, Local-SGD, compression).
+    #: parity suite), so this documents configuration, not arithmetic.  On
+    #: "batched", lockstep strategies (FDA, BSP, Local-SGD, compression) run
+    #: stacked (K, d) passes — masked to the participating rows under
+    #: timeline dropout — and per-worker driving (FedOpt local epochs, the
+    #: asynchronous trainer's event completions) runs single-row slices of
+    #: the same kernels; only strategies that bypass the engine entirely
+    #: (FedProx/SCAFFOLD's transformed local epochs) stay per-worker.
     execution: str = "sequential"
     history: RunLogger = field(default_factory=RunLogger)
 

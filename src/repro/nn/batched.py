@@ -25,13 +25,18 @@ the compute side:
 Per-worker arithmetic is element-for-element the same as the sequential
 layers (same GEMM shapes per worker slice, same reduction extents), so the
 two engines agree to tight floating-point tolerance; the cross-engine parity
-suite in ``tests/test_batched_engine.py`` pins this down per strategy.
+suite (``tests/helpers/parity.py``) pins this down per strategy.
 
-Layers whose semantics are inherently per-worker-stateful in a way a stacked
-kernel cannot reproduce exactly (``Dropout`` with its private RNG stream) or
-that are composites of unsupported pieces (``DenseBlock``, ``TransitionDown``)
-have no kernel; :func:`unsupported_layers` lets the engine reject such models
-up front with a clear message.
+RNG-stateful layers are supported through *worker binding*: ``Dropout`` keeps
+one private mask stream per worker, so :class:`BatchedDropout` holds every
+worker's own layer object and draws each active row's mask from that worker's
+stream (via :meth:`~repro.nn.layers.Dropout.sample_mask`, the same helper the
+sequential path consumes) before one vectorized multiply — the streams replay
+exactly.  A :class:`BatchedModel` that contains such layers must therefore be
+constructed with ``worker_models``.  Composites of unsupported pieces
+(``DenseBlock``, ``TransitionDown``) still have no kernel;
+:func:`unsupported_layers` lets the engine reject such models up front with a
+clear message.
 """
 
 from __future__ import annotations
@@ -48,6 +53,7 @@ from repro.nn.layers import (
     BatchNorm,
     Conv2D,
     Dense,
+    Dropout,
     Flatten,
     GlobalAvgPool2D,
     Layer,
@@ -62,7 +68,11 @@ def _carve(matrix: np.ndarray, entry: SlotLayout) -> np.ndarray:
     """A zero-copy ``(K, *shape)`` view of one layer array across all workers."""
     block = matrix[:, entry.offset : entry.offset + entry.size]
     view = block.reshape((matrix.shape[0],) + tuple(entry.shape))
-    if not np.shares_memory(view, matrix):
+    # The bounds-overlap check suffices to detect a reshape that copied (a
+    # fresh buffer cannot overlap the matrix); np.shares_memory's exact
+    # solver can take milliseconds *per slot* on strided scratch views, which
+    # made deep models' plane construction seconds-slow.
+    if not np.may_share_memory(view, matrix):
         raise ShapeError(
             f"carving slot {entry} produced a copy instead of a view; "
             "the backing matrix must be C-contiguous"
@@ -138,6 +148,10 @@ class BatchedKernel:
     computation matches the sequential layer's arithmetic.
     """
 
+    #: Whether the kernel needs every worker's own layer object (RNG-stateful
+    #: layers); :class:`BatchedModel` then calls :meth:`bind_worker_layers`.
+    needs_worker_layers = False
+
     def __init__(
         self,
         layer: Layer,
@@ -146,6 +160,13 @@ class BatchedKernel:
         buffers: Sequence[np.ndarray],
     ) -> None:
         self.layer = layer
+        #: Index array of the worker rows the current pass covers (``None`` =
+        #: all workers); set by :meth:`BatchedModel.forward` on kernels that
+        #: declared ``needs_worker_layers``.
+        self.active_rows: Optional[np.ndarray] = None
+
+    def bind_worker_layers(self, layers: Sequence[Layer]) -> None:
+        """Receive the per-worker layer objects (RNG-stateful kernels only)."""
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         raise NotImplementedError
@@ -389,6 +410,59 @@ class BatchedActivation(BatchedKernel):
         return self.activation.gradient(grad_output, self._cache)
 
 
+class BatchedDropout(BatchedKernel):
+    """Per-worker inverted dropout replaying each worker's private RNG stream.
+
+    Dropout is RNG-stateful per worker, so the kernel holds every worker's
+    own ``Dropout`` layer.  Each training forward draws one ``(B, ...)`` mask
+    per *active* row from that worker's stream — the same
+    :meth:`~repro.nn.layers.Dropout.sample_mask` call, on the same shape, in
+    the same worker order as the sequential engine, so inactive workers
+    consume nothing and every stream replays exactly — then applies the
+    stacked masks in one vectorized multiply.  Per-worker dropout *rates* may
+    differ (each row's mask comes from its own layer); rate-zero rows get an
+    exact all-ones mask and no draw, like the sequential fast path.
+    """
+
+    needs_worker_layers = True
+
+    def __init__(self, layer: Dropout, params, grads, buffers) -> None:
+        super().__init__(layer, params, grads, buffers)
+        self.worker_layers: Optional[List[Dropout]] = None
+        self._cache_mask: Optional[np.ndarray] = None
+
+    def bind_worker_layers(self, layers: Sequence[Layer]) -> None:
+        self.worker_layers = list(layers)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training:
+            self._cache_mask = None
+            return x
+        rows = self.active_rows
+        layers = (
+            self.worker_layers
+            if rows is None
+            else [self.worker_layers[int(k)] for k in rows]
+        )
+        if all(layer.rate == 0.0 for layer in layers):
+            self._cache_mask = None
+            return x
+        sample_shape = x.shape[1:]
+        mask = np.empty_like(x)
+        for row, layer in enumerate(layers):
+            if layer.rate == 0.0:
+                mask[row] = 1.0
+            else:
+                mask[row] = layer.sample_mask(sample_shape)
+        self._cache_mask = mask
+        return x * mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache_mask is None:
+            return grad_output
+        return grad_output * self._cache_mask
+
+
 class BatchedBatchNorm(BatchedKernel):
     """Per-worker batch normalization over the stacked tensor.
 
@@ -462,6 +536,7 @@ KERNELS: Dict[Type[Layer], Type[BatchedKernel]] = {
     Flatten: BatchedFlatten,
     Activation: BatchedActivation,
     BatchNorm: BatchedBatchNorm,
+    Dropout: BatchedDropout,
 }
 
 
@@ -489,10 +564,22 @@ class BatchedModel:
     supplies the per-layer stacked parameter/gradient/buffer views.  One
     :meth:`train_batch` performs every worker's forward pass, loss gradient,
     and backward pass; gradients land in the plane's ``(K, d)`` matrix ready
-    for a single batched ``Optimizer.step_inplace``.
+    for a single batched optimizer update.
+
+    ``worker_models`` (one per plane row, in row order) is required when the
+    model contains RNG-stateful layers (``Dropout``): their kernels draw from
+    each worker's own layer stream.  ``rows`` — an index array naming which
+    workers the plane rows currently hold — lets a masked engine run a
+    partial-participation pass: row-aware kernels then consume only those
+    workers' streams.
     """
 
-    def __init__(self, reference: Sequential, plane: BatchedPlane) -> None:
+    def __init__(
+        self,
+        reference: Sequential,
+        plane: BatchedPlane,
+        worker_models: Optional[Sequence[Sequential]] = None,
+    ) -> None:
         missing = unsupported_layers(reference)
         if missing:
             raise ShapeError(
@@ -502,14 +589,37 @@ class BatchedModel:
         self.reference = reference
         self.plane = plane
         self.kernels: List[BatchedKernel] = []
-        for layer, (params, grads, buffers) in zip(reference.layers, plane.layer_views):
-            self.kernels.append(_kernel_class(layer)(layer, params, grads, buffers))
+        self._row_aware: List[BatchedKernel] = []
+        for index, (layer, (params, grads, buffers)) in enumerate(
+            zip(reference.layers, plane.layer_views)
+        ):
+            kernel = _kernel_class(layer)(layer, params, grads, buffers)
+            if kernel.needs_worker_layers:
+                if worker_models is None:
+                    raise ShapeError(
+                        f"layer {layer.name!r} ({type(layer).__name__}) keeps "
+                        "per-worker RNG state; construct BatchedModel with "
+                        "worker_models so its kernel can replay each worker's "
+                        "stream"
+                    )
+                kernel.bind_worker_layers(
+                    [model.layers[index] for model in worker_models]
+                )
+                self._row_aware.append(kernel)
+            self.kernels.append(kernel)
 
     @property
     def num_workers(self) -> int:
         return self.plane.num_workers
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+    def forward(
+        self,
+        x: np.ndarray,
+        training: bool = False,
+        rows: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        for kernel in self._row_aware:
+            kernel.active_rows = rows
         out = np.asarray(x, dtype=np.float64)
         for kernel in self.kernels:
             out = kernel.forward(out, training)
@@ -521,13 +631,20 @@ class BatchedModel:
             grad = kernel.backward(grad)
         return grad
 
-    def train_batch(self, x: np.ndarray, y: np.ndarray, loss: Loss) -> np.ndarray:
-        """One stacked forward/backward; returns the ``(K,)`` per-worker losses.
+    def train_batch(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        loss: Loss,
+        rows: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """One stacked forward/backward; returns the per-row losses.
 
-        Gradients are left in the plane's ``(K, d)`` gradient matrix (and,
-        equivalently, in every worker model's gradient views).
+        Gradients are left in the plane's gradient matrix (and, equivalently,
+        in every covered worker model's gradient views).  ``rows`` names the
+        workers the plane rows hold (``None`` = all workers in order).
         """
-        outputs = self.forward(x, training=True)
+        outputs = self.forward(x, training=True, rows=rows)
         losses, grad = loss.batched_gradient(outputs, y)
         self.backward(grad)
         return losses

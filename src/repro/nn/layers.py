@@ -562,13 +562,23 @@ class Dropout(Layer):
         del rng
         return tuple(input_shape)
 
+    def sample_mask(self, shape: Shape) -> np.ndarray:
+        """Draw one inverted-dropout mask for ``shape`` from the private stream.
+
+        The single place the layer's RNG is consumed: the sequential
+        :meth:`forward` and the batched kernel
+        (:class:`repro.nn.batched.BatchedDropout`) both call it, so the two
+        engines replay exactly the same per-worker mask stream.
+        """
+        keep = 1.0 - self.rate
+        return (self._rng.random(shape) < keep) / keep
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         self._require_built()
         if not training or self.rate == 0.0:
             self._cache_mask = None
             return x
-        keep = 1.0 - self.rate
-        mask = (self._rng.random(x.shape) < keep) / keep
+        mask = self.sample_mask(x.shape)
         self._cache_mask = mask
         return x * mask
 

@@ -7,7 +7,7 @@ FedAvgM, FedAdam, FedAdagrad, FedYogi) applied to the pseudo-gradient formed
 by averaged client updates.
 """
 
-from repro.optim.base import Optimizer
+from repro.optim.base import Optimizer, StackedOptimizer
 from repro.optim.sgd import SGD
 from repro.optim.adam import Adam, AdamW
 from repro.optim.server import (
@@ -29,6 +29,7 @@ from repro.optim.schedules import (
 
 __all__ = [
     "Optimizer",
+    "StackedOptimizer",
     "SGD",
     "Adam",
     "AdamW",

@@ -43,9 +43,14 @@ class Adam(Optimizer):
         self._scratch_b: Optional[np.ndarray] = None
 
     def _moments(self, params: np.ndarray) -> None:
+        # Moments and scratch are allocated independently: stacked execution
+        # (optim.base.StackedOptimizer) binds _m/_v to rows of shared (K, d)
+        # matrices, and the scratch buffers must still materialize lazily on
+        # the first direct per-worker step.
         if self._m is None or self._m.shape != params.shape:
             self._m = np.zeros_like(params)
             self._v = np.zeros_like(params)
+        if self._scratch_a is None or self._scratch_a.shape != params.shape:
             self._scratch_a = np.empty_like(params)
             self._scratch_b = np.empty_like(params)
 
@@ -76,6 +81,58 @@ class Adam(Optimizer):
         v_hat = np.divide(second, 1.0 - self.beta2**timestep, out=scratch_b)
         np.sqrt(v_hat, out=v_hat)
         v_hat += self.epsilon
+        m_hat *= learning_rate
+        m_hat /= v_hat
+        params -= m_hat
+
+    # -- stacked-execution hooks (see optim.base.StackedOptimizer) -------------
+
+    def _stacked_column_names(self):
+        return ("beta1", "beta2", "epsilon")
+
+    def _stacked_state_names(self, optimizers):
+        del optimizers
+        return ("m", "v")
+
+    def _stacked_bind(self, name, row):
+        if name == "m":
+            self._m = row
+        elif name == "v":
+            self._v = row
+
+    def _stacked_update(
+        self, stacked, params, grads, state, columns, learning_rate, timesteps
+    ):
+        # Mirrors _update_inplace with per-row (A, 1) columns; the bias
+        # corrections use each row's own timestep, which is what keeps Adam
+        # correct when rows have stepped different numbers of times (partial
+        # participation).
+        beta1 = columns["beta1"]
+        beta2 = columns["beta2"]
+        epsilon = columns["epsilon"]
+        count = params.shape[0]
+        first, second = state["m"], state["v"]
+        scratch_a = stacked.scratch("adam-a", count)
+        scratch_b = stacked.scratch("adam-b", count)
+        first *= beta1
+        first += np.multiply(grads, 1.0 - beta1, out=scratch_a)
+        second *= beta2
+        np.multiply(grads, 1.0 - beta2, out=scratch_a)
+        second += np.multiply(scratch_a, grads, out=scratch_a)
+        # The bias corrections are scalar pows per row, computed with Python
+        # floats: numpy's vectorized float64 pow takes a different (SIMD) code
+        # path than libm's and can differ in the last ulp, which would break
+        # bit-parity with the per-worker sequential update.
+        bias1 = np.array(
+            [[1.0 - float(b) ** int(t)] for b, t in zip(beta1[:, 0], timesteps[:, 0])]
+        )
+        bias2 = np.array(
+            [[1.0 - float(b) ** int(t)] for b, t in zip(beta2[:, 0], timesteps[:, 0])]
+        )
+        m_hat = np.divide(first, bias1, out=scratch_a)
+        v_hat = np.divide(second, bias2, out=scratch_b)
+        np.sqrt(v_hat, out=v_hat)
+        v_hat += epsilon
         m_hat *= learning_rate
         m_hat /= v_hat
         params -= m_hat
@@ -121,6 +178,26 @@ class AdamW(Adam):
         # decay term before the Adam step mutates them.
         decay = learning_rate * self.weight_decay * params
         super()._update_inplace(params, grads, learning_rate)
+        params -= decay
+
+    def _stacked_column_names(self):
+        return super()._stacked_column_names() + ("weight_decay",)
+
+    def _stacked_update(
+        self, stacked, params, grads, state, columns, learning_rate, timesteps
+    ):
+        weight_decay = columns["weight_decay"]
+        if not weight_decay.any():
+            super()._stacked_update(
+                stacked, params, grads, state, columns, learning_rate, timesteps
+            )
+            return
+        # Decoupled decay uses the *pre-update* parameters (same as the
+        # sequential path); rows with zero decay subtract an exact zero.
+        decay = (learning_rate * weight_decay) * params
+        super()._stacked_update(
+            stacked, params, grads, state, columns, learning_rate, timesteps
+        )
         params -= decay
 
     def _state(self) -> Dict[str, object]:

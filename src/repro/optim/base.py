@@ -21,14 +21,21 @@ matching gradient matrix — the batched execution engine's layout, where row
 elementwise over (params, grads, state), so one call on the matrix performs
 ``K`` independent per-worker updates with arithmetic identical to ``K``
 separate flat-vector calls; moment/scratch buffers simply take the matrix
-shape.  One optimizer instance then serves a whole lockstep cluster (all
-workers share hyper-parameters and step count, exactly as ``K`` freshly
-constructed copies would).
+shape.
+
+:class:`StackedOptimizer` builds on that to drive ``K`` *per-worker*
+optimizer instances as one stacked update: scalar hyper-parameters become
+per-row ``(K, 1)`` broadcast columns (heterogeneously configured workers
+share one vectorized step), state matrices' rows are bound back into the
+wrapped optimizers (direct per-worker stepping and stacked stepping share
+storage), step counts stay per-worker, and :meth:`StackedOptimizer.step_rows`
+updates an arbitrary subset of rows — the partial-participation path of the
+batched engine.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -174,8 +181,214 @@ class Optimizer:
     def _state(self) -> Dict[str, object]:
         return {}
 
+    # -- stacked-execution hooks (see :class:`StackedOptimizer`) --------------
+
+    def _stacked_column_names(self) -> Tuple[str, ...]:
+        """Scalar hyper-parameters that become per-row ``(K, 1)`` columns."""
+        return ()
+
+    def _stacked_state_names(self, optimizers: Sequence["Optimizer"]) -> Tuple[str, ...]:
+        """Names of the per-row ``(K, d)`` state matrices the update rule needs."""
+        del optimizers
+        return ()
+
+    def _stacked_bind(self, name: str, row: np.ndarray) -> None:
+        """Adopt row ``row`` of the stacked state matrix ``name`` as own state."""
+
+    def _stacked_validate(self, optimizers: Sequence["Optimizer"]) -> List[str]:
+        """Problems that make these optimizers impossible to stack (empty = OK).
+
+        Per-row *columns* absorb scalar hyper-parameter differences; this hook
+        reports *structural* differences that change the shape of the update
+        rule itself (e.g. Nesterov vs classical momentum).
+        """
+        del optimizers
+        return []
+
+    def _stacked_update(
+        self,
+        stacked: "StackedOptimizer",
+        params: np.ndarray,
+        grads: np.ndarray,
+        state: Dict[str, np.ndarray],
+        columns: Dict[str, np.ndarray],
+        learning_rate: np.ndarray,
+        timesteps: np.ndarray,
+    ) -> None:
+        """Vectorized update of ``(A, d)`` parameter rows; per-row arithmetic
+        must equal :meth:`_update_inplace` on each row separately.
+
+        The base class has no stacked rule; :class:`StackedOptimizer` rejects
+        optimizer types that do not override this.
+        """
+        raise NotImplementedError
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(lr={self.schedule!r}, steps={self.step_count})"
+
+
+class StackedOptimizer:
+    """``K`` per-worker optimizers driven as one stacked ``(K, d)`` update.
+
+    The batched execution engine stores all workers' parameters as rows of one
+    ``(K, d)`` matrix; this wrapper makes the workers' *optimizers* match that
+    layout without changing what any single worker computes:
+
+    * **state is per-row.**  Momentum/velocity/moment buffers are ``(K, d)``
+      matrices whose row ``k`` is *bound into* worker ``k``'s own optimizer,
+      so stepping a worker directly (``worker.local_step``, drift-control
+      local epochs) and stepping it through the stacked update read and write
+      the same memory — the two drive modes compose instead of excluding each
+      other.
+    * **hyper-parameters are per-row columns.**  Learning rate, momentum,
+      weight decay, and the Adam betas become ``(K, 1)`` broadcast columns, so
+      heterogeneously configured workers share one vectorized step whose
+      per-row arithmetic equals each worker's own sequential update
+      (broadcasting a column is elementwise multiplication by that row's
+      scalar — bit-identical).
+    * **step counts stay per-worker.**  Each wrapped optimizer's
+      ``step_count`` remains the single source of truth: schedules and Adam
+      bias correction follow each worker's own count, which is what keeps
+      partial participation — rows having stepped different numbers of times
+      — exactly as correct as the sequential engine's per-worker optimizers.
+
+    :meth:`step_rows` applies one update to a subset of rows.  With
+    ``rows=None`` (full participation) it operates directly on the live
+    matrices; otherwise the caller passes gathered ``(A, d)`` blocks aligned
+    with ``rows`` and the state rows are gathered/scattered around the update.
+    """
+
+    def __init__(self, optimizers: Sequence[Optimizer], dimension: int) -> None:
+        if not optimizers:
+            raise ConfigurationError("StackedOptimizer needs at least one optimizer")
+        if dimension < 0:
+            raise ConfigurationError(f"dimension must be non-negative, got {dimension}")
+        reference = optimizers[0]
+        mixed = sorted(
+            {type(o).__name__ for o in optimizers if type(o) is not type(reference)}
+        )
+        if mixed:
+            raise ConfigurationError(
+                "stacked execution needs one optimizer type across all workers; "
+                f"got {type(reference).__name__} and {', '.join(mixed)}"
+            )
+        if type(reference)._stacked_update is Optimizer._stacked_update:
+            raise ConfigurationError(
+                f"{type(reference).__name__} has no stacked (K, d) update rule; "
+                "use execution='sequential' with this optimizer"
+            )
+        stepped = [i for i, optimizer in enumerate(optimizers) if optimizer.step_count]
+        if stepped:
+            raise ConfigurationError(
+                "stacked execution requires fresh optimizers (their state becomes "
+                f"rows of shared (K, d) matrices); optimizers {stepped} have "
+                "already stepped — call reset() or construct new optimizers"
+            )
+        problems = reference._stacked_validate(optimizers)
+        if problems:
+            raise ConfigurationError(
+                "cannot stack these optimizers: " + "; ".join(problems)
+            )
+        self.optimizers: List[Optimizer] = list(optimizers)
+        self.num_workers = len(self.optimizers)
+        self.dimension = int(dimension)
+        self._columns: Dict[str, np.ndarray] = {
+            name: np.array(
+                [[float(getattr(optimizer, name))] for optimizer in self.optimizers]
+            )
+            for name in reference._stacked_column_names()
+        }
+        # Per-row state matrices; each row is handed back to its worker's
+        # optimizer so the per-worker and stacked paths share storage.
+        self._state: Dict[str, np.ndarray] = {}
+        for name in reference._stacked_state_names(self.optimizers):
+            matrix = np.zeros((self.num_workers, self.dimension), dtype=np.float64)
+            self._state[name] = matrix
+            for row, optimizer in zip(matrix, self.optimizers):
+                optimizer._stacked_bind(name, row)
+        # Masked-path gather buffers, allocated on the first masked step so
+        # full-participation runs never pay for them.
+        self._state_scratch: Optional[Dict[str, np.ndarray]] = None
+        self._workspace: Dict[str, np.ndarray] = {}
+
+    @property
+    def step_counts(self) -> np.ndarray:
+        """Per-worker step counts (reads the wrapped optimizers)."""
+        return np.array([optimizer.step_count for optimizer in self.optimizers])
+
+    def scratch(self, name: str, count: int) -> np.ndarray:
+        """A reusable ``(count, d)`` workspace block for the update kernels."""
+        buffer = self._workspace.get(name)
+        if buffer is None:
+            buffer = np.empty((self.num_workers, self.dimension), dtype=np.float64)
+            self._workspace[name] = buffer
+        return buffer[:count]
+
+    def step_rows(
+        self,
+        params: np.ndarray,
+        grads: np.ndarray,
+        rows: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """One optimization step on the selected worker rows, in place.
+
+        ``rows=None`` steps every worker: ``params``/``grads`` must be the
+        full ``(K, d)`` matrices.  Otherwise ``rows`` is an integer index
+        array and ``params``/``grads`` are ``(len(rows), d)`` blocks holding
+        those workers' rows (typically the engine's gather scratch); state
+        rows are gathered before and scattered back after the update.
+        """
+        active = (
+            self.optimizers
+            if rows is None
+            else [self.optimizers[int(k)] for k in rows]
+        )
+        count = len(active)
+        expected = (count, self.dimension)
+        if params.shape != expected or grads.shape != expected:
+            raise ShapeError(
+                f"step_rows expects params/grads of shape {expected}, got "
+                f"{params.shape} and {grads.shape}"
+            )
+        learning_rate = np.array(
+            [[optimizer.schedule(optimizer.step_count)] for optimizer in active]
+        )
+        timesteps = np.array(
+            [[float(optimizer.step_count + 1)] for optimizer in active]
+        )
+        if rows is None:
+            state = self._state
+            columns = self._columns
+        else:
+            if self._state_scratch is None:
+                self._state_scratch = {
+                    name: np.empty_like(matrix)
+                    for name, matrix in self._state.items()
+                }
+            state = {}
+            for name, matrix in self._state.items():
+                block = self._state_scratch[name][:count]
+                # mode="clip": the rows index live workers by construction,
+                # and numpy's bounds-checking take path is several times
+                # slower on wide matrices.
+                np.take(matrix, rows, axis=0, out=block, mode="clip")
+                state[name] = block
+            columns = {name: column[rows] for name, column in self._columns.items()}
+        self.optimizers[0]._stacked_update(
+            self, params, grads, state, columns, learning_rate, timesteps
+        )
+        if rows is not None:
+            for name, matrix in self._state.items():
+                matrix[rows] = state[name]
+        for optimizer in active:
+            optimizer.step_count += 1
+        return params
+
+    def __repr__(self) -> str:
+        return (
+            f"StackedOptimizer({type(self.optimizers[0]).__name__}, "
+            f"K={self.num_workers}, d={self.dimension})"
+        )
 
 
 def check_beta(value: float, name: str) -> float:

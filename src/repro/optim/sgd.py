@@ -123,6 +123,77 @@ class SGD(Optimizer):
                 np.multiply(chunk_grads, learning_rate, out=scratch)
             chunk_params -= scratch
 
+    # -- stacked-execution hooks (see optim.base.StackedOptimizer) -------------
+
+    def _stacked_column_names(self):
+        return ("momentum", "weight_decay")
+
+    def _stacked_state_names(self, optimizers):
+        # Momentum-free rows ride along in the velocity path bit-exactly
+        # (their velocity row is exactly ``-scaled`` and momentum 0 wipes it
+        # again each step), so one matrix serves mixed-momentum clusters; a
+        # fully momentum-free cluster needs no state at all.
+        return ("velocity",) if any(o.momentum for o in optimizers) else ()
+
+    def _stacked_bind(self, name, row):
+        if name == "velocity":
+            self._velocity = row
+
+    def _stacked_validate(self, optimizers):
+        if len({o.nesterov for o in optimizers}) > 1:
+            return [
+                "nesterov and classical momentum change the shape of the update "
+                "rule and cannot be mixed across workers"
+            ]
+        return []
+
+    def _stacked_update(
+        self, stacked, params, grads, state, columns, learning_rate, timesteps
+    ):
+        # Per-row arithmetic mirrors _update_inplace exactly: the (A, 1)
+        # hyper-parameter columns broadcast as per-row scalars, so every
+        # element sees the same operations in the same order as its worker's
+        # own sequential update (chunking in the plain path does not change
+        # per-element arithmetic).
+        del timesteps
+        momentum = columns["momentum"]
+        weight_decay = columns["weight_decay"]
+        if (
+            "velocity" not in state
+            and params.flags.c_contiguous
+            and grads.flags.c_contiguous
+            and np.ptp(learning_rate) == 0.0
+            and np.ptp(weight_decay) == 0.0
+            and float(weight_decay.flat[0]) == self.weight_decay
+        ):
+            # Homogeneous momentum-free rows: the sequential cache-blocked
+            # update applies verbatim to the whole (A, d) block (identical
+            # per-element arithmetic, one less full-size scratch pass).  The
+            # chunked path reads ``self.weight_decay`` (``self`` is worker
+            # 0's optimizer), so it is only taken when the covered rows'
+            # uniform decay actually equals it — a masked subset can be
+            # internally uniform yet differ from worker 0.
+            self._plain_update_chunked(params, grads, float(learning_rate.flat[0]))
+            return
+        scaled = stacked.scratch("sgd-scaled", params.shape[0])
+        if weight_decay.any():
+            np.multiply(params, weight_decay, out=scaled)
+            scaled += grads
+            scaled *= learning_rate
+        else:
+            np.multiply(grads, learning_rate, out=scaled)
+        velocity = state.get("velocity")
+        if velocity is None:
+            params -= scaled
+            return
+        velocity *= momentum
+        velocity -= scaled
+        if self.nesterov:
+            params += momentum * velocity
+            params -= scaled
+        else:
+            params += velocity
+
     def _reset_state(self) -> None:
         self._velocity = None
         self._scratch = None

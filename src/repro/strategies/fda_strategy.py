@@ -29,6 +29,11 @@ class FDAStrategy(Strategy):
     makes every triggered synchronization exchange compressed model deltas
     instead of full-precision parameters (Section 2: FDA is orthogonal to
     compression).
+
+    Partial participation comes from the cluster's timeline: the underlying
+    :class:`FDATrainer` samples the per-step mask and only active workers
+    compute and report states.  This works on either execution engine — the
+    batched engine runs the active rows as one masked vectorized pass.
     """
 
     name = "FDA"

@@ -65,8 +65,13 @@ class LocalSGDStrategy(Strategy):
     plain AllReduce average, so any fabric topology works.
 
     Each of the ``tau`` local steps goes through ``cluster.step_all`` and thus
-    the cluster's execution engine — ``execution="batched"`` advances all
-    workers per step in one vectorized pass with unchanged protocol semantics.
+    the cluster's execution engine — ``execution="batched"`` advances the
+    participating workers per step in one vectorized pass with unchanged
+    protocol semantics.  Partial participation (a timeline with
+    ``dropout_rate > 0``) is sampled per local step, matching FDA's cadence;
+    dropped workers skip that step but are still averaged at the period
+    boundary (FedAvg over possibly stale rows), so the byte ledger is
+    independent of who participated.
     """
 
     name = "LocalSGD"
@@ -102,6 +107,7 @@ class LocalSGDStrategy(Strategy):
         tau = self.current_tau()
         mean_loss = 0.0
         for _ in range(tau):
-            mean_loss = cluster.step_all()
+            active = cluster.timeline.sample_participation()
+            mean_loss = cluster.step_all(active=active)
         cluster.synchronize()
         return mean_loss

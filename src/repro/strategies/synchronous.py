@@ -17,9 +17,16 @@ class SynchronousStrategy(Strategy):
     """BSP training: one local step, then a full model AllReduce, every round.
 
     The local step goes through ``cluster.step_all`` and therefore through the
-    cluster's execution engine: with ``execution="batched"`` all ``K`` worker
-    steps of a round run as one vectorized pass (identical protocol, identical
-    byte accounting).
+    cluster's execution engine: with ``execution="batched"`` all participating
+    worker steps of a round run as one vectorized pass (identical protocol,
+    identical byte accounting).
+
+    Partial participation (a timeline with ``dropout_rate > 0``) is sampled
+    per round: dropped workers skip the local step but still contribute their
+    (stale) model to the AllReduce — BSP's synchronization is unconditional,
+    so the quorum change affects compute only, never the byte ledger.  With
+    the default timeline no mask is drawn and behaviour is bit-identical to
+    the mask-free protocol.
     """
 
     name = "Synchronous"
@@ -30,6 +37,7 @@ class SynchronousStrategy(Strategy):
         return 1
 
     def _run_round(self, cluster: SimulatedCluster) -> float:
-        mean_loss = cluster.step_all()
+        active = cluster.timeline.sample_participation()
+        mean_loss = cluster.step_all(active=active)
         cluster.synchronize()
         return mean_loss

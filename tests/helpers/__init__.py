@@ -1,0 +1,1 @@
+"""Shared test harnesses (importable as ``helpers.*`` from the tests)."""

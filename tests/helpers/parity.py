@@ -1,0 +1,297 @@
+"""Reusable cross-engine parity harness.
+
+The batched engine must be an *execution* optimization only: for every
+protocol, every timeline (full or partial participation), every supported
+model (including RNG-stateful ``Dropout``), and every optimizer configuration
+(homogeneous or per-worker heterogeneous), a run on ``execution="batched"``
+must reproduce the sequential run's training trajectory and its communication
+ledger.  This module owns the scenario grid and the assertions; the parity
+tests parametrize over it.
+
+Conventions:
+
+* Floating-point trajectories are compared with :data:`RTOL` (documented
+  tolerance: batched GEMMs may legally re-associate reductions; in practice
+  per-worker slices run the same BLAS kernels and trajectories come out
+  bit-identical on common platforms).  ``exact=True`` upgrades a comparison
+  to value-exactness (``rtol=0, atol=0`` — bitwise up to the sign of zero),
+  which the SGD scenarios are held to.
+* Ledgers — byte counts per category, synchronization decisions, per-worker
+  step counts — are compared *exactly*: protocol decisions may not drift.
+* Both engines of a pair are built identically (same data/model/timeline
+  seeds), so any divergence is the engine's fault.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.fda import FDATrainer
+from repro.core.monitor import make_monitor
+from repro.core.timeline import Timeline
+from repro.data.datasets import Dataset
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.worker import Worker
+from repro.nn.architectures import lenet5, mlp, transfer_head
+from repro.nn.layers import (
+    Activation,
+    AvgPool2D,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    GlobalAvgPool2D,
+)
+from repro.nn.model import Sequential
+from repro.optim.adam import Adam
+
+#: Documented cross-engine trajectory tolerance (see module docstring).
+RTOL = 1e-6
+
+#: The two execution engines under comparison, in canonical order.
+EXECUTIONS = ("sequential", "batched")
+
+
+# -- model grid -----------------------------------------------------------------
+
+
+def mlp_factory():
+    return mlp(6, 3, hidden_units=(10, 8), seed=11)
+
+
+def lenet_factory():
+    return lenet5(input_shape=(8, 8, 1), num_classes=4, seed=2)
+
+
+def bn_factory():
+    model = Sequential(
+        [
+            Conv2D(4, kernel_size=3, padding="same", activation=None, name="conv"),
+            BatchNorm(name="bn"),
+            Activation("relu", name="act"),
+            AvgPool2D(2, name="pool"),
+            GlobalAvgPool2D(name="gap"),
+            Dense(4, activation=None, name="logits"),
+        ],
+        name="bn-net",
+    )
+    model.build((8, 8, 1), seed=3)
+    return model
+
+
+def dropout_factory():
+    # transfer_head contains Dropout layers with private per-worker RNG
+    # streams — the RNG-stateful case the batched kernels must replay.
+    return transfer_head(6, num_classes=3, hidden_units=(12, 8), dropout_rate=0.25, seed=4)
+
+
+#: name -> (model factory, per-sample shape, num classes); the model axis of
+#: the scenario grid.
+MODELS = {
+    "mlp": (mlp_factory, (6,), 3),
+    "lenet-conv": (lenet_factory, (8, 8, 1), 4),
+    "batchnorm-net": (bn_factory, (8, 8, 1), 4),
+    "dropout-head": (dropout_factory, (6,), 3),
+}
+
+#: name -> timeline dropout rate; the timeline axis of the scenario grid
+#: (``full`` is the paper's lockstep protocol, ``dropout`` enables per-round
+#: partial participation).
+TIMELINES = {"full": 0.0, "dropout": 0.35}
+
+
+# -- cluster construction --------------------------------------------------------
+
+
+def make_cluster(
+    execution: str,
+    model_factory: Callable[[], Sequential] = mlp_factory,
+    sample_shape: Tuple[int, ...] = (6,),
+    num_classes: int = 3,
+    num_workers: int = 8,
+    optimizer_factory: Callable[[int], object] = lambda worker_id: Adam(0.01),
+    batch_size: int = 8,
+    dropout_rate: float = 0.0,
+    timeline_seed: int = 5,
+    data_seed: int = 7,
+    **cluster_kwargs,
+) -> SimulatedCluster:
+    """One cluster of the parity pair.
+
+    Everything random is seeded identically across the pair: worker shards
+    (``data_seed``), per-worker sampler streams (the worker id), and the
+    timeline (``timeline_seed``), so a sequential/batched pair sees the same
+    data, the same masks, and the same mask-stream draws.
+    ``optimizer_factory`` receives the worker id — return different
+    configurations for heterogeneous-worker scenarios.
+    """
+    rng = np.random.default_rng(data_seed)
+    workers = []
+    for worker_id in range(num_workers):
+        x = rng.normal(size=(40,) + tuple(sample_shape))
+        y = rng.integers(0, num_classes, size=40)
+        workers.append(
+            Worker(
+                worker_id,
+                model_factory(),
+                Dataset(x, y, num_classes),
+                optimizer_factory(worker_id),
+                batch_size=batch_size,
+                seed=worker_id,
+            )
+        )
+    if dropout_rate and "timeline" not in cluster_kwargs:
+        cluster_kwargs["timeline"] = Timeline(
+            num_workers, dropout_rate=dropout_rate, seed=timeline_seed
+        )
+    return SimulatedCluster(workers, execution=execution, **cluster_kwargs)
+
+
+def make_cluster_pair(**kwargs) -> Tuple[SimulatedCluster, SimulatedCluster]:
+    """The ``(sequential, batched)`` pair for one scenario."""
+    return tuple(make_cluster(execution, **kwargs) for execution in EXECUTIONS)
+
+
+# -- assertions ------------------------------------------------------------------
+
+
+def assert_ledgers_equal(cluster_a: SimulatedCluster, cluster_b: SimulatedCluster) -> None:
+    """Byte accounting must be *exactly* equal between the engines."""
+    assert cluster_a.total_bytes == cluster_b.total_bytes
+    for category in ("model-sync", "fda-state", "other"):
+        assert cluster_a.tracker.bytes_for(category) == cluster_b.tracker.bytes_for(
+            category
+        )
+    assert cluster_a.synchronization_count == cluster_b.synchronization_count
+    assert [w.steps_performed for w in cluster_a.workers] == [
+        w.steps_performed for w in cluster_b.workers
+    ]
+
+
+def assert_close(actual, desired, exact: bool = False, rtol: float = RTOL, **kwargs) -> None:
+    """``allclose`` at the harness tolerance, or value-exact with ``exact=True``."""
+    if exact:
+        kwargs["atol"] = 0.0
+        np.testing.assert_allclose(actual, desired, rtol=0.0, **kwargs)
+    else:
+        np.testing.assert_allclose(actual, desired, rtol=rtol, **kwargs)
+
+
+def assert_cluster_states_match(
+    cluster_a: SimulatedCluster, cluster_b: SimulatedCluster, exact: bool = False
+) -> None:
+    """Parameters, buffers, and optimizer step counts must match."""
+    assert_close(cluster_a.parameter_matrix, cluster_b.parameter_matrix, exact)
+    if cluster_a.buffer_matrix.shape[1]:
+        assert_close(cluster_a.buffer_matrix, cluster_b.buffer_matrix, exact)
+    assert [w.optimizer.step_count for w in cluster_a.workers] == [
+        w.optimizer.step_count for w in cluster_b.workers
+    ]
+
+
+# -- scenario drivers ------------------------------------------------------------
+
+
+def run_strategy_parity(
+    strategy_factory,
+    rounds: int = 12,
+    exact: bool = False,
+    **cluster_kwargs,
+) -> Tuple[SimulatedCluster, SimulatedCluster]:
+    """Run one strategy on both engines and assert full parity.
+
+    ``strategy_factory`` is invoked once per engine (strategies are stateful).
+    Returns the ``(sequential, batched)`` clusters for extra assertions.
+    """
+    outcomes = {}
+    for execution in EXECUTIONS:
+        cluster = make_cluster(execution, **cluster_kwargs)
+        strategy = strategy_factory().attach(cluster)
+        outcomes[execution] = (cluster, [strategy.run_round() for _ in range(rounds)])
+    seq_cluster, seq_rounds = outcomes["sequential"]
+    bat_cluster, bat_rounds = outcomes["batched"]
+    assert_close(
+        [r.mean_loss for r in seq_rounds], [r.mean_loss for r in bat_rounds], exact
+    )
+    assert [r.synchronized for r in seq_rounds] == [r.synchronized for r in bat_rounds]
+    assert [r.communication_bytes for r in seq_rounds] == [
+        r.communication_bytes for r in bat_rounds
+    ]
+    assert [r.steps_advanced for r in seq_rounds] == [
+        r.steps_advanced for r in bat_rounds
+    ]
+    assert_cluster_states_match(seq_cluster, bat_cluster, exact)
+    assert_ledgers_equal(seq_cluster, bat_cluster)
+    return seq_cluster, bat_cluster
+
+
+def run_fda_parity(
+    variant: str = "linear",
+    threshold: float = 0.5,
+    steps: int = 40,
+    monitor_seed: int = 3,
+    exact: bool = False,
+    **cluster_kwargs,
+) -> Tuple[FDATrainer, FDATrainer]:
+    """Run the FDA trainer on both engines and assert full parity.
+
+    Compares the per-step observables (losses, variance estimates, sync
+    decisions, byte counts, active-worker counts), the final cluster state,
+    and the ledgers.  Returns the ``(sequential, batched)`` trainers.
+    """
+    results = {}
+    for execution in EXECUTIONS:
+        cluster = make_cluster(execution, **cluster_kwargs)
+        monitor = make_monitor(variant, cluster.model_dimension, seed=monitor_seed)
+        trainer = FDATrainer(cluster, monitor, threshold=threshold)
+        results[execution] = (trainer, trainer.run_steps(steps))
+    seq_trainer, seq_steps = results["sequential"]
+    bat_trainer, bat_steps = results["batched"]
+    assert_close(
+        [r.mean_loss for r in seq_steps], [r.mean_loss for r in bat_steps], exact
+    )
+    if exact:
+        assert_close(
+            [r.variance_estimate for r in seq_steps],
+            [r.variance_estimate for r in bat_steps],
+            exact,
+        )
+    else:
+        assert_close(
+            [r.variance_estimate for r in seq_steps],
+            [r.variance_estimate for r in bat_steps],
+            atol=1e-9,
+        )
+    # Protocol decisions and the communication ledger are exact.
+    assert [r.synchronized for r in seq_steps] == [r.synchronized for r in bat_steps]
+    assert [r.communication_bytes for r in seq_steps] == [
+        r.communication_bytes for r in bat_steps
+    ]
+    assert [r.active_workers for r in seq_steps] == [
+        r.active_workers for r in bat_steps
+    ]
+    assert_cluster_states_match(seq_trainer.cluster, bat_trainer.cluster, exact)
+    assert_ledgers_equal(seq_trainer.cluster, bat_trainer.cluster)
+    return seq_trainer, bat_trainer
+
+
+def run_masked_step_parity(
+    masks: Sequence[Optional[np.ndarray]],
+    exact: bool = False,
+    **cluster_kwargs,
+) -> Tuple[SimulatedCluster, SimulatedCluster]:
+    """Drive both engines through an explicit per-step mask sequence.
+
+    Bypasses the timeline's mask stream so property-based tests can feed
+    arbitrary participation patterns (including empty and full masks)
+    directly into ``cluster.step_all``.
+    """
+    seq_cluster, bat_cluster = make_cluster_pair(**cluster_kwargs)
+    for mask in masks:
+        loss_seq = seq_cluster.step_all(active=mask)
+        loss_bat = bat_cluster.step_all(active=mask)
+        assert_close(loss_seq, loss_bat, exact)
+    assert_cluster_states_match(seq_cluster, bat_cluster, exact)
+    assert_ledgers_equal(seq_cluster, bat_cluster)
+    return seq_cluster, bat_cluster

@@ -1,217 +1,110 @@
-"""Batched-vs-sequential execution parity, per strategy.
+"""Batched-vs-sequential execution parity, per strategy — on the harness.
 
-The batched engine must be an *execution* optimization only: for every
-protocol, a run on ``execution="batched"`` must reproduce the sequential
-run's training trajectory and its communication ledger.  Floating-point
-trajectories are compared with ``rtol=1e-6`` (documented tolerance: batched
-GEMMs may legally re-associate reductions; in practice per-worker slices run
-the same BLAS kernels and the trajectories come out bit-identical on common
-platforms).  Ledgers — byte counts per category, synchronization decisions,
-step counts — are compared exactly: protocol decisions may not drift.
+The scenario grid itself (clusters, drivers, assertions) lives in
+``tests/helpers/parity.py``; this file parametrizes over it and additionally
+pins down the engine's guard surface.  The whole grid — partial
+participation, ``Dropout`` models, heterogeneous optimizer hyper-parameters,
+per-worker driving — runs vectorized: none of it falls back to the
+sequential engine.
+
+SGD scenarios are held to *value-exact* parity (``rtol=0, atol=0``); Adam
+scenarios use the documented ``rtol=1e-6`` (numpy's vectorized pow is kept
+off the bias-correction path, so in practice Adam comes out bit-identical
+too, but only SGD's exactness is contractual).  Ledgers — bytes per
+category, sync decisions, step counts — are always exact.
 """
 
 import numpy as np
 import pytest
 
+from helpers.parity import (
+    EXECUTIONS,
+    MODELS,
+    RTOL,
+    TIMELINES,
+    assert_cluster_states_match,
+    assert_ledgers_equal,
+    make_cluster,
+    make_cluster_pair,
+    mlp_factory,
+    run_fda_parity,
+    run_strategy_parity,
+)
 from repro.core.async_fda import AsynchronousFDATrainer
-from repro.core.fda import FDATrainer
 from repro.core.monitor import make_monitor
-from repro.core.timeline import StragglerProfile
+from repro.core.timeline import StragglerProfile, Timeline
 from repro.data.datasets import Dataset
 from repro.data.loaders import BatchSampler, StackedSampler
 from repro.distributed.cluster import SimulatedCluster
 from repro.distributed.engine import BatchedEngine, SequentialEngine
 from repro.distributed.worker import Worker
 from repro.exceptions import ConfigurationError
-from repro.nn.architectures import lenet5, mlp, transfer_head
-from repro.nn.layers import (
-    Activation,
-    AvgPool2D,
-    BatchNorm,
-    Conv2D,
-    Dense,
-    GlobalAvgPool2D,
-)
-from repro.nn.model import Sequential
+from repro.nn.architectures import densenet_mini, mlp
+from repro.nn.losses import MeanSquaredError
 from repro.optim.adam import Adam
+from repro.optim.base import Optimizer, StackedOptimizer
 from repro.optim.sgd import SGD
 from repro.strategies.fda_strategy import FDAStrategy
 from repro.strategies.local_sgd import LocalSGDStrategy
 from repro.strategies.synchronous import SynchronousStrategy
 
-#: Documented trajectory tolerance (see module docstring and ISSUE 3).
-RTOL = 1e-6
-
-
-def mlp_factory():
-    return mlp(6, 3, hidden_units=(10, 8), seed=11)
-
-
-def lenet_factory():
-    return lenet5(input_shape=(8, 8, 1), num_classes=4, seed=2)
-
-
-def bn_factory():
-    model = Sequential(
-        [
-            Conv2D(4, kernel_size=3, padding="same", activation=None, name="conv"),
-            BatchNorm(name="bn"),
-            Activation("relu", name="act"),
-            AvgPool2D(2, name="pool"),
-            GlobalAvgPool2D(name="gap"),
-            Dense(4, activation=None, name="logits"),
-        ],
-        name="bn-net",
-    )
-    model.build((8, 8, 1), seed=3)
-    return model
-
-
-def make_cluster(
-    execution,
-    model_factory=mlp_factory,
-    sample_shape=(6,),
-    num_classes=3,
-    num_workers=8,
-    optimizer_factory=lambda: Adam(0.01),
-    **cluster_kwargs,
-):
-    rng = np.random.default_rng(7)
-    workers = []
-    for worker_id in range(num_workers):
-        x = rng.normal(size=(40,) + sample_shape)
-        y = rng.integers(0, num_classes, size=40)
-        workers.append(
-            Worker(
-                worker_id,
-                model_factory(),
-                Dataset(x, y, num_classes),
-                optimizer_factory(),
-                batch_size=8,
-                seed=worker_id,
-            )
-        )
-    return SimulatedCluster(workers, execution=execution, **cluster_kwargs)
-
-
-def assert_ledgers_equal(cluster_a, cluster_b):
-    """Byte accounting must be *exactly* equal between the engines."""
-    assert cluster_a.total_bytes == cluster_b.total_bytes
-    for category in ("model-sync", "fda-state", "other"):
-        assert cluster_a.tracker.bytes_for(category) == cluster_b.tracker.bytes_for(
-            category
-        )
-    assert cluster_a.synchronization_count == cluster_b.synchronization_count
-    assert [w.steps_performed for w in cluster_a.workers] == [
-        w.steps_performed for w in cluster_b.workers
-    ]
-
 
 class TestFdaParity:
+    @pytest.mark.parametrize("timeline", sorted(TIMELINES))
     @pytest.mark.parametrize("threshold", [0.05, 0.5, 5.0])
     @pytest.mark.parametrize("variant", ["linear", "sketch"])
-    def test_fda_trajectory_and_ledger_match(self, variant, threshold):
-        steps = 40
-        results = {}
-        for execution in ("sequential", "batched"):
-            cluster = make_cluster(execution)
-            monitor = make_monitor(variant, cluster.model_dimension, seed=3)
-            trainer = FDATrainer(cluster, monitor, threshold=threshold)
-            results[execution] = (trainer, trainer.run_steps(steps))
-        seq_trainer, seq_steps = results["sequential"]
-        bat_trainer, bat_steps = results["batched"]
-
-        np.testing.assert_allclose(
-            [r.mean_loss for r in seq_steps],
-            [r.mean_loss for r in bat_steps],
-            rtol=RTOL,
+    def test_fda_trajectory_and_ledger_match(self, variant, threshold, timeline):
+        run_fda_parity(
+            variant=variant,
+            threshold=threshold,
+            steps=40,
+            dropout_rate=TIMELINES[timeline],
         )
-        np.testing.assert_allclose(
-            [r.variance_estimate for r in seq_steps],
-            [r.variance_estimate for r in bat_steps],
-            rtol=RTOL,
-            atol=1e-9,
-        )
-        np.testing.assert_allclose(
-            seq_trainer.cluster.parameter_matrix,
-            bat_trainer.cluster.parameter_matrix,
-            rtol=RTOL,
-        )
-        # Protocol decisions and the communication ledger are exact.
-        assert [r.synchronized for r in seq_steps] == [r.synchronized for r in bat_steps]
-        assert [r.communication_bytes for r in seq_steps] == [
-            r.communication_bytes for r in bat_steps
-        ]
-        assert_ledgers_equal(seq_trainer.cluster, bat_trainer.cluster)
 
     def test_acceptance_fda_k8_loss_trajectory_and_ledger(self):
         """The ISSUE-3 acceptance cell: K=8 FDA, rtol=1e-6 losses, exact bytes."""
-        runs = {}
-        for execution in ("sequential", "batched"):
-            cluster = make_cluster(execution, num_workers=8)
-            trainer = FDATrainer(
-                cluster, make_monitor("linear", cluster.model_dimension, seed=3), 0.5
-            )
-            runs[execution] = (cluster, trainer.run_steps(60))
-        seq_cluster, seq_steps = runs["sequential"]
-        bat_cluster, bat_steps = runs["batched"]
-        np.testing.assert_allclose(
-            [r.mean_loss for r in seq_steps],
-            [r.mean_loss for r in bat_steps],
-            rtol=RTOL,
+        run_fda_parity(variant="linear", threshold=0.5, steps=60, num_workers=8)
+
+    def test_masked_fda_is_value_exact_for_sgd(self):
+        """The ISSUE-4 acceptance cell: dropout timeline, SGD, exact parity."""
+        run_fda_parity(
+            variant="linear",
+            threshold=0.5,
+            steps=50,
+            dropout_rate=0.3,
+            optimizer_factory=lambda worker_id: SGD(0.05, momentum=0.9, nesterov=True),
+            exact=True,
         )
-        assert_ledgers_equal(seq_cluster, bat_cluster)
 
 
 class TestStrategyParity:
-    @pytest.mark.parametrize(
-        "strategy_factory",
-        [
-            SynchronousStrategy,
-            lambda: LocalSGDStrategy(tau=4),  # FedAvg-style local SGD
-            lambda: FDAStrategy(threshold=0.5, variant="linear"),
-        ],
-        ids=["bsp", "local-sgd", "fda-strategy"],
-    )
-    def test_round_trajectories_match(self, strategy_factory):
-        rounds = 12
-        outcomes = {}
-        for execution in ("sequential", "batched"):
-            cluster = make_cluster(execution)
-            strategy = strategy_factory().attach(cluster)
-            outcomes[execution] = (cluster, [strategy.run_round() for _ in range(rounds)])
-        seq_cluster, seq_rounds = outcomes["sequential"]
-        bat_cluster, bat_rounds = outcomes["batched"]
-        np.testing.assert_allclose(
-            [r.mean_loss for r in seq_rounds],
-            [r.mean_loss for r in bat_rounds],
-            rtol=RTOL,
-        )
-        assert [r.synchronized for r in seq_rounds] == [
-            r.synchronized for r in bat_rounds
-        ]
-        assert [r.communication_bytes for r in seq_rounds] == [
-            r.communication_bytes for r in bat_rounds
-        ]
-        np.testing.assert_allclose(
-            seq_cluster.parameter_matrix, bat_cluster.parameter_matrix, rtol=RTOL
-        )
-        assert_ledgers_equal(seq_cluster, bat_cluster)
+    STRATEGIES = {
+        "bsp": SynchronousStrategy,
+        "local-sgd": lambda: LocalSGDStrategy(tau=4),
+        "fda-strategy": lambda: FDAStrategy(threshold=0.5, variant="linear"),
+    }
 
-    @pytest.mark.parametrize("model_factory,shape,classes", [
-        (lenet_factory, (8, 8, 1), 4),
-        (bn_factory, (8, 8, 1), 4),
-    ], ids=["lenet-conv", "batchnorm-net"])
-    def test_conv_and_batchnorm_models_match(self, model_factory, shape, classes):
+    @pytest.mark.parametrize("timeline", sorted(TIMELINES))
+    @pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+    def test_round_trajectories_match(self, strategy, timeline):
+        run_strategy_parity(
+            self.STRATEGIES[strategy],
+            rounds=12,
+            dropout_rate=TIMELINES[timeline],
+        )
+
+    @pytest.mark.parametrize("model", ["lenet-conv", "batchnorm-net"])
+    def test_conv_and_batchnorm_models_match(self, model):
+        factory, shape, classes = MODELS[model]
         outcomes = {}
-        for execution in ("sequential", "batched"):
+        for execution in EXECUTIONS:
             cluster = make_cluster(
                 execution,
-                model_factory=model_factory,
+                model_factory=factory,
                 sample_shape=shape,
                 num_classes=classes,
                 num_workers=4,
-                optimizer_factory=lambda: SGD(0.05, momentum=0.9, nesterov=True),
+                optimizer_factory=lambda worker_id: SGD(0.05, momentum=0.9, nesterov=True),
             )
             losses = [cluster.step_all() for _ in range(10)]
             cluster.synchronize()
@@ -219,21 +112,152 @@ class TestStrategyParity:
         seq_cluster, seq_losses = outcomes["sequential"]
         bat_cluster, bat_losses = outcomes["batched"]
         np.testing.assert_allclose(seq_losses, bat_losses, rtol=RTOL)
-        np.testing.assert_allclose(
-            seq_cluster.parameter_matrix, bat_cluster.parameter_matrix, rtol=RTOL
-        )
-        np.testing.assert_allclose(
-            seq_cluster.buffer_matrix, bat_cluster.buffer_matrix, rtol=RTOL
-        )
+        assert_cluster_states_match(seq_cluster, bat_cluster)
         assert_ledgers_equal(seq_cluster, bat_cluster)
+
+    def test_dropout_model_runs_batched_and_matches_exactly(self):
+        """Dropout layers no longer force the sequential fallback: the batched
+        kernel replays each worker's private mask stream bit-for-bit."""
+        factory, shape, classes = MODELS["dropout-head"]
+        run_strategy_parity(
+            self.STRATEGIES["bsp"],
+            rounds=10,
+            model_factory=factory,
+            sample_shape=shape,
+            num_classes=classes,
+            optimizer_factory=lambda worker_id: SGD(0.05),
+            exact=True,
+        )
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("model", sorted(MODELS))
+    @pytest.mark.parametrize("timeline", sorted(TIMELINES))
+    @pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+    def test_full_scenario_grid(self, strategy, timeline, model):
+        """The exhaustive strategy × timeline × model cross product."""
+        factory, shape, classes = MODELS[model]
+        run_strategy_parity(
+            self.STRATEGIES[strategy],
+            rounds=8,
+            model_factory=factory,
+            sample_shape=shape,
+            num_classes=classes,
+            num_workers=4,
+            dropout_rate=TIMELINES[timeline],
+        )
+
+
+class TestHeterogeneousWorkers:
+    def test_heterogeneous_sgd_hyperparameters_match_exactly(self):
+        """Per-worker lr/momentum/weight-decay become (K, 1) columns; the
+        masked stacked update must equal each worker's own update bit-for-bit."""
+        run_fda_parity(
+            threshold=0.5,
+            steps=40,
+            dropout_rate=0.3,
+            optimizer_factory=lambda worker_id: SGD(
+                0.01 * (worker_id + 1),
+                momentum=0.1 * worker_id if worker_id else 0.0,
+                weight_decay=1e-4 * worker_id,
+            ),
+            exact=True,
+        )
+
+    def test_heterogeneous_adam_matches(self):
+        run_fda_parity(
+            threshold=0.5,
+            steps=40,
+            dropout_rate=0.3,
+            optimizer_factory=lambda worker_id: Adam(
+                0.001 * (worker_id + 1), beta1=0.85 + 0.02 * worker_id
+            ),
+        )
+
+    def test_masked_subset_uniform_but_unlike_worker_zero_is_exact(self):
+        """Momentum-free SGD where a masked subset's weight decays are
+        internally uniform yet differ from worker 0's: the cache-blocked fast
+        path (which reads worker 0's decay) must not be taken for it."""
+        from helpers.parity import run_masked_step_parity
+
+        masks = [
+            np.array([False, True, True, True]),  # uniform wd=0.1 subset, w0 absent
+            np.array([True, False, False, False]),  # worker 0 alone (wd=0)
+            np.array([True, True, True, True]),
+        ] * 3
+        run_masked_step_parity(
+            masks,
+            exact=True,
+            num_workers=4,
+            optimizer_factory=lambda worker_id: SGD(
+                0.05, weight_decay=0.0 if worker_id == 0 else 0.1
+            ),
+        )
+
+    def test_heterogeneous_schedules_follow_per_worker_step_counts(self):
+        from repro.optim.schedules import StepDecaySchedule
+
+        run_fda_parity(
+            threshold=0.5,
+            steps=30,
+            dropout_rate=0.4,
+            optimizer_factory=lambda worker_id: SGD(
+                StepDecaySchedule(0.05, every=5 + worker_id, decay=0.5)
+            ),
+            exact=True,
+        )
+
+
+class TestPerWorkerDriving:
+    def test_step_worker_matches_sequential_exactly(self):
+        seq_cluster, bat_cluster = make_cluster_pair(
+            num_workers=4, optimizer_factory=lambda worker_id: SGD(0.05, momentum=0.9)
+        )
+        order = [0, 2, 1, 3, 3, 0, 1, 2, 2, 1, 0, 3] * 3
+        for worker_id in order:
+            loss_seq = seq_cluster.engine.step_worker(worker_id)
+            loss_bat = bat_cluster.engine.step_worker(worker_id)
+            np.testing.assert_allclose(loss_bat, loss_seq, rtol=0.0, atol=0.0)
+        assert_cluster_states_match(seq_cluster, bat_cluster, exact=True)
+
+    def test_drive_modes_compose(self):
+        """Per-worker, epoch, and lockstep driving share one optimizer state
+        (the stacked rows ARE the workers' own state), so mixing drive modes
+        is legal and stays in lockstep parity with the sequential engine."""
+        seq_cluster, bat_cluster = make_cluster_pair(
+            num_workers=3, optimizer_factory=lambda worker_id: SGD(0.05, momentum=0.9)
+        )
+        for cluster in (seq_cluster, bat_cluster):
+            cluster.engine.step_worker(1)
+            cluster.step_all()
+            cluster.engine.epoch_worker(0)
+            cluster.step_all(active=np.array([True, False, True]))
+            cluster.workers[2].local_step()  # direct driving, bypassing the engine
+            cluster.step_all()
+        assert_cluster_states_match(seq_cluster, bat_cluster, exact=True)
+        assert_ledgers_equal(seq_cluster, bat_cluster)
+
+    def test_epoch_all_matches(self):
+        """FedOpt-style local epochs run as single-row batched slices."""
+        seq_cluster, bat_cluster = make_cluster_pair(
+            num_workers=3, optimizer_factory=lambda worker_id: SGD(0.05)
+        )
+        for _ in range(2):
+            loss_seq = seq_cluster.epoch_all()
+            loss_bat = bat_cluster.epoch_all()
+            np.testing.assert_allclose(loss_bat, loss_seq, rtol=0.0, atol=0.0)
+        assert_cluster_states_match(seq_cluster, bat_cluster, exact=True)
+        assert [w.last_loss for w in seq_cluster.workers] == [
+            w.last_loss for w in bat_cluster.workers
+        ]
 
 
 class TestAsyncParity:
     def test_async_runs_are_engine_independent(self):
-        """Event-driven completions take the per-worker path on both engines,
-        so asynchronous trajectories must be *exactly* equal."""
+        """Event-driven completions run single-row slices of the batched
+        kernels with identical per-worker arithmetic, so asynchronous
+        trajectories must be *exactly* equal across engines."""
         outcomes = {}
-        for execution in ("sequential", "batched"):
+        for execution in EXECUTIONS:
             cluster = make_cluster(execution)
             trainer = AsynchronousFDATrainer(
                 cluster,
@@ -249,8 +273,11 @@ class TestAsyncParity:
         assert [(e.worker_id, e.step_index, e.synchronized) for e in seq_events] == [
             (e.worker_id, e.step_index, e.synchronized) for e in bat_events
         ]
-        np.testing.assert_array_equal(
-            seq_cluster.parameter_matrix, bat_cluster.parameter_matrix
+        np.testing.assert_allclose(
+            seq_cluster.parameter_matrix,
+            bat_cluster.parameter_matrix,
+            rtol=0.0,
+            atol=0.0,
         )
         assert seq_trainer.synchronization_count == bat_trainer.synchronization_count
         assert_ledgers_equal(seq_cluster, bat_cluster)
@@ -272,6 +299,28 @@ class TestStackedSampler:
                 expected_x, expected_y = sampler.sample()
                 np.testing.assert_array_equal(x[worker], expected_x)
                 np.testing.assert_array_equal(y[worker], expected_y)
+
+    def test_masked_rows_draw_only_active_streams(self):
+        rng = np.random.default_rng(0)
+        datasets = [
+            Dataset(rng.normal(size=(30, 5)), rng.integers(0, 3, size=30), 3)
+            for _ in range(4)
+        ]
+        stacked = StackedSampler.for_datasets(datasets, batch_size=6, seeds=range(4))
+        solo = [BatchSampler(ds, 6, seed=seed) for seed, ds in enumerate(datasets)]
+        rows = np.array([1, 3])
+        x, y = stacked.sample(rows=rows)
+        assert x.shape == (2, 6, 5) and y.shape == (2, 6)
+        for position, worker in enumerate(rows):
+            expected_x, expected_y = solo[worker].sample()
+            np.testing.assert_array_equal(x[position], expected_x)
+            np.testing.assert_array_equal(y[position], expected_y)
+        # Workers 0 and 2 consumed nothing: their next stacked draw equals
+        # their solo samplers' *first* draw.
+        x, y = stacked.sample(rows=np.array([0, 2]))
+        for position, worker in enumerate((0, 2)):
+            expected_x, _ = solo[worker].sample()
+            np.testing.assert_array_equal(x[position], expected_x)
 
     def test_rejects_mismatched_workers(self):
         from repro.exceptions import DataError
@@ -304,32 +353,96 @@ class TestEngineSelection:
             batched.gradient_matrix[1], batched.workers[1].model.gradients_view()
         )
 
-    def test_unknown_execution_rejected(self):
-        with pytest.raises(ConfigurationError):
-            make_cluster("vectorized")
-
-    def test_unsupported_layers_rejected_with_clear_message(self):
-        # transfer_head contains Dropout, whose private RNG stream has no
-        # batched equivalent.
-        with pytest.raises(ConfigurationError, match="[Dd]ropout"):
-            make_cluster(
-                "batched",
-                model_factory=lambda: transfer_head(6, num_classes=3, seed=0),
-                sample_shape=(6,),
+    def test_masked_steps_leave_inactive_rows_untouched(self):
+        cluster = make_cluster("batched", num_workers=4)
+        cluster.step_all()
+        before_params = cluster.parameter_matrix.copy()
+        before_grads = cluster.gradient_matrix.copy()
+        cluster.step_all(active=np.array([True, False, True, False]))
+        for inactive in (1, 3):
+            np.testing.assert_array_equal(
+                cluster.parameter_matrix[inactive], before_params[inactive]
+            )
+            np.testing.assert_array_equal(
+                cluster.gradient_matrix[inactive], before_grads[inactive]
+            )
+        for active in (0, 2):
+            assert not np.array_equal(
+                cluster.parameter_matrix[active], before_params[active]
             )
 
-    def test_incompatible_optimizers_rejected(self):
+    def test_empty_mask_is_a_no_op(self):
+        cluster = make_cluster("batched", num_workers=3)
+        before = cluster.parameter_matrix.copy()
+        assert cluster.step_all(active=np.zeros(3, dtype=bool)) == 0.0
+        np.testing.assert_array_equal(cluster.parameter_matrix, before)
+        assert all(w.steps_performed == 0 for w in cluster.workers)
+
+    def test_dropout_timeline_accepted(self):
+        """The lockstep-only guard is gone: dropout timelines run batched."""
+        cluster = make_cluster(
+            "batched", num_workers=4, timeline=Timeline(4, dropout_rate=0.5, seed=0)
+        )
+        for _ in range(5):
+            cluster.step_all(active=cluster.timeline.sample_participation())
+        assert sum(w.steps_performed for w in cluster.workers) > 0
+
+
+class TestEngineGuards:
+    """Every remaining ``ConfigurationError`` branch in ``distributed/engine.py``,
+    pinned by message."""
+
+    def test_unknown_execution_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown execution mode"):
+            make_cluster("vectorized")
+
+    def test_non_inplace_workers_rejected(self):
         rng = np.random.default_rng(0)
         workers = []
         for worker_id in range(2):
             x = rng.normal(size=(20, 6))
             y = rng.integers(0, 3, size=20)
-            optimizer = Adam(0.01) if worker_id == 0 else Adam(0.02)
             workers.append(
-                Worker(worker_id, mlp_factory(), Dataset(x, y, 3), optimizer, batch_size=4)
+                Worker(
+                    worker_id,
+                    mlp_factory(),
+                    Dataset(x, y, 3),
+                    Adam(0.01),
+                    batch_size=4,
+                    inplace=worker_id == 0,
+                )
             )
-        with pytest.raises(ConfigurationError, match="identically configured"):
+        with pytest.raises(ConfigurationError, match="requires inplace workers"):
             SimulatedCluster(workers, execution="batched")
+
+    def test_pre_stepped_optimizers_rejected(self):
+        # A pre-stepped optimizer's (d,) moments would be silently discarded
+        # by the row binding while its step count kept counting.
+        rng = np.random.default_rng(0)
+        workers = []
+        for worker_id in range(2):
+            x = rng.normal(size=(20, 6))
+            y = rng.integers(0, 3, size=20)
+            workers.append(
+                Worker(worker_id, mlp_factory(), Dataset(x, y, 3), Adam(0.01), batch_size=4)
+            )
+        for worker in workers:
+            worker.local_step()
+        with pytest.raises(ConfigurationError, match="fresh optimizers"):
+            SimulatedCluster(workers, execution="batched")
+
+    def test_unsupported_layers_rejected_with_clear_message(self):
+        # densenet_mini contains DenseBlock/TransitionDown composites, which
+        # (unlike Dropout) still have no batched kernel.
+        with pytest.raises(ConfigurationError, match="does not support these layers"):
+            make_cluster(
+                "batched",
+                model_factory=lambda: densenet_mini(
+                    input_shape=(8, 8, 1), num_classes=3, blocks=(1,), seed=0
+                ),
+                sample_shape=(8, 8, 1),
+                num_workers=2,
+            )
 
     def test_structurally_different_models_rejected(self):
         # Same parameter count, different activation: the batched kernels are
@@ -344,64 +457,93 @@ class TestEngineSelection:
             workers.append(
                 Worker(worker_id, model, Dataset(x, y, 3), Adam(0.01), batch_size=4)
             )
-        with pytest.raises(ConfigurationError, match="architecture"):
+        with pytest.raises(ConfigurationError, match="model architecture differs"):
             SimulatedCluster(workers, execution="batched")
 
-    def test_pre_stepped_optimizers_rejected(self):
-        # A pre-stepped optimizer's (d,) moments would be silently re-zeroed
-        # by the first (K, d) update while its step count kept counting.
+    def _workers_with(self, build):
         rng = np.random.default_rng(0)
         workers = []
         for worker_id in range(2):
             x = rng.normal(size=(20, 6))
             y = rng.integers(0, 3, size=20)
-            workers.append(
-                Worker(worker_id, mlp_factory(), Dataset(x, y, 3), Adam(0.01), batch_size=4)
+            workers.append(build(worker_id, Dataset(x, y, 3)))
+        return workers
+
+    def test_mixed_optimizer_types_rejected(self):
+        workers = self._workers_with(
+            lambda worker_id, data: Worker(
+                worker_id,
+                mlp_factory(),
+                data,
+                Adam(0.01) if worker_id == 0 else SGD(0.01),
+                batch_size=4,
             )
-        for worker in workers:
-            worker.local_step()
-        with pytest.raises(ConfigurationError, match="fresh optimizers"):
+        )
+        with pytest.raises(ConfigurationError, match="optimizer type"):
             SimulatedCluster(workers, execution="batched")
 
-    def test_dropout_timeline_rejected(self):
-        from repro.core.timeline import Timeline
+    def test_mismatched_loss_rejected(self):
+        workers = self._workers_with(
+            lambda worker_id, data: Worker(
+                worker_id,
+                mlp_factory(),
+                data,
+                Adam(0.01),
+                batch_size=4,
+                loss=MeanSquaredError() if worker_id else None,
+            )
+        )
+        with pytest.raises(ConfigurationError, match="loss configuration differs"):
+            SimulatedCluster(workers, execution="batched")
 
-        with pytest.raises(ConfigurationError, match="participation"):
-            make_cluster(
-                "batched",
-                num_workers=4,
-                timeline=Timeline(4, dropout_rate=0.5, seed=0),
+    def test_mismatched_batch_size_rejected(self):
+        workers = self._workers_with(
+            lambda worker_id, data: Worker(
+                worker_id, mlp_factory(), data, Adam(0.01), batch_size=4 + worker_id
+            )
+        )
+        with pytest.raises(ConfigurationError, match="batch_size"):
+            SimulatedCluster(workers, execution="batched")
+
+    def test_heterogeneous_hyperparameters_accepted(self):
+        """The old identically-configured-optimizers guard is gone: scalar
+        hyper-parameter differences ride per-row columns."""
+        workers = self._workers_with(
+            lambda worker_id, data: Worker(
+                worker_id, mlp_factory(), data, Adam(0.01 * (worker_id + 1)), batch_size=4
+            )
+        )
+        cluster = SimulatedCluster(workers, execution="batched")
+        assert cluster.step_all() > 0.0
+
+
+class TestStackedOptimizerGuards:
+    """The structural guards that live in ``optim/base.py`` (raised during
+    batched-engine construction)."""
+
+    def test_mixed_nesterov_rejected(self):
+        with pytest.raises(ConfigurationError, match="nesterov"):
+            StackedOptimizer(
+                [SGD(0.01, momentum=0.9, nesterov=True), SGD(0.01, momentum=0.9)], 4
             )
 
-    def test_mixed_drive_modes_rejected(self):
-        # Per-worker first, then lockstep:
-        cluster = make_cluster("batched", num_workers=2)
-        cluster.engine.step_worker(0)
-        with pytest.raises(ConfigurationError, match="desynchronize"):
-            cluster.step_all()
-        # ... and the reverse order — lockstep first, then per-worker steps
-        # or epochs — is equally corrupting and equally rejected.
-        cluster = make_cluster("batched", num_workers=2)
-        cluster.step_all()
-        with pytest.raises(ConfigurationError, match="desynchronize"):
-            cluster.engine.step_worker(0)
-        with pytest.raises(ConfigurationError, match="desynchronize"):
-            cluster.epoch_all()
+    def test_optimizer_without_stacked_rule_rejected(self):
+        class Esoteric(Optimizer):
+            def _update(self, params, grads, learning_rate):
+                return params - learning_rate * grads
 
-    def test_direct_worker_driving_detected_by_step_all(self):
-        # Strategies like FedProx/SCAFFOLD step workers *directly*
-        # (worker.local_epoch), bypassing the engine's entry points; step_all
-        # must still detect the per-worker optimizer state and refuse.
-        cluster = make_cluster("batched", num_workers=2)
-        cluster.workers[1].local_step()
-        with pytest.raises(ConfigurationError, match="driven"):
-            cluster.step_all()
-        # ... including when only worker 0 (whose optimizer doubles as the
-        # engine's shared cluster optimizer) was driven.
-        cluster = make_cluster("batched", num_workers=2)
-        cluster.workers[0].local_epoch()
-        with pytest.raises(ConfigurationError, match="driven"):
-            cluster.step_all()
+        with pytest.raises(ConfigurationError, match="no stacked"):
+            StackedOptimizer([Esoteric(), Esoteric()], 4)
+
+    def test_mixed_types_rejected(self):
+        with pytest.raises(ConfigurationError, match="one optimizer type"):
+            StackedOptimizer([SGD(0.01), Adam(0.01)], 4)
+
+    def test_pre_stepped_rejected(self):
+        stepped = SGD(0.01)
+        stepped.step_inplace(np.zeros(4), np.zeros(4))
+        with pytest.raises(ConfigurationError, match="already stepped"):
+            StackedOptimizer([stepped, SGD(0.01)], 4)
 
 
 class TestWorkloadExecutionField:
@@ -413,6 +555,16 @@ class TestWorkloadExecutionField:
         cluster2, _ = build_cluster(blobs_workload)
         assert cluster2.execution == "sequential"
 
+    def test_build_cluster_allows_batched_with_dropout(self, blobs_workload):
+        from repro.experiments.setup import build_cluster
+
+        workload = blobs_workload.with_execution("batched").with_timeline(
+            dropout_rate=0.25
+        )
+        cluster, _ = build_cluster(workload)
+        assert cluster.execution == "batched"
+        assert cluster.timeline.dropout_rate == 0.25
+
     def test_invalid_execution_rejected(self, blobs_workload):
         with pytest.raises(ConfigurationError):
             blobs_workload.with_execution("turbo")
@@ -421,6 +573,7 @@ class TestWorkloadExecutionField:
         from repro.experiments.persistence import load_results, save_results
         from repro.experiments.run import TrainingRun
         from repro.experiments.setup import build_cluster
+        from repro.strategies.synchronous import SynchronousStrategy
 
         cluster, test_dataset = build_cluster(blobs_workload.with_execution("batched"))
         run = TrainingRun(accuracy_target=0.99, max_steps=8, eval_every_steps=4)

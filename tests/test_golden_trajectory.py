@@ -98,6 +98,58 @@ class TestGoldenTrajectory:
         assert legacy.cluster.total_bytes == modern.cluster.total_bytes
 
 
+class TestGoldenMaskedTrajectory:
+    """Frozen fixture for a ``dropout_rate=0.25`` FDA run on *both* engines.
+
+    Freezes the masked-execution semantics — which workers participate each
+    step (the timeline's mask stream), which steps synchronize, the byte
+    total, and the per-worker step counts — as literal constants, so a future
+    refactor that silently changes RNG consumption, mask threading, or the
+    sync bookkeeping under partial participation fails loudly here.  The
+    frozen integers are platform-exact; float probes use a loose tolerance
+    (the variance estimates stay ≥ 0.04 away from Θ, so BLAS differences
+    cannot flip a frozen decision).
+    """
+
+    #: Per-step participating-worker counts from Timeline(6, dropout=0.25, seed=2026).
+    GOLDEN_ACTIVE = [5, 5, 6, 4, 5, 5, 6, 4, 6, 5, 5, 5, 5, 4, 5, 5, 4, 5, 5, 3,
+                     5, 6, 5, 5, 3, 4, 5, 3, 4, 4]
+    #: 1-based steps whose variance estimate exceeded Θ=0.5.
+    GOLDEN_SYNC_STEPS = [12, 22]
+    GOLDEN_TOTAL_BYTES = 10320
+    GOLDEN_STEPS_PERFORMED = [23, 24, 22, 25, 25, 22]
+    GOLDEN_FIRST_LOSS = 1.2080946490946594
+    GOLDEN_LAST_ESTIMATE = 0.32483190113175
+
+    @pytest.mark.parametrize("execution", ["sequential", "batched"])
+    def test_masked_fda_run_matches_frozen_observables(self, execution):
+        from helpers.parity import make_cluster
+
+        cluster = make_cluster(
+            execution,
+            num_workers=6,
+            dropout_rate=0.25,
+            timeline_seed=2026,
+            optimizer_factory=lambda worker_id: SGD(
+                0.05, momentum=0.9, nesterov=True, weight_decay=1e-3
+            ),
+        )
+        trainer = FDATrainer(
+            cluster, make_monitor("linear", cluster.model_dimension, seed=3), 0.5
+        )
+        results = trainer.run_steps(30)
+        assert [r.active_workers for r in results] == self.GOLDEN_ACTIVE
+        assert [r.step for r in results if r.synchronized] == self.GOLDEN_SYNC_STEPS
+        assert cluster.total_bytes == self.GOLDEN_TOTAL_BYTES
+        assert [w.steps_performed for w in cluster.workers] == self.GOLDEN_STEPS_PERFORMED
+        np.testing.assert_allclose(
+            results[0].mean_loss, self.GOLDEN_FIRST_LOSS, rtol=1e-6
+        )
+        np.testing.assert_allclose(
+            results[-1].variance_estimate, self.GOLDEN_LAST_ESTIMATE, rtol=1e-3
+        )
+
+
 class TestFabricDefaultEquivalence:
     """The topology-aware fabric must not perturb the paper's default setting.
 
