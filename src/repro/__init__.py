@@ -11,6 +11,9 @@ The package is organised bottom-up:
 * :mod:`repro.data` — synthetic datasets and federated partitioning;
 * :mod:`repro.distributed` — the simulated cluster, AllReduce, and
   communication-cost accounting;
+* :mod:`repro.compression` — collective-level payload compression: row-wise
+  ``(K, d)`` kernels, error-feedback memory, and true compressed-byte
+  accounting, shared by every strategy;
 * :mod:`repro.core` — the FDA algorithm itself (variance monitors, the
   Algorithm-1 trainer, Θ selection);
 * :mod:`repro.strategies` — FDA and the baselines behind a uniform interface;
@@ -32,6 +35,14 @@ Quickstart::
     print(result.summary())
 """
 
+from repro.compression import (
+    CompressionConfig,
+    Compressor,
+    QuantizationCompressor,
+    TopKCompressor,
+    get_compression,
+    make_compressor,
+)
 from repro.core import (
     ExactMonitor,
     FDATrainer,
@@ -109,6 +120,13 @@ __all__ = [
     # virtual time
     "Timeline",
     "StragglerProfile",
+    # compression
+    "CompressionConfig",
+    "Compressor",
+    "QuantizationCompressor",
+    "TopKCompressor",
+    "get_compression",
+    "make_compressor",
     # sketches
     "AmsSketch",
     # strategies

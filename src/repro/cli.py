@@ -8,14 +8,18 @@ Examples::
     python -m repro.cli figure8 --full
     python -m repro.cli compare --workload lenet --theta 8 --workers 5
     python -m repro.cli compare --workload lenet --topology ring --network fl
+    python -m repro.cli compare --workload lenet --compressor topk --compression-ratio 0.1 --error-feedback
     python -m repro.cli fabric --workload lenet --topologies star ring --networks fl hpc
+    python -m repro.cli compression --workload lenet --theta 8
 
 ``figureN`` commands run the strategies of the corresponding registry entry on
 its workloads and print the per-strategy cost table; ``compare`` runs a custom
 single comparison (FDA variants vs Synchronous vs the matching FedOpt
-baseline) for one of the named workloads, optionally on a non-default fabric;
-``fabric`` sweeps a topology × network grid and reports per-category bytes
-plus virtual wall-clock per round for each cell.
+baseline) for one of the named workloads, optionally on a non-default fabric,
+execution engine, or payload compression; ``fabric`` sweeps a topology ×
+network grid and reports per-category bytes plus virtual wall-clock per round
+for each cell; ``compression`` sweeps payload-compression settings and
+reports how many model-sync bytes each kernel removes.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.compression import NAMED_COMPRESSORS, CompressionConfig
 from repro.distributed.engine import EXECUTION_MODES
 from repro.distributed.network import NAMED_NETWORKS
 from repro.distributed.topology import NAMED_TOPOLOGIES
@@ -32,13 +37,18 @@ from repro.experiments import registry
 from repro.experiments.reporting import format_comparison, format_results_table
 from repro.experiments.run import TrainingRun
 from repro.experiments.setup import build_cluster
-from repro.experiments.sweep import run_fabric_spec, sweep_fabric
+from repro.experiments.sweep import (
+    run_compression_spec,
+    run_fabric_spec,
+    sweep_fabric,
+)
 from repro.strategies.fda_strategy import FDAStrategy
 from repro.strategies.synchronous import SynchronousStrategy
 from repro.utils.formatting import format_bytes, format_duration
 
 _TOPOLOGY_CHOICES = sorted(NAMED_TOPOLOGIES)
 _NETWORK_CHOICES = sorted(NAMED_NETWORKS) + ["none"]
+_COMPRESSOR_CHOICES = sorted(NAMED_COMPRESSORS) + ["none"]
 
 _WORKLOAD_BUILDERS = {
     "lenet": registry.lenet_mnist_workload,
@@ -92,6 +102,25 @@ def _build_parser() -> argparse.ArgumentParser:
              "runs on either engine — the batched engine executes only the "
              "active rows",
     )
+    compare.add_argument(
+        "--compressor", choices=_COMPRESSOR_CHOICES, default="none",
+        help="collective-level payload compression applied to every "
+             "strategy's sync payloads (FDA's triggered syncs included)",
+    )
+    compare.add_argument(
+        "--compression-ratio", type=float, default=0.1,
+        help="kept fraction for the sparsifying compressors "
+             "(topk / randomk / layerwise-topk)",
+    )
+    compare.add_argument(
+        "--compression-bits", type=int, default=8,
+        help="bit width for the quantization compressor",
+    )
+    compare.add_argument(
+        "--error-feedback", action="store_true",
+        help="keep per-worker error-feedback memory (a (K, d) residual "
+             "matrix on the cluster) so dropped mass re-enters later payloads",
+    )
 
     fabric = subparsers.add_parser(
         "fabric", help="sweep a topology x network grid and report bytes + wall-clock"
@@ -117,6 +146,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--networks", nargs="+", choices=_NETWORK_CHOICES,
         default=["fl", "hpc", "balanced"], help="network models to sweep",
     )
+
+    compression = subparsers.add_parser(
+        "compression",
+        help="sweep payload-compression settings and report the byte savings",
+    )
+    compression.add_argument(
+        "--full", action="store_true",
+        help="use the full compression grid (adds top-k without error "
+             "feedback, random-k, sign+norm, and layer-wise top-k)",
+    )
     return parser
 
 
@@ -128,6 +167,7 @@ def _command_list() -> int:
         print(f"  {name:<12}  {spec.title}")
     print("  compare       custom FDA vs baselines comparison (see --help)")
     print("  fabric        topology x network sweep: bytes + virtual wall-clock")
+    print("  compression   payload-compression sweep: bytes removed per kernel")
     return 0
 
 
@@ -166,10 +206,27 @@ def _command_figure(name: str, full: bool) -> int:
     return 0
 
 
+def _compression_from_args(args: argparse.Namespace):
+    """Build the CompressionConfig the compare flags describe (or ``None``)."""
+    if args.compressor == "none":
+        return None
+    return CompressionConfig(
+        compressor=args.compressor,
+        ratio=args.compression_ratio,
+        bits=args.compression_bits,
+        error_feedback=args.error_feedback,
+    )
+
+
 def _command_compare(args: argparse.Namespace) -> int:
     workload = _WORKLOAD_BUILDERS[args.workload](num_workers=args.workers)
     workload = workload.with_fabric(topology=args.topology, network=args.network)
     workload = workload.with_execution(args.execution)
+    try:
+        workload = workload.with_compression(_compression_from_args(args))
+    except ConfigurationError as error:  # out-of-range ratio/bits
+        print(f"error: {error}")
+        return 2
     if args.dropout_rate:
         try:
             workload = workload.with_timeline(dropout_rate=args.dropout_rate)
@@ -196,9 +253,10 @@ def _command_compare(args: argparse.Namespace) -> int:
             print(f"error: {error}")
             return 2
         results.append(run.execute(strategy, cluster, test_dataset, workload_name=workload.name))
+    compression = workload.compression.describe() if workload.compression else "none"
     print(
         f"fabric: topology={args.topology} network={args.network} "
-        f"execution={args.execution}"
+        f"execution={args.execution} compression={compression}"
     )
     print(format_results_table(results, reached_only=False))
     print(format_comparison(results, "LinearFDA", "Synchronous"))
@@ -247,6 +305,34 @@ def _command_fabric(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_compression_points(label: str, points) -> None:
+    header = (
+        f"{'compression':<28}{'model-sync':>12}{'total':>12}"
+        f"{'steps':>8}{'acc':>8}{'reached':>9}"
+    )
+    print(f"\n=== {label} ===")
+    print(header)
+    print("-" * len(header))
+    for point in points:
+        result = point.result
+        print(
+            f"{point.compression:<28}"
+            f"{format_bytes(result.model_bytes):>12}"
+            f"{format_bytes(result.communication_bytes):>12}"
+            f"{result.parallel_steps:>8}"
+            f"{result.final_accuracy:>8.3f}"
+            f"{str(result.reached_target):>9}"
+        )
+
+
+def _command_compression(args: argparse.Namespace) -> int:
+    spec = registry.compression_sweep(quick=not args.full)
+    print(f"{spec.experiment_id}: {spec.title}")
+    for strategy_name, points in run_compression_spec(spec).items():
+        _print_compression_points(strategy_name, points)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -259,6 +345,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_compare(args)
     if args.command == "fabric":
         return _command_fabric(args)
+    if args.command == "compression":
+        return _command_compression(args)
     if args.command in registry.ALL_FIGURES:
         return _command_figure(args.command, full=getattr(args, "full", False))
     parser.error(f"unknown command {args.command!r}")

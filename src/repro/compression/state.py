@@ -1,0 +1,254 @@
+"""Cluster-level compression state: reference model and error-feedback memory.
+
+The kernels in :mod:`repro.compression.kernels` are pure functions of a
+``(R, d)`` matrix; what makes compression a *protocol* feature is the state
+around them, and that state lives here, owned by the
+:class:`~repro.distributed.cluster.SimulatedCluster`:
+
+* the **reference model** ``w_ref`` — the last globally shared parameter
+  vector.  Workers never upload raw parameters; they upload the (compressible)
+  drift ``w^{(k)} − w_ref``, and every ``broadcast_parameters`` refreshes the
+  reference, so all strategies — FDA's triggered syncs included — share one
+  consistent drift convention;
+* the **error-feedback residual matrix** — one ``(K, d)`` float64 matrix whose
+  row ``k`` is worker ``k``'s accumulated compression error.  Because the
+  memory is row-indexed, a masked update (:meth:`ClusterCompression.compress_update`
+  with ``rows``) touches exactly the participating rows: non-participating
+  workers keep their residuals bit-untouched, which is what makes partial
+  participation and selective communication compose with error feedback.
+
+The two protocol entry points are :meth:`ClusterCompression.synchronize` (the
+compressed full-model AllReduce behind ``cluster.synchronize``) and
+:meth:`ClusterCompression.gather_models` (the compressed client→server upload
+round behind FedOpt/FedProx/SCAFFOLD aggregation).  Both charge the fabric
+with the kernel's *transmitted* element count, so topology link ledgers and
+network seconds reflect compressed payloads, not ``4·d``.
+
+>>> import numpy as np
+>>> from repro.compression.config import CompressionConfig
+>>> state = ClusterCompression(
+...     CompressionConfig("topk", ratio=0.5, error_feedback=True),
+...     num_workers=2, dimension=4,
+... )
+>>> drifts = np.array([[1.0, -3.0, 0.5, 2.0], [0.0, 0.1, -0.2, 0.05]])
+>>> payloads = state.compress_update(drifts, rows=np.array([0]))
+>>> payloads.reconstruct()                      # only row 0 was compressed
+array([[ 0., -3.,  0.,  2.]])
+>>> state.residual_matrix[0]                    # row 0 keeps the dropped mass
+array([1. , 0. , 0.5, 0. ])
+>>> state.residual_matrix[1]                    # row 1 is bit-untouched
+array([0., 0., 0., 0.])
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Union
+
+import numpy as np
+
+from repro.compression.config import CompressionConfig, make_compressor
+from repro.compression.kernels import Compressor, RowPayloads
+from repro.exceptions import ShapeError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.distributed.cluster import SimulatedCluster
+
+
+class ClusterCompression:
+    """Compression state for one cluster: kernel, reference, residual memory.
+
+    Constructed from a :class:`~repro.compression.config.CompressionConfig`
+    or a ready :class:`~repro.compression.kernels.Compressor` instance (the
+    legacy strategy-wrapper path).  ``layout`` — the workers' parameter-plane
+    slot layout — is forwarded to layer-wise kernels.
+    """
+
+    def __init__(
+        self,
+        spec: Union[CompressionConfig, Compressor],
+        num_workers: int,
+        dimension: int,
+        layout=None,
+    ) -> None:
+        if isinstance(spec, Compressor):
+            self.config: Optional[CompressionConfig] = None
+            self.compressor = spec
+            error_feedback = False
+        else:
+            self.config = spec
+            self.compressor = make_compressor(spec)
+            error_feedback = spec.error_feedback
+        if layout is not None:
+            self.compressor.bind_layout(layout)
+        self.error_feedback = bool(error_feedback)
+        self.num_workers = int(num_workers)
+        self.dimension = int(dimension)
+        self._residuals: Optional[np.ndarray] = (
+            np.zeros((self.num_workers, self.dimension)) if self.error_feedback else None
+        )
+        self._reference: Optional[np.ndarray] = None
+        # (K, d) drift scratch for the no-error-feedback synchronize path
+        # (with EF the residual matrix itself is the accumulator); lazily
+        # allocated so clusters that never synchronize pay nothing.
+        self._drift_scratch: Optional[np.ndarray] = None
+
+    # -- description ------------------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        """Compact description for names, reports, and persisted results."""
+        if self.config is not None:
+            return self.config.describe()
+        return self.compressor.name
+
+    @property
+    def residual_matrix(self) -> Optional[np.ndarray]:
+        """The live ``(K, d)`` error-feedback memory (``None`` without EF)."""
+        return self._residuals
+
+    @property
+    def transmitted_elements(self) -> int:
+        """Float32-equivalent elements one worker's model payload costs."""
+        return self.compressor.transmitted_elements(self.dimension)
+
+    # -- the reference model -----------------------------------------------------
+
+    def set_reference(self, flat: np.ndarray) -> None:
+        """Install the globally shared model the next drifts are taken against."""
+        flat = np.asarray(flat, dtype=np.float64)
+        if flat.shape != (self.dimension,):
+            raise ShapeError(
+                f"reference must have shape ({self.dimension},), got {flat.shape}"
+            )
+        self._reference = flat.copy()
+
+    def reference(self, cluster: "SimulatedCluster") -> np.ndarray:
+        """The current reference, lazily initialized to the cluster average.
+
+        Strategies normally establish it by broadcasting the initial model at
+        ``attach``; a bare cluster that synchronizes without ever broadcasting
+        falls back to the current average (zero drift on the first sync).
+        """
+        if self._reference is None:
+            self._reference = cluster.average_parameters()
+        return self._reference
+
+    # -- the compression step ----------------------------------------------------
+
+    def compress_update(
+        self, drifts: np.ndarray, rows: Optional[np.ndarray] = None
+    ) -> RowPayloads:
+        """Compress drift rows, folding error-feedback memory in and out.
+
+        ``drifts`` is the full ``(K, d)`` drift matrix (never mutated);
+        ``rows`` optionally selects the participating workers.  With error
+        feedback, each participating row's payload is built from
+        ``drift + residual`` and its residual becomes exactly the untransmitted
+        remainder; rows outside ``rows`` are neither read nor written.
+        """
+        drifts = np.asarray(drifts, dtype=np.float64)
+        if drifts.ndim != 2 or drifts.shape[1] != self.dimension:
+            raise ShapeError(
+                f"drifts must be (K, {self.dimension}), got {drifts.shape}"
+            )
+        active = drifts if rows is None else drifts[rows]
+        if not self.error_feedback:
+            return self.compressor.compress_rows(active)
+        residuals = self._residuals if rows is None else self._residuals[rows]
+        work = active + residuals
+        payloads = self.compressor.compress_rows(work)
+        payloads.fold_residual(work)  # in place: work becomes the new residual
+        if rows is None:
+            self._residuals[...] = work
+        else:
+            self._residuals[rows] = work
+        return payloads
+
+    # -- protocol entry points ---------------------------------------------------
+
+    def synchronize(
+        self,
+        cluster: "SimulatedCluster",
+        include_buffers: bool = True,
+        category: Optional[str] = None,
+    ) -> np.ndarray:
+        """One compressed full-model synchronization (the AllReduce path).
+
+        Every worker uploads its compressed drift from the reference; the
+        averaged reconstruction is added to the reference and installed in
+        every row of the parameter matrix.  The fabric is charged the
+        *compressed* payload per worker (the kernel's transmitted elements);
+        non-trainable buffers, when requested, are averaged exactly and
+        charged uncompressed like the plain path (they are running statistics,
+        orders of magnitude smaller than the model).
+        """
+        from repro.distributed.cluster import CATEGORY_MODEL
+
+        category = category or CATEGORY_MODEL
+        reference = self.reference(cluster)
+        # The synchronization hot path works entirely in preallocated (K, d)
+        # storage: with error feedback the residual matrix itself accumulates
+        # ``residual + (w − w_ref)`` in place (the payload values are captured
+        # before fold_residual zeroes/subtracts the transmitted part, turning
+        # the accumulator into the new residual); without it a cached drift
+        # scratch holds the subtraction.  Sync-every-step protocols therefore
+        # allocate nothing per round beyond the k-sized payload arrays.
+        if self.error_feedback:
+            work = self._residuals
+            np.add(work, cluster.parameter_matrix, out=work)
+            np.subtract(work, reference, out=work)
+        else:
+            if self._drift_scratch is None:
+                self._drift_scratch = np.empty((self.num_workers, self.dimension))
+            work = self._drift_scratch
+            np.subtract(cluster.parameter_matrix, reference, out=work)
+        payloads = self.compressor.compress_rows(work)
+        average_delta = payloads.mean()
+        if self.error_feedback:
+            payloads.fold_residual(work)  # the accumulator becomes the residual
+        cluster.charge_allreduce(
+            cluster.model_dimension, category, compression=self.compressor
+        )
+        new_global = reference + average_delta
+        cluster.parameter_matrix[...] = new_global
+        if include_buffers and cluster.buffer_matrix.shape[1]:
+            buffer_average = cluster.average_buffers()
+            cluster.charge_allreduce(int(buffer_average.size), category)
+            cluster.buffer_matrix[...] = buffer_average
+        self._reference = new_global
+        cluster.synchronization_count += 1
+        return new_global
+
+    def gather_models(
+        self,
+        cluster: "SimulatedCluster",
+        reference: Optional[np.ndarray] = None,
+        category: Optional[str] = None,
+    ) -> np.ndarray:
+        """One compressed client→server upload round.
+
+        Returns the ``(K, d)`` matrix of client models *as the server sees
+        them* — ``reference + reconstructed drift`` per row — and charges the
+        fabric one compressed full-model collective.  Server-side aggregators
+        (FedOpt/FedProx/SCAFFOLD) consume the result in place of the raw
+        parameter matrix.
+        """
+        from repro.distributed.cluster import CATEGORY_MODEL
+
+        category = category or CATEGORY_MODEL
+        if reference is None:
+            reference = self.reference(cluster)
+        else:
+            reference = np.asarray(reference, dtype=np.float64)
+        drifts = cluster.parameter_matrix - reference
+        payloads = self.compress_update(drifts)
+        cluster.charge_allreduce(
+            cluster.model_dimension, category, compression=self.compressor
+        )
+        return reference + payloads.reconstruct()
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterCompression({self.label}, K={self.num_workers}, "
+            f"d={self.dimension}, error_feedback={self.error_feedback})"
+        )

@@ -68,9 +68,10 @@ class FDATrainer:
         self.sync_buffers = bool(sync_buffers)
         self.theta_controller = theta_controller
         # The synchronizer performs the actual model exchange when the variance
-        # estimate exceeds Theta.  The default is the cluster's exact AllReduce;
-        # a compressed synchronizer (Section 2: FDA is orthogonal to compression)
-        # can be plugged in instead.
+        # estimate exceeds Theta.  The default is cluster.synchronize — exact
+        # AllReduce, or the compressed drift exchange when the cluster carries
+        # collective-level compression (Section 2: FDA is orthogonal to
+        # compression); a custom callable can still be plugged in instead.
         self._synchronizer = synchronizer
         self.step_count = 0
         self.synchronization_count = 0

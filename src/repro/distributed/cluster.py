@@ -17,6 +17,15 @@ every worker's flat parameter vector (and buffer vector) into one contiguous
 on ``average_parameters``, ``synchronize``, ``model_variance``,
 ``broadcast_parameters``, and ``drift_matrix`` are single row-wise matrix
 operations — no per-worker Python loops, no gather/scatter copies.
+
+Compression is a collective-level concern and therefore lives here too: an
+optional :class:`~repro.compression.state.ClusterCompression` (installed via
+the ``compression`` constructor argument or :meth:`enable_compression`)
+reroutes ``synchronize`` and :meth:`gather_models` through row-wise
+compression kernels with per-worker error-feedback memory, and every
+``charge_*`` call accepts a compression spec so the fabric prices the true
+compressed payload per link.  Without it, every path below is bit-identical
+to the uncompressed implementation.
 """
 
 from __future__ import annotations
@@ -55,6 +64,12 @@ class SimulatedCluster:
     ``"sequential"`` (default, per-worker steps, golden-trajectory
     bit-identical) or ``"batched"`` (one vectorized pass advancing all ``K``
     workers at once; see :mod:`repro.distributed.engine`).
+
+    ``compression`` installs cluster-level payload compression: a kernel name
+    (``"topk"``, ``"quantization"``, ``"randomk"``, ``"signsgd"``,
+    ``"layerwise-topk"``), a
+    :class:`~repro.compression.config.CompressionConfig`, or ``None`` (exact
+    collectives, the default).  See :meth:`enable_compression`.
     """
 
     def __init__(
@@ -66,6 +81,7 @@ class SimulatedCluster:
         network: Union[str, NetworkModel, None] = None,
         timeline: Optional["Timeline"] = None,
         execution: str = "sequential",
+        compression=None,
     ) -> None:
         if not workers:
             raise ConfigurationError("a cluster needs at least one worker")
@@ -111,6 +127,11 @@ class SimulatedCluster:
         for row, worker in zip(self._buffer_matrix, self.workers):
             worker.model.rebind_buffer_storage(row)
         self._evaluation_model = self.workers[0].model.clone()
+        # Optional collective-level compression (kernel + reference model +
+        # (K, d) error-feedback memory); None means exact collectives.
+        self._compression = None
+        if compression is not None:
+            self.enable_compression(compression)
         # The execution engine (sequential per-worker loop or one batched
         # pass) sits below step_all; built last because the batched engine
         # stacks gradients next to the matrices created above.
@@ -162,22 +183,76 @@ class SimulatedCluster:
         """The cluster's virtual clock (compute plus communication seconds)."""
         return self.timeline.now
 
+    # -- collective-level compression -------------------------------------------
+
+    @property
+    def compression(self):
+        """The installed :class:`~repro.compression.state.ClusterCompression` (or ``None``)."""
+        return self._compression
+
+    @property
+    def compression_label(self) -> str:
+        """Compact description of the installed compression (``"none"`` without)."""
+        return self._compression.label if self._compression is not None else "none"
+
+    def enable_compression(self, spec):
+        """Install (or replace) cluster-level payload compression.
+
+        ``spec`` is a kernel name, a
+        :class:`~repro.compression.config.CompressionConfig`, a ready
+        :class:`~repro.compression.kernels.Compressor` instance, or ``None``
+        to disable.  From then on ``synchronize`` and :meth:`gather_models`
+        exchange compressed drifts from the last broadcast reference, the
+        fabric charges compressed bytes, and (with ``error_feedback``) the
+        dropped mass is carried in a ``(K, d)`` residual matrix whose rows
+        belong to the workers.  Returns the installed state.
+        """
+        from repro.compression import ClusterCompression, Compressor, get_compression
+
+        if spec is None:
+            self._compression = None
+            return None
+        resolved = spec if isinstance(spec, Compressor) else get_compression(spec)
+        if resolved is None:
+            self._compression = None
+            return None
+        self._compression = ClusterCompression(
+            resolved,
+            num_workers=self.num_workers,
+            dimension=self.model_dimension,
+            layout=self.workers[0].model.plane.parameter_layout(),
+        )
+        return self._compression
+
     # -- fabric charges ---------------------------------------------------------
 
-    def charge_allreduce(self, num_elements: int, category: str) -> CollectiveCharge:
-        """Charge one AllReduce through the fabric and advance the clock."""
-        charge = self.fabric.allreduce(num_elements, self.num_workers, category)
+    def charge_allreduce(
+        self, num_elements: int, category: str, compression=None
+    ) -> CollectiveCharge:
+        """Charge one AllReduce through the fabric and advance the clock.
+
+        ``compression`` (an optional kernel) makes the fabric price the
+        kernel's transmitted payload for a logical vector of ``num_elements``
+        instead of the dense size.
+        """
+        charge = self.fabric.allreduce(
+            num_elements, self.num_workers, category, compression=compression
+        )
         self.timeline.add_communication(charge.seconds)
         return charge
 
-    def charge_broadcast(self, num_elements: int, category: str) -> CollectiveCharge:
+    def charge_broadcast(
+        self, num_elements: int, category: str, compression=None
+    ) -> CollectiveCharge:
         """Charge one root-to-all broadcast through the fabric."""
-        charge = self.fabric.broadcast(num_elements, self.num_workers, category)
+        charge = self.fabric.broadcast(
+            num_elements, self.num_workers, category, compression=compression
+        )
         self.timeline.add_communication(charge.seconds)
         return charge
 
     def charge_upload(
-        self, num_elements: int, category: str, worker_id: int = 0
+        self, num_elements: int, category: str, worker_id: int = 0, compression=None
     ) -> CollectiveCharge:
         """Charge one point-to-point worker → coordinator upload.
 
@@ -186,7 +261,9 @@ class SimulatedCluster:
         the caller (the asynchronous trainer), while the timeline's
         communication ledger still records them.
         """
-        charge = self.fabric.upload(num_elements, self.num_workers, category, worker_id)
+        charge = self.fabric.upload(
+            num_elements, self.num_workers, category, worker_id, compression=compression
+        )
         self.timeline.note_communication(charge.seconds)
         return charge
 
@@ -228,12 +305,16 @@ class SimulatedCluster:
         self,
         vectors: Union[Sequence[np.ndarray], np.ndarray],
         category: str = CATEGORY_OTHER,
+        compression=None,
     ) -> np.ndarray:
-        """Exact element-wise average of one vector per worker, with byte accounting.
+        """Element-wise average of one vector per worker, with byte accounting.
 
         ``vectors`` may be a Python sequence of ``(n,)`` arrays or — the fast
         path — an already-stacked ``(K, n)`` matrix, which is averaged without
-        re-stacking row copies.
+        re-stacking row copies.  With a ``compression`` kernel each row is
+        lossily compressed before averaging (no error feedback — this is the
+        raw collective; drift-aware compression lives in ``synchronize``) and
+        the fabric is charged the compressed payload.
         """
         if isinstance(vectors, np.ndarray) and vectors.ndim == 2:
             if vectors.shape[0] != self.num_workers:
@@ -248,7 +329,9 @@ class SimulatedCluster:
                     f"allreduce needs one vector per worker ({self.num_workers}), got {len(vectors)}"
                 )
             stacked = np.stack([np.asarray(v, dtype=np.float64) for v in vectors], axis=0)
-        self.charge_allreduce(int(stacked[0].size), category)
+        self.charge_allreduce(int(stacked[0].size), category, compression=compression)
+        if compression is not None:
+            return compression.compress_rows(stacked).mean()
         return stacked.mean(axis=0)
 
     def allreduce_scalar(self, values: Sequence[float], category: str = CATEGORY_OTHER) -> float:
@@ -261,7 +344,11 @@ class SimulatedCluster:
         return float(np.mean([float(v) for v in values]))
 
     def broadcast_parameters(self, flat: np.ndarray, count_cost: bool = False) -> None:
-        """Set every worker's parameters to ``flat`` (optionally charging broadcast bytes)."""
+        """Set every worker's parameters to ``flat`` (optionally charging broadcast bytes).
+
+        With compression installed, the broadcast model becomes the new
+        *reference*: subsequent compressed uploads transmit drifts from it.
+        """
         flat = np.asarray(flat, dtype=np.float64)
         if flat.shape != (self.model_dimension,):
             raise ShapeError(
@@ -271,6 +358,8 @@ class SimulatedCluster:
         if count_cost:
             self.charge_broadcast(int(flat.size), CATEGORY_MODEL)
         self._param_matrix[...] = flat
+        if self._compression is not None:
+            self._compression.set_reference(flat)
 
     def broadcast_buffers(self, flat: np.ndarray) -> None:
         """Set every worker's non-trainable buffers to ``flat`` (free of charge)."""
@@ -303,7 +392,17 @@ class SimulatedCluster:
         buffers) with one row-wise reduction over the parameter matrix,
         broadcasts the average back into every row, charges the corresponding
         AllReduce traffic, and returns the new global parameters.
+
+        With compression installed the exchange is lossy instead of exact:
+        every worker uploads its compressed drift from the last shared model,
+        the averaged reconstruction becomes the new global model, and the
+        fabric is charged the compressed payload (see
+        :class:`~repro.compression.state.ClusterCompression`).  Every
+        strategy that synchronizes through the cluster — FDA's triggered
+        syncs, BSP, Local-SGD — therefore compresses uniformly.
         """
+        if self._compression is not None:
+            return self._compression.synchronize(self, include_buffers=include_buffers)
         average = self.average_parameters()
         self.charge_allreduce(int(average.size), CATEGORY_MODEL)
         self._param_matrix[...] = average
@@ -313,6 +412,25 @@ class SimulatedCluster:
             self._buffer_matrix[...] = buffer_average
         self.synchronization_count += 1
         return average
+
+    def gather_models(
+        self, reference: Optional[np.ndarray] = None, category: str = CATEGORY_MODEL
+    ) -> np.ndarray:
+        """One client→server model upload round, charged through the fabric.
+
+        The server-based strategies (FedOpt, FedProx, SCAFFOLD) aggregate the
+        clients' models once per round; this is the single place that prices
+        that upload.  Without compression it charges one full-model AllReduce
+        and returns the live ``(K, d)`` parameter matrix — exactly the
+        pre-compression accounting and aggregation, byte-for-byte.  With
+        compression it charges the compressed payload and returns the models
+        *as the server reconstructs them*: ``reference`` (default: the last
+        broadcast global model) plus each worker's lossy drift.
+        """
+        if self._compression is None:
+            self.charge_allreduce(self.model_dimension, category)
+            return self._param_matrix
+        return self._compression.gather_models(self, reference=reference, category=category)
 
     # -- training helpers ----------------------------------------------------------
 
@@ -374,6 +492,7 @@ class SimulatedCluster:
         return (
             f"SimulatedCluster(K={self.num_workers}, d={self.model_dimension}, "
             f"topology={self.fabric.topology.name!r}, execution={self.execution!r}, "
+            f"compression={self.compression_label!r}, "
             f"syncs={self.synchronization_count}, "
             f"bytes={self.total_bytes}, t={self.virtual_time:.1f})"
         )

@@ -6,6 +6,15 @@ collective operation (AllReduce of ``n`` float32 elements across ``K``
 workers) to that byte count, and :class:`CommunicationTracker` accumulates the
 totals per traffic category (model synchronization vs. FDA local states) so
 the experiment harness can report exactly the series plotted in the figures.
+
+The unit throughout is the *float32-equivalent element* (4 bytes).  Payload
+compression plugs in one level up: when a collective is charged with a
+:class:`~repro.compression.kernels.Compressor`, the
+:class:`~repro.distributed.topology.Fabric` first converts the logical vector
+length into the kernel's transmitted element count (index/value pairs for
+sparse formats, level bits plus scale for quantized ones) and only then
+applies the cost model here — so byte totals, per-link ledgers, and network
+seconds all price what is actually on the wire, never a flat ``4·d``.
 """
 
 from __future__ import annotations

@@ -46,7 +46,10 @@ and the whole scenario grid runs on either engine:
 Per-worker arithmetic is element-for-element the sequential arithmetic, so
 trajectories agree to tight tolerance (bit-exactly for SGD on mainstream BLAS
 builds) and all communication accounting — which lives above the engine — is
-identical.
+identical.  Payload compression (:mod:`repro.compression`) also lives above
+the engine, at the cluster's collective layer: both engines feed the same
+``(K, d)`` parameter matrix into the same row-wise compression kernels, so
+compressed runs inherit the cross-engine parity guarantee unchanged.
 
 One asymmetry is inherent and deliberate: the *error* path of a non-finite
 loss (``TrainingError``).  The sequential engine fails mid-loop — workers

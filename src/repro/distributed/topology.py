@@ -494,10 +494,27 @@ class Fabric:
 
     # -- collectives -----------------------------------------------------------
 
-    def allreduce(self, num_elements: int, num_workers: int, category: str) -> CollectiveCharge:
-        """Price one AllReduce of ``num_elements`` across ``num_workers``."""
+    @staticmethod
+    def _payload_elements(num_elements: int, compression) -> int:
+        """The per-node element count actually placed on the wire.
+
+        ``compression`` (a :class:`~repro.compression.kernels.Compressor`, or
+        ``None``) converts the logical vector length into the kernel's true
+        transmitted size — index/value pairs for sparse formats, level bits
+        plus scale for quantized ones — so link ledgers, byte totals, and
+        network seconds all price the compressed payload instead of ``4·d``.
+        """
         if num_elements < 0:
             raise CommunicationError(f"num_elements must be non-negative, got {num_elements}")
+        if compression is None:
+            return num_elements
+        return int(compression.transmitted_elements(num_elements))
+
+    def allreduce(
+        self, num_elements: int, num_workers: int, category: str, compression=None
+    ) -> CollectiveCharge:
+        """Price one AllReduce of ``num_elements`` across ``num_workers``."""
+        num_elements = self._payload_elements(num_elements, compression)
         loads = self.topology.allreduce_link_elements(num_elements, num_workers)
         if self.topology.paper_accounting:
             num_bytes = self.cost_model.allreduce_bytes(num_elements, num_workers)
@@ -511,10 +528,11 @@ class Fabric:
         )
         return self._charge(num_bytes, seconds, category, loads)
 
-    def broadcast(self, num_elements: int, num_workers: int, category: str) -> CollectiveCharge:
+    def broadcast(
+        self, num_elements: int, num_workers: int, category: str, compression=None
+    ) -> CollectiveCharge:
         """Price one root-to-all broadcast of ``num_elements``."""
-        if num_elements < 0:
-            raise CommunicationError(f"num_elements must be non-negative, got {num_elements}")
+        num_elements = self._payload_elements(num_elements, compression)
         loads = self.topology.broadcast_link_elements(num_elements, num_workers)
         if self.topology.paper_accounting:
             num_bytes = self.cost_model.broadcast_bytes(num_elements, num_workers)
@@ -529,7 +547,12 @@ class Fabric:
         return self._charge(num_bytes, seconds, category, loads)
 
     def upload(
-        self, num_elements: int, num_workers: int, category: str, worker_id: int = 0
+        self,
+        num_elements: int,
+        num_workers: int,
+        category: str,
+        worker_id: int = 0,
+        compression=None,
     ) -> CollectiveCharge:
         """Price one point-to-point worker → coordinator upload.
 
@@ -537,10 +560,11 @@ class Fabric:
         is ``num_elements`` per link on the topology's actual
         worker→coordinator path (one hop on the star — identical to the
         pre-fabric accounting; multi-hop on the hierarchy, ring, and mesh,
-        where the per-link ledger records each traversed edge).
+        where the per-link ledger records each traversed edge).  With a
+        ``compression`` kernel the payload charged per hop is the kernel's
+        transmitted size, never the dense vector.
         """
-        if num_elements < 0:
-            raise CommunicationError(f"num_elements must be non-negative, got {num_elements}")
+        num_elements = self._payload_elements(num_elements, compression)
         path = self.topology.upload_path(worker_id, num_workers)
         hops = len(path)
         num_bytes = num_elements * self.cost_model.bytes_per_element * hops

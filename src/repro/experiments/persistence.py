@@ -38,8 +38,9 @@ _RESULT_FIELDS = (
 )
 
 #: Fields added after the seed format (fabric/timeline by the topology
-#: refactor, ``execution`` by the batched engine); optional on load so result
-#: files written by earlier versions still deserialize.
+#: refactor, ``execution`` by the batched engine, ``compression`` by the
+#: collective-level compression subsystem); optional on load so result files
+#: written by earlier versions still deserialize.
 _OPTIONAL_RESULT_FIELDS = (
     "virtual_seconds",
     "compute_seconds",
@@ -47,6 +48,7 @@ _OPTIONAL_RESULT_FIELDS = (
     "topology",
     "network",
     "execution",
+    "compression",
 )
 
 

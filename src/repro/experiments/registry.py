@@ -42,7 +42,12 @@ class ExperimentSpec:
     are non-empty, :func:`repro.experiments.sweep.run_fabric_spec` (exposed as
     ``python -m repro.cli fabric --spec``) sweeps every strategy over every
     (topology, network) cell, reporting per-category bytes and virtual
-    wall-clock per round for each fabric.
+    wall-clock per round for each fabric.  ``compressions`` analogously
+    defines an optional payload-compression grid for
+    :func:`repro.experiments.sweep.run_compression_spec`
+    (``python -m repro.cli compression``); entries are kernel names,
+    :class:`~repro.compression.config.CompressionConfig` objects, or
+    ``"none"``.
     """
 
     experiment_id: str
@@ -54,6 +59,7 @@ class ExperimentSpec:
     worker_counts: Sequence[int] = field(default_factory=tuple)
     topologies: Sequence[str] = field(default_factory=tuple)
     networks: Sequence[str] = field(default_factory=tuple)
+    compressions: Sequence = field(default_factory=tuple)
     notes: str = ""
 
 
@@ -571,6 +577,57 @@ def fabric_sweep(quick: bool = True) -> ExperimentSpec:
         networks=("fl", "hpc") if quick else ("fl", "hpc", "balanced"),
         notes="Quick mode trims the grid to 2x2; full mode runs all four "
         "topologies against all three networks.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# The compression grid: what-is-sent × when-to-send (Section 2 orthogonality)
+# ---------------------------------------------------------------------------
+
+
+def compression_sweep(quick: bool = True) -> ExperimentSpec:
+    """Compression × strategy sweep: how much traffic does each kernel remove?
+
+    One workload, the FDA-vs-Synchronous pair, and a grid over payload
+    compression settings (exact, 8-bit quantization, top-k with and without
+    error feedback).  Per cell the harness reports the model-sync byte ledger
+    and the reached accuracy — the reproduction's answer to the paper's
+    Section-2 claim that compression composes multiplicatively with FDA's
+    dynamic synchronization schedule.
+    """
+    from repro.compression import CompressionConfig
+
+    workload = lenet_mnist_workload(num_workers=4 if quick else 8)
+    theta = 8.0
+    grid = (
+        "none",
+        "quantization",
+        CompressionConfig("topk", ratio=0.1, error_feedback=True),
+    )
+    if not quick:
+        grid = grid + (
+            CompressionConfig("topk", ratio=0.1),
+            CompressionConfig("randomk", ratio=0.1, error_feedback=True),
+            "signsgd",
+            CompressionConfig("layerwise-topk", ratio=0.1, error_feedback=True),
+        )
+    return ExperimentSpec(
+        experiment_id="compression",
+        title="Payload compression x dynamic averaging: bytes per reached accuracy",
+        workloads={"iid": workload},
+        strategy_factories={
+            "LinearFDA": lambda: FDAStrategy(threshold=theta, variant="linear"),
+            "Synchronous": lambda: SynchronousStrategy(),
+        },
+        run=TrainingRun(
+            accuracy_target=0.88,
+            max_steps=80 if quick else 300,
+            eval_every_steps=20,
+        ),
+        fda_thetas=(theta,),
+        compressions=grid,
+        notes="Quick mode runs exact vs quantization vs error-feedback top-k; "
+        "full mode adds plain top-k, random-k, sign+norm, and layer-wise top-k.",
     )
 
 

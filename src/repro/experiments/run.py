@@ -54,6 +54,10 @@ class RunResult:
     #: the same kernels; only strategies that bypass the engine entirely
     #: (FedProx/SCAFFOLD's transformed local epochs) stay per-worker.
     execution: str = "sequential"
+    #: Collective-level payload compression the cluster carried ("none", or a
+    #: compact label like "topk(ratio=0.1)+ef") — the byte totals above
+    #: already reflect it.
+    compression: str = "none"
     history: RunLogger = field(default_factory=RunLogger)
 
     @property
@@ -191,5 +195,6 @@ class TrainingRun:
             topology=cluster.fabric.topology.name,
             network=cluster.fabric.network_name,
             execution=cluster.execution,
+            compression=cluster.compression_label,
             history=history,
         )

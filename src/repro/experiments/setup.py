@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional, Tuple, Union
 
+from repro.compression import CompressionConfig, get_compression
 from repro.core.timeline import StragglerProfile, Timeline
 from repro.data.datasets import Dataset
 from repro.data.partition import partition_dataset
@@ -94,6 +95,12 @@ class WorkloadConfig:
     #: steps, the default) or ``"batched"`` (one vectorized pass advancing all
     #: K workers at once; see :mod:`repro.distributed.engine`).
     execution: str = "sequential"
+    #: Collective-level payload compression for the built cluster: a kernel
+    #: name (``"topk"``, ``"quantization"``, ...), a
+    #: :class:`~repro.compression.config.CompressionConfig`, or ``None`` for
+    #: exact collectives (the default).  Applies uniformly to every strategy's
+    #: sync payloads; see :mod:`repro.compression`.
+    compression: Union[str, CompressionConfig, None] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -109,6 +116,10 @@ class WorkloadConfig:
             raise ConfigurationError(
                 f"execution must be one of {EXECUTION_MODES}, got {self.execution!r}"
             )
+        # Normalize eagerly so configuration errors (unknown kernel names,
+        # out-of-range knobs) surface where the workload is defined, not at
+        # cluster construction deep inside a sweep.
+        self.compression = get_compression(self.compression)
 
     def with_workers(self, num_workers: int) -> "WorkloadConfig":
         """A copy of this workload with a different worker count (for K sweeps)."""
@@ -155,6 +166,17 @@ class WorkloadConfig:
         ``compare --execution`` flag and the engine A/B benchmarks.
         """
         return replace(self, execution=execution)
+
+    def with_compression(self, compression) -> "WorkloadConfig":
+        """A copy of this workload with different payload compression.
+
+        ``compression`` is a kernel name, a
+        :class:`~repro.compression.config.CompressionConfig`, or ``None`` to
+        return to exact collectives; used by the CLI's ``compare
+        --compressor``/``--compression-ratio`` flags and the compression
+        sweeps.
+        """
+        return replace(self, compression=compression)
 
 
 def build_cluster(config: WorkloadConfig) -> Tuple[SimulatedCluster, Dataset]:
@@ -204,5 +226,6 @@ def build_cluster(config: WorkloadConfig) -> Tuple[SimulatedCluster, Dataset]:
         network=config.network,
         timeline=timeline,
         execution=config.execution,
+        compression=config.compression,
     )
     return cluster, config.test_dataset

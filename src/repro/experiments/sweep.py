@@ -1,11 +1,12 @@
-"""Parameter sweeps over Θ, K, and the communication fabric.
+"""Parameter sweeps over Θ, K, the communication fabric, and compression.
 
 The paper studies how communication and computation respond to the variance
 threshold Θ (at fixed K) and to the number of workers K (at fixed Θ); the
-fabric refactor adds the third axis the paper's wall-clock discussion needs:
-topology × network.  These helpers run those sweeps for any strategy factory
-and return one point per grid value, which the benchmarks then check for the
-monotone trends the paper reports.
+fabric refactor adds the topology × network axis the wall-clock discussion
+needs, and the compression subsystem adds the *what-is-sent* axis (Section 2:
+orthogonal to FDA's *when-to-send*).  These helpers run those sweeps for any
+strategy factory and return one point per grid value, which the benchmarks
+then check for the monotone trends the paper reports.
 """
 
 from __future__ import annotations
@@ -155,6 +156,53 @@ def sweep_fabric(
     return points
 
 
+@dataclass(frozen=True)
+class CompressionSweepPoint:
+    """One cell of a compression sweep: the compression label plus the result."""
+
+    compression: str
+    result: RunResult
+
+    @property
+    def communication_bytes(self) -> int:
+        return self.result.communication_bytes
+
+    @property
+    def model_bytes(self) -> int:
+        """Bytes of (compressed) model-sync traffic at this cell."""
+        return self.result.model_bytes
+
+    @property
+    def parallel_steps(self) -> int:
+        return self.result.parallel_steps
+
+
+def sweep_compression(
+    workload: WorkloadConfig,
+    run: TrainingRun,
+    strategy_factory: StrategyFactory,
+    compressions: Sequence = ("none", "quantization", "topk"),
+) -> List[CompressionSweepPoint]:
+    """Run one strategy across a grid of compression settings on one workload.
+
+    Every cell rebuilds the cluster with the requested compression spec (a
+    kernel name, a :class:`~repro.compression.config.CompressionConfig`, or
+    ``"none"``/``None``), so the per-cell byte ledgers answer how much of a
+    strategy's traffic each kernel removes — multiplicatively with FDA's
+    dynamic sync schedule.
+    """
+    if not compressions:
+        raise ConfigurationError("compressions must contain at least one spec")
+    points = []
+    for spec in compressions:
+        compressed_workload = workload.with_compression(None if spec == "none" else spec)
+        result = _run_one(compressed_workload, strategy_factory(), run)
+        points.append(
+            CompressionSweepPoint(compression=result.compression, result=result)
+        )
+    return points
+
+
 def run_fabric_spec(spec) -> Dict[str, List[FabricSweepPoint]]:
     """Execute an :class:`~repro.experiments.registry.ExperimentSpec`'s fabric grid.
 
@@ -179,6 +227,32 @@ def run_fabric_spec(spec) -> Dict[str, List[FabricSweepPoint]]:
                     factory,
                     topologies=spec.topologies,
                     networks=spec.networks,
+                )
+            )
+        results[strategy_name] = points
+    return results
+
+
+def run_compression_spec(spec) -> Dict[str, List[CompressionSweepPoint]]:
+    """Execute an :class:`~repro.experiments.registry.ExperimentSpec`'s compression grid.
+
+    Runs every strategy of the spec over every workload × compression cell
+    (``spec.compressions`` must be non-empty) and returns the
+    :class:`CompressionSweepPoint` lists keyed by strategy name — the
+    single-spec entry point behind ``python -m repro.cli compression``.
+    """
+    if not getattr(spec, "compressions", None):
+        raise ConfigurationError(
+            f"spec {getattr(spec, 'experiment_id', '?')!r} declares no compression grid "
+            "(compressions must be non-empty)"
+        )
+    results: Dict[str, List[CompressionSweepPoint]] = {}
+    for strategy_name, factory in spec.strategy_factories.items():
+        points: List[CompressionSweepPoint] = []
+        for workload in spec.workloads.values():
+            points.extend(
+                sweep_compression(
+                    workload, spec.run, factory, compressions=spec.compressions
                 )
             )
         results[strategy_name] = points

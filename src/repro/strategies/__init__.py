@@ -3,8 +3,11 @@
 A strategy drives a :class:`~repro.distributed.cluster.SimulatedCluster`
 through its synchronization protocol.  The paper compares five algorithms —
 SketchFDA, LinearFDA, Synchronous (BSP), FedAdam and FedAvgM — and this
-subpackage implements all of them plus Local-SGD with a fixed period and
-compression wrappers (the orthogonal technique discussed in Section 2).
+subpackage implements all of them plus Local-SGD with a fixed period,
+FedProx/SCAFFOLD drift control, and thin aliases over the collective-level
+compression subsystem (:mod:`repro.compression`) — the orthogonal technique
+discussed in Section 2, which every strategy here picks up uniformly when
+the cluster carries a compression config.
 """
 
 from repro.strategies.base import Strategy, StrategyRound
@@ -22,8 +25,11 @@ from repro.strategies.drift_control import FedProxStrategy, ScaffoldStrategy
 from repro.strategies.compression import (
     CompressedSynchronizer,
     CompressedSynchronousStrategy,
+    CompressionConfig,
     Compressor,
     QuantizationCompressor,
+    RandomKCompressor,
+    SignCompressor,
     TopKCompressor,
 )
 
@@ -41,8 +47,11 @@ __all__ = [
     "FedProxStrategy",
     "ScaffoldStrategy",
     "Compressor",
+    "CompressionConfig",
     "QuantizationCompressor",
     "TopKCompressor",
+    "RandomKCompressor",
+    "SignCompressor",
     "CompressedSynchronizer",
     "CompressedSynchronousStrategy",
 ]

@@ -1,159 +1,98 @@
-"""Compression of synchronization traffic (quantization and sparsification).
+"""Thin strategy-level aliases over the :mod:`repro.compression` subsystem.
 
-Section 2 of the paper points out that FDA is orthogonal to message-size
-reduction: any compression that works for BSP/Local-SGD also works for FDA
-because FDA only changes *when* models are exchanged, not *what* is exchanged.
-This module provides the two standard compressors (uniform quantization and
-top-k sparsification), a :class:`CompressedSynchronizer` that replaces the
-full-precision model AllReduce, and a compressed variant of the Synchronous
-strategy used by the ablation benchmarks to verify the orthogonality claim.
+Compression used to live here as a strategy wrapper: two kernels plus a
+``CompressedSynchronizer`` that only ``CompressedSynchronousStrategy`` (and
+FDA, via a plug-in synchronizer) could reach.  It is now a first-class
+collective-level subsystem — vectorized ``(K, d)`` kernels, error-feedback
+memory, and fabric byte accounting all live in :mod:`repro.compression` and
+are installed on the cluster itself (``SimulatedCluster(compression=...)`` /
+``cluster.enable_compression``), so *every* strategy compresses uniformly.
+
+This module keeps the original public names working:
+
+* the kernel classes (:class:`Compressor`, :class:`QuantizationCompressor`,
+  :class:`TopKCompressor`) and :class:`CompressedPayload` are re-exported;
+* :class:`CompressedSynchronizer` installs a kernel on a cluster and
+  delegates to the unified compressed ``cluster.synchronize`` path;
+* :class:`CompressedSynchronousStrategy` is BSP on a cluster with
+  compression enabled at ``attach`` — nothing more.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
-from repro.distributed.cluster import CATEGORY_MODEL, SimulatedCluster
-from repro.exceptions import ConfigurationError
-from repro.strategies.base import Strategy
+from repro.compression import (
+    CompressedPayload,
+    CompressionConfig,
+    Compressor,
+    QuantizationCompressor,
+    RandomKCompressor,
+    SignCompressor,
+    TopKCompressor,
+)
+from repro.distributed.cluster import SimulatedCluster
 from repro.strategies.synchronous import SynchronousStrategy
 
-
-@dataclass(frozen=True)
-class CompressedPayload:
-    """A compressed vector plus the number of float32-equivalent elements it costs."""
-
-    vector: np.ndarray
-    transmitted_elements: int
-
-
-class Compressor:
-    """Base class: lossy-compress a flat vector and report its transmitted size."""
-
-    name = "compressor"
-
-    def compress(self, vector: np.ndarray) -> CompressedPayload:
-        """Return the reconstructed (lossy) vector and its transmission size."""
-        raise NotImplementedError
-
-    def transmitted_elements(self, dimension: int) -> int:
-        """Float32-equivalent elements transmitted for a vector of length ``dimension``."""
-        raise NotImplementedError
-
-
-class QuantizationCompressor(Compressor):
-    """Uniform stochastic-free quantization to ``bits`` bits per element.
-
-    Values are scaled to the symmetric range of the vector's max magnitude and
-    rounded to the nearest representable level.  The transmission cost counts
-    ``bits/32`` float32-equivalents per element plus one scale value.
-    """
-
-    name = "quantization"
-
-    def __init__(self, bits: int = 8) -> None:
-        if not 1 <= bits <= 32:
-            raise ConfigurationError(f"bits must lie in [1, 32], got {bits}")
-        self.bits = int(bits)
-
-    def compress(self, vector: np.ndarray) -> CompressedPayload:
-        vector = np.asarray(vector, dtype=np.float64)
-        if vector.size == 0:
-            return CompressedPayload(vector.copy(), 0)
-        scale = float(np.max(np.abs(vector)))
-        if scale == 0.0:
-            return CompressedPayload(np.zeros_like(vector), self.transmitted_elements(vector.size))
-        levels = 2 ** (self.bits - 1) - 1
-        quantized = np.round(vector / scale * levels) / levels * scale
-        return CompressedPayload(quantized, self.transmitted_elements(vector.size))
-
-    def transmitted_elements(self, dimension: int) -> int:
-        if dimension == 0:
-            return 0
-        payload = int(np.ceil(dimension * self.bits / 32.0))
-        return payload + 1  # plus the scale
-
-
-class TopKCompressor(Compressor):
-    """Top-k sparsification: keep the ``fraction`` largest-magnitude entries.
-
-    Each kept entry costs two float32-equivalents (index + value), the rest is
-    dropped; this is the classic sparsified-gradient scheme from the
-    compression literature the paper cites.
-    """
-
-    name = "topk"
-
-    def __init__(self, fraction: float = 0.1) -> None:
-        if not 0.0 < fraction <= 1.0:
-            raise ConfigurationError(f"fraction must lie in (0, 1], got {fraction}")
-        self.fraction = float(fraction)
-
-    def compress(self, vector: np.ndarray) -> CompressedPayload:
-        vector = np.asarray(vector, dtype=np.float64)
-        if vector.size == 0:
-            return CompressedPayload(vector.copy(), 0)
-        keep = max(1, int(round(vector.size * self.fraction)))
-        threshold_index = np.argpartition(-np.abs(vector), kth=keep - 1)[:keep]
-        sparse = np.zeros_like(vector)
-        sparse[threshold_index] = vector[threshold_index]
-        return CompressedPayload(sparse, self.transmitted_elements(vector.size))
-
-    def transmitted_elements(self, dimension: int) -> int:
-        if dimension == 0:
-            return 0
-        keep = max(1, int(round(dimension * self.fraction)))
-        return 2 * keep
+__all__ = [
+    "CompressedPayload",
+    "CompressionConfig",
+    "Compressor",
+    "QuantizationCompressor",
+    "TopKCompressor",
+    "RandomKCompressor",
+    "SignCompressor",
+    "CompressedSynchronizer",
+    "CompressedSynchronousStrategy",
+]
 
 
 class CompressedSynchronizer:
-    """Model synchronization through compressed drift exchange.
+    """Model synchronization through compressed drift exchange (legacy alias).
 
-    Workers transmit the compressed difference between their current model and
-    the last synchronized global model; the averaged reconstruction is added
-    to that global model and broadcast back.  The traffic charged is the
+    Installs ``compressor`` as the cluster's collective-level compression and
+    forwards :meth:`synchronize` to the cluster's own compressed path, which
+    performs exactly the historical exchange: workers transmit the compressed
+    difference from the last shared global model, the averaged reconstruction
+    is added to it and installed everywhere, and the traffic charged is the
     compressed payload instead of the full model dimension.
     """
 
     def __init__(self, cluster: SimulatedCluster, compressor: Compressor) -> None:
         self.cluster = cluster
         self.compressor = compressor
-        self._reference = cluster.workers[0].get_parameters()
+        self.state = cluster.enable_compression(compressor)
+        # The historical synchronizer took its first reference at construction.
+        self.state.set_reference(cluster.workers[0].get_parameters())
 
     def synchronize(self) -> np.ndarray:
         """Perform one compressed synchronization and return the new global model."""
-        cluster = self.cluster
-        # One vectorized (K, d) drift computation; compressors consume the rows.
-        drifts = cluster.drift_matrix(self._reference)
-        payloads = [self.compressor.compress(drift) for drift in drifts]
-        transmitted = payloads[0].transmitted_elements if payloads else 0
-        cluster.charge_allreduce(transmitted, CATEGORY_MODEL)
-        average_delta = np.mean(np.stack([p.vector for p in payloads], axis=0), axis=0)
-        new_global = self._reference + average_delta
-        cluster.broadcast_parameters(new_global)
-        cluster.synchronization_count += 1
-        self._reference = new_global
-        return new_global
+        return self.cluster.synchronize(include_buffers=False)
 
 
 class CompressedSynchronousStrategy(SynchronousStrategy):
-    """BSP training whose per-step synchronization uses a compressor."""
+    """BSP training whose per-step synchronization uses a compressor.
+
+    A thin alias: ``_setup`` enables the given kernel on the attached cluster
+    and the inherited BSP round (one local step, one ``cluster.synchronize``)
+    does the rest through the unified compressed collective path.
+
+    One deliberate behavior change from the pre-subsystem wrapper: like plain
+    :class:`SynchronousStrategy`, synchronizations now also average (and
+    charge) non-trainable buffers on models that have them — the historical
+    wrapper silently skipped batch-norm statistics, leaving them divergent
+    across workers.  Use :class:`CompressedSynchronizer` directly for the
+    exact legacy no-buffer exchange.
+    """
 
     name = "CompressedSynchronous"
 
     def __init__(self, compressor: Optional[Compressor] = None) -> None:
         super().__init__()
         self.compressor = compressor or QuantizationCompressor(8)
-        self._synchronizer: Optional[CompressedSynchronizer] = None
         self.name = f"Synchronous+{self.compressor.name}"
 
     def _setup(self, cluster: SimulatedCluster) -> None:
-        self._synchronizer = CompressedSynchronizer(cluster, self.compressor)
-
-    def _run_round(self, cluster: SimulatedCluster) -> float:
-        mean_loss = cluster.step_all()
-        self._synchronizer.synchronize()
-        return mean_loss
+        cluster.enable_compression(self.compressor)

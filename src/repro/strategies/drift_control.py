@@ -70,8 +70,10 @@ class FedProxStrategy(Strategy):
             self.local_epochs * max(w.batches_per_epoch for w in cluster.workers)
         )
 
-        cluster.charge_allreduce(cluster.model_dimension, CATEGORY_MODEL)
-        new_global = cluster.average_parameters()
+        # One full-model client upload, priced (and, when the cluster has
+        # collective-level compression, lossily reconstructed) by the cluster.
+        client_models = cluster.gather_models(global_parameters, CATEGORY_MODEL)
+        new_global = client_models.mean(axis=0)
         self._global_parameters = new_global
         cluster.broadcast_parameters(new_global)
         cluster.synchronization_count += 1
@@ -153,9 +155,19 @@ class ScaffoldStrategy(Strategy):
         cluster.timeline.advance_round(
             self.local_epochs * max(w.batches_per_epoch for w in cluster.workers)
         )
-        # Model + control variate move across the network each round.
-        cluster.charge_allreduce(2 * cluster.model_dimension, CATEGORY_MODEL)
-        new_global = cluster.average_parameters()
+        # Model + control variate move across the network each round.  The
+        # model half goes through cluster.gather_models (compressed when the
+        # cluster carries collective-level compression); the control variates
+        # stay full-precision — they are the drift correctors themselves, and
+        # compressing them is a different algorithm — so without compression
+        # the round charges exactly the historical 2·d volume.
+        if cluster.compression is None:
+            cluster.charge_allreduce(2 * cluster.model_dimension, CATEGORY_MODEL)
+            new_global = cluster.average_parameters()
+        else:
+            client_models = cluster.gather_models(global_parameters, CATEGORY_MODEL)
+            new_global = client_models.mean(axis=0)
+            cluster.charge_allreduce(cluster.model_dimension, CATEGORY_MODEL)
         self._worker_variates = new_variates
         self._server_variate = np.mean(np.stack(list(new_variates.values()), axis=0), axis=0)
         self._global_parameters = new_global

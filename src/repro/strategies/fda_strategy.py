@@ -10,13 +10,13 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.compression import Compressor
 from repro.core.fda import FDATrainer
 from repro.core.monitor import VarianceMonitor, make_monitor
 from repro.core.theta import DynamicThetaController
 from repro.distributed.cluster import SimulatedCluster
 from repro.exceptions import ConfigurationError
 from repro.strategies.base import Strategy
-from repro.strategies.compression import CompressedSynchronizer, Compressor
 
 
 class FDAStrategy(Strategy):
@@ -26,9 +26,16 @@ class FDAStrategy(Strategy):
     (SketchFDA) or ``"exact"`` (the ablation monitor).  ``threshold`` is the
     paper's Θ.  An optional :class:`DynamicThetaController` enables the
     future-work bandwidth-targeting extension, and an optional ``compressor``
-    makes every triggered synchronization exchange compressed model deltas
-    instead of full-precision parameters (Section 2: FDA is orthogonal to
-    compression).
+    installs collective-level compression on the attached cluster so every
+    triggered synchronization exchanges compressed model deltas instead of
+    full-precision parameters (Section 2: FDA is orthogonal to compression).
+    A cluster whose workload already configured compression
+    (``WorkloadConfig.compression``) needs no ``compressor`` here — FDA's
+    syncs go through ``cluster.synchronize`` and compress automatically.
+    Note one deliberate change from the pre-subsystem wrapper: compressed
+    triggered syncs now also average (and charge) non-trainable buffers,
+    exactly like uncompressed FDA with ``sync_buffers=True`` — the legacy
+    plug-in synchronizer silently skipped batch-norm statistics.
 
     Partial participation comes from the cluster's timeline: the underlying
     :class:`FDATrainer` samples the per-step mask and only active workers
@@ -75,15 +82,16 @@ class FDAStrategy(Strategy):
             sketch_width=self.sketch_width,
             seed=self.seed,
         )
-        synchronizer = None
         if self.compressor is not None:
-            synchronizer = CompressedSynchronizer(cluster, self.compressor).synchronize
+            # Strategy-level compressor: install it as the cluster's
+            # collective-level compression; the trainer's default
+            # cluster.synchronize path then exchanges compressed drifts.
+            cluster.enable_compression(self.compressor)
         self._trainer = FDATrainer(
             cluster,
             monitor,
             self.threshold,
             theta_controller=self.theta_controller,
-            synchronizer=synchronizer,
         )
 
     @property

@@ -54,11 +54,13 @@ class FedOptStrategy(Strategy):
         # Clients upload their models, the server optimizer produces the new
         # global model, and it is broadcast back; in total this moves the same
         # data volume as one full-model AllReduce, routed through the fabric.
-        # The aggregation consumes the cluster's (K, d) parameter matrix
-        # directly — no gather copies.
-        cluster.charge_allreduce(cluster.model_dimension, CATEGORY_MODEL)
+        # cluster.gather_models prices that upload (compressed when the
+        # cluster has collective-level compression) and hands back the client
+        # matrix as the server sees it — the live (K, d) parameter matrix on
+        # the exact path, reference + reconstructed drifts under compression.
+        client_models = cluster.gather_models(self._global_parameters, CATEGORY_MODEL)
         new_global = self.server_optimizer.aggregate(
-            self._global_parameters, cluster.parameter_matrix
+            self._global_parameters, client_models
         )
         self._global_parameters = new_global
         cluster.broadcast_parameters(new_global)

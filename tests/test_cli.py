@@ -33,6 +33,40 @@ class TestCli:
         assert "LinearFDA" in output and "Synchronous" in output
         assert "less communication" in output
 
+    def test_compare_with_compression_flags(self, capsys):
+        exit_code = main(
+            [
+                "compare",
+                "--workload", "lenet",
+                "--workers", "3",
+                "--max-steps", "40",
+                "--compressor", "topk",
+                "--compression-ratio", "0.1",
+                "--error-feedback",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "compression=topk(ratio=0.1)+ef" in output
+
+    def test_compare_rejects_out_of_range_compression_ratio(self, capsys):
+        exit_code = main(
+            [
+                "compare",
+                "--workload", "lenet",
+                "--compressor", "topk",
+                "--compression-ratio", "1.5",
+            ]
+        )
+        assert exit_code == 2
+        assert "ratio" in capsys.readouterr().out
+
+    def test_compression_command_registered(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["compression", "--help"])
+        output = capsys.readouterr().out
+        assert "--full" in output
+
     def test_requires_a_command(self):
         with pytest.raises(SystemExit):
             main([])

@@ -1,0 +1,510 @@
+"""Tests for the collective-level compression subsystem (:mod:`repro.compression`).
+
+Four groups:
+
+* **Kernel edge cases** — k ≥ d top-k (dense fallback, exact reconstruction),
+  all-zero inputs, quantization idempotence (decompress∘compress is a fixed
+  point) at levels 2 / 4 / 256, layer-wise budgets, random-k determinism, and
+  the legacy single-vector API.
+* **Error feedback** — hypothesis-driven: under arbitrary participation
+  masks, masked-out rows' residuals stay bit-untouched while active rows'
+  residuals are exactly the untransmitted remainder, and payload + residual
+  telescopes back to the input.
+* **Byte accounting (the ``charge_*`` bugfix)** — for every topology, a
+  compressed collective charges the compressed payload (indices + values for
+  sparse formats, level bytes for quantized), the total equals the per-link
+  ledger sum, and never the dense ``4·d``.
+* **Integration** — compressed ``cluster.synchronize`` equalizes models and
+  shrinks the ledger for every strategy path; config threading through
+  ``WorkloadConfig`` and result persistence round-trips.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    ClusterCompression,
+    CompressionConfig,
+    LayerwiseTopKCompressor,
+    QuantizationCompressor,
+    RandomKCompressor,
+    SignCompressor,
+    TopKCompressor,
+    get_compression,
+    make_compressor,
+)
+from repro.distributed.comm import BYTES_PER_ELEMENT
+from repro.distributed.topology import NAMED_TOPOLOGIES, Fabric, get_topology
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.experiments.persistence import result_from_dict, result_to_dict
+from repro.experiments.setup import build_cluster
+from repro.experiments.sweep import sweep_compression
+from repro.experiments.run import TrainingRun
+from repro.nn.plane import SlotLayout
+from repro.strategies.fda_strategy import FDAStrategy
+from repro.strategies.local_sgd import LocalSGDStrategy
+from repro.strategies.synchronous import SynchronousStrategy
+
+ALL_TOPOLOGIES = sorted(NAMED_TOPOLOGIES)
+
+
+# ---------------------------------------------------------------------------
+# Kernel edge cases
+# ---------------------------------------------------------------------------
+
+
+class TestTopK:
+    def test_keeps_largest_per_row_independently(self):
+        matrix = np.array(
+            [[0.1, -5.0, 0.2, 4.0], [3.0, 0.0, -0.5, 0.1]]
+        )
+        recon = TopKCompressor(0.5).compress_rows(matrix).reconstruct()
+        np.testing.assert_array_equal(
+            recon, [[0.0, -5.0, 0.0, 4.0], [3.0, 0.0, -0.5, 0.0]]
+        )
+
+    def test_k_at_least_d_is_exact_and_charged_dense(self):
+        compressor = TopKCompressor(1.0)
+        matrix = np.random.default_rng(0).normal(size=(3, 7))
+        payloads = compressor.compress_rows(matrix)
+        np.testing.assert_array_equal(payloads.reconstruct(), matrix)
+        # Sending d (index, value) pairs would cost 2d; the dense vector wins.
+        assert compressor.transmitted_elements(7) == 7
+
+    def test_all_zero_rows_reconstruct_to_zero(self):
+        payloads = TopKCompressor(0.5).compress_rows(np.zeros((2, 6)))
+        np.testing.assert_array_equal(payloads.reconstruct(), 0.0)
+        np.testing.assert_array_equal(payloads.mean(), 0.0)
+
+    def test_mean_matches_dense_reconstruction_mean(self):
+        matrix = np.random.default_rng(1).normal(size=(5, 40))
+        payloads = TopKCompressor(0.2).compress_rows(matrix)
+        np.testing.assert_allclose(
+            payloads.mean(), payloads.reconstruct().mean(axis=0), rtol=0, atol=1e-15
+        )
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            TopKCompressor(0.0)
+        with pytest.raises(ConfigurationError):
+            TopKCompressor(1.5)
+
+
+class TestQuantization:
+    @pytest.mark.parametrize("levels", [2, 4, 256])
+    def test_decompress_compress_is_idempotent(self, levels):
+        rng = np.random.default_rng(levels)
+        matrix = rng.normal(size=(4, 65)) * rng.choice([1e-6, 1.0, 1e4], size=(4, 1))
+        compressor = QuantizationCompressor(levels=levels)
+        once = compressor.compress_rows(matrix).reconstruct()
+        twice = compressor.compress_rows(once).reconstruct()
+        np.testing.assert_array_equal(once, twice)
+
+    def test_all_zero_rows_stay_zero(self):
+        recon = QuantizationCompressor(bits=4).compress_rows(np.zeros((3, 9))).reconstruct()
+        np.testing.assert_array_equal(recon, 0.0)
+
+    def test_mixed_zero_and_nonzero_rows(self):
+        matrix = np.array([[0.0, 0.0, 0.0], [1.0, -0.5, 0.25]])
+        recon = QuantizationCompressor(bits=8).compress_rows(matrix).reconstruct()
+        np.testing.assert_array_equal(recon[0], 0.0)
+        assert np.abs(recon[1] - matrix[1]).max() < 1e-2
+
+    def test_row_maximum_is_exactly_preserved(self):
+        matrix = np.array([[0.3, -0.1, 0.05]])
+        recon = QuantizationCompressor(levels=4).compress_rows(matrix).reconstruct()
+        assert recon[0, 0] == 0.3
+
+    def test_transmitted_elements_count_level_bytes_not_dense(self):
+        # 1000 8-bit codes = 250 float32 equivalents, plus one scale.
+        assert QuantizationCompressor(bits=8).transmitted_elements(1000) == 251
+        assert QuantizationCompressor(bits=8).transmitted_elements(0) == 0
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            QuantizationCompressor(bits=0)
+        with pytest.raises(ConfigurationError):
+            QuantizationCompressor(levels=0)
+
+
+class TestRandomK:
+    def test_same_seed_same_coordinates(self):
+        matrix = np.random.default_rng(3).normal(size=(4, 30))
+        recon_a = RandomKCompressor(0.2, seed=7).compress_rows(matrix).reconstruct()
+        recon_b = RandomKCompressor(0.2, seed=7).compress_rows(matrix).reconstruct()
+        np.testing.assert_array_equal(recon_a, recon_b)
+
+    def test_kept_values_are_exact_input_entries(self):
+        matrix = np.random.default_rng(4).normal(size=(3, 20))
+        recon = RandomKCompressor(0.25, seed=0).compress_rows(matrix).reconstruct()
+        kept = recon != 0.0
+        np.testing.assert_array_equal(recon[kept], matrix[kept])
+
+    def test_shared_seed_costs_values_only(self):
+        # k values + 1 seed element, not 2k index/value pairs.
+        assert RandomKCompressor(0.1, seed=0).transmitted_elements(1000) == 101
+
+
+class TestSign:
+    def test_reconstruction_is_sign_times_row_scale(self):
+        matrix = np.array([[1.0, -2.0, 0.0, 3.0]])
+        recon = SignCompressor().compress_rows(matrix).reconstruct()
+        np.testing.assert_allclose(recon, [[1.5, -1.5, 0.0, 1.5]])
+
+    def test_one_bit_accounting(self):
+        assert SignCompressor().transmitted_elements(64) == 3  # 2 words + scale
+
+    def test_all_zero_rows(self):
+        recon = SignCompressor().compress_rows(np.zeros((2, 5))).reconstruct()
+        np.testing.assert_array_equal(recon, 0.0)
+
+
+class TestLayerwiseTopK:
+    LAYOUT = [SlotLayout(0, 8, (8,)), SlotLayout(8, 2, (2,)), SlotLayout(10, 10, (10,))]
+
+    def test_every_layer_keeps_its_own_budget(self):
+        rng = np.random.default_rng(5)
+        matrix = rng.normal(size=(3, 20))
+        # Make one layer dominate in magnitude; global top-k would starve the rest.
+        matrix[:, :8] *= 100.0
+        compressor = LayerwiseTopKCompressor(0.5, layout=self.LAYOUT)
+        recon = compressor.compress_rows(matrix).reconstruct()
+        for slot in self.LAYOUT:
+            block = recon[:, slot.offset : slot.offset + slot.size]
+            expected_keep = max(1, round(slot.size * 0.5))
+            assert np.all((block != 0).sum(axis=1) == expected_keep)
+
+    def test_unbound_layout_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            LayerwiseTopKCompressor(0.5).compress_rows(np.ones((1, 4)))
+
+    def test_mismatched_layout_is_a_shape_error(self):
+        compressor = LayerwiseTopKCompressor(0.5, layout=self.LAYOUT)
+        with pytest.raises(ShapeError):
+            compressor.compress_rows(np.ones((1, 4)))
+
+    def test_transmitted_elements_sum_per_layer_budgets(self):
+        compressor = LayerwiseTopKCompressor(0.5, layout=self.LAYOUT)
+        # 8·0.5=4 pairs, 2·0.5=1 pair (capped at size 2), 10·0.5=5 pairs.
+        assert compressor.transmitted_elements(20) == 2 * 4 + 2 * 1 + 2 * 5
+
+
+class TestLegacySingleVectorApi:
+    def test_compress_matches_row_kernel(self):
+        vector = np.random.default_rng(6).normal(size=50)
+        for compressor in (QuantizationCompressor(8), TopKCompressor(0.2), SignCompressor()):
+            payload = compressor.compress(vector)
+            rows = compressor.compress_rows(vector[None, :])
+            np.testing.assert_array_equal(payload.vector, rows.reconstruct()[0])
+            assert payload.transmitted_elements == rows.elements_per_row
+
+    def test_empty_vector(self):
+        payload = TopKCompressor(0.5).compress(np.zeros(0))
+        assert payload.transmitted_elements == 0
+        assert payload.vector.size == 0
+
+
+# ---------------------------------------------------------------------------
+# Error feedback under arbitrary masks (hypothesis)
+# ---------------------------------------------------------------------------
+
+EF_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def masked_rounds(draw):
+    num_workers = draw(st.integers(min_value=2, max_value=6))
+    dimension = draw(st.integers(min_value=3, max_value=24))
+    num_rounds = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    drifts = [rng.normal(size=(num_workers, dimension)) for _ in range(num_rounds)]
+    masks = [
+        draw(
+            st.lists(st.booleans(), min_size=num_workers, max_size=num_workers).filter(any)
+        )
+        for _ in range(num_rounds)
+    ]
+    return drifts, masks
+
+
+class TestErrorFeedback:
+    @EF_SETTINGS
+    @given(case=masked_rounds())
+    def test_masked_rows_keep_residuals_bit_untouched(self, case):
+        drifts, masks = case
+        num_workers, dimension = drifts[0].shape
+        state = ClusterCompression(
+            CompressionConfig("topk", ratio=0.34, error_feedback=True),
+            num_workers=num_workers,
+            dimension=dimension,
+        )
+        for drift, mask in zip(drifts, masks):
+            rows = np.flatnonzero(mask)
+            before = state.residual_matrix.copy()
+            expected_active = drift[rows] + before[rows]
+            payloads = state.compress_update(drift, rows=rows)
+            after = state.residual_matrix
+            inactive = np.flatnonzero(~np.asarray(mask))
+            # Bit-untouched: not merely equal values, the exact same bits.
+            assert np.array_equal(
+                before[inactive].view(np.uint64), after[inactive].view(np.uint64)
+            )
+            # Active rows: payload + residual telescopes to drift + old residual.
+            np.testing.assert_array_equal(
+                payloads.reconstruct() + after[rows], expected_active
+            )
+
+    @EF_SETTINGS
+    @given(case=masked_rounds())
+    def test_without_error_feedback_no_state_is_kept(self, case):
+        drifts, masks = case
+        num_workers, dimension = drifts[0].shape
+        state = ClusterCompression(
+            CompressionConfig("topk", ratio=0.34, error_feedback=False),
+            num_workers=num_workers,
+            dimension=dimension,
+        )
+        assert state.residual_matrix is None
+        rows = np.flatnonzero(masks[0])
+        payloads = state.compress_update(drifts[0], rows=rows)
+        assert payloads.reconstruct().shape == (rows.size, dimension)
+
+    def test_empty_participation_round_is_a_zero_delta_noop(self):
+        state = ClusterCompression(
+            CompressionConfig("topk", ratio=0.5, error_feedback=True),
+            num_workers=3,
+            dimension=5,
+        )
+        drift = np.random.default_rng(0).normal(size=(3, 5))
+        payloads = state.compress_update(drift, rows=np.array([], dtype=int))
+        np.testing.assert_array_equal(payloads.mean(), np.zeros(5))
+        np.testing.assert_array_equal(state.residual_matrix, 0.0)
+        dense = QuantizationCompressor(8).compress_rows(np.empty((0, 5)))
+        np.testing.assert_array_equal(dense.mean(), np.zeros(5))
+
+    def test_full_participation_residual_is_untransmitted_remainder(self):
+        state = ClusterCompression(
+            CompressionConfig("topk", ratio=0.5, error_feedback=True),
+            num_workers=2,
+            dimension=4,
+        )
+        drift = np.array([[1.0, -3.0, 0.5, 2.0], [0.0, 0.1, -0.2, 0.05]])
+        payloads = state.compress_update(drift)
+        np.testing.assert_array_equal(
+            payloads.reconstruct() + state.residual_matrix, drift
+        )
+
+    def test_dropped_mass_reenters_the_next_payload(self):
+        state = ClusterCompression(
+            CompressionConfig("topk", ratio=0.25, error_feedback=True),
+            num_workers=1,
+            dimension=4,
+        )
+        first = np.array([[4.0, 3.0, 2.0, 1.0]])
+        state.compress_update(first)  # transmits only the 4.0
+        second = state.compress_update(np.zeros((1, 4)))
+        # With zero new drift, the largest residual entry (3.0) is transmitted.
+        np.testing.assert_array_equal(second.reconstruct(), [[0.0, 3.0, 0.0, 0.0]])
+
+
+# ---------------------------------------------------------------------------
+# Compressed byte accounting per topology (the charge_* bugfix)
+# ---------------------------------------------------------------------------
+
+
+class TestCompressedCharges:
+    @pytest.mark.parametrize("name", ALL_TOPOLOGIES)
+    def test_allreduce_charges_compressed_payload_and_conserves_links(self, name):
+        dimension, num_workers = 10_000, 8
+        compressor = TopKCompressor(0.1)
+        fabric = Fabric(topology=get_topology(name))
+        charge = fabric.allreduce(
+            dimension, num_workers, "model-sync", compression=compressor
+        )
+        transmitted = compressor.transmitted_elements(dimension)
+        dense = Fabric(topology=get_topology(name)).allreduce(
+            dimension, num_workers, "model-sync"
+        )
+        # Identical to pricing the compressed element count directly ...
+        assert charge.num_bytes == Fabric(topology=get_topology(name)).allreduce(
+            transmitted, num_workers, "model-sync"
+        ).num_bytes
+        # ... strictly below the dense 4·d charge, by the kernel's ratio.
+        assert charge.num_bytes < dense.num_bytes
+        # Conservation: the total equals the per-link ledger sum.
+        assert sum(fabric.bytes_by_link.values()) == pytest.approx(
+            charge.num_bytes, abs=len(fabric.bytes_by_link)
+        )
+
+    @pytest.mark.parametrize("name", ALL_TOPOLOGIES)
+    def test_broadcast_and_upload_charge_compressed_payloads(self, name):
+        dimension, num_workers = 5_000, 6
+        compressor = QuantizationCompressor(bits=8)
+        transmitted = compressor.transmitted_elements(dimension)
+        fabric = Fabric(topology=get_topology(name))
+        broadcast = fabric.broadcast(
+            dimension, num_workers, "model-sync", compression=compressor
+        )
+        assert broadcast.num_bytes == Fabric(topology=get_topology(name)).broadcast(
+            transmitted, num_workers, "model-sync"
+        ).num_bytes
+        upload = fabric.upload(
+            dimension, num_workers, "fda-state", worker_id=num_workers - 1,
+            compression=compressor,
+        )
+        assert upload.num_bytes == Fabric(topology=get_topology(name)).upload(
+            transmitted, num_workers, "fda-state", worker_id=num_workers - 1
+        ).num_bytes
+        assert sum(fabric.bytes_by_link.values()) == pytest.approx(
+            broadcast.num_bytes + upload.num_bytes, abs=len(fabric.bytes_by_link)
+        )
+
+    def test_star_charges_exactly_k_compressed_uploads(self):
+        dimension, num_workers = 1_000, 5
+        compressor = TopKCompressor(0.1)
+        fabric = Fabric(topology=get_topology("star"))
+        charge = fabric.allreduce(
+            dimension, num_workers, "model-sync", compression=compressor
+        )
+        keep = max(1, round(dimension * 0.1))
+        assert charge.num_bytes == num_workers * 2 * keep * BYTES_PER_ELEMENT
+
+    def test_network_seconds_shrink_with_the_payload(self):
+        from repro.distributed.network import FL_NETWORK
+
+        dimension, num_workers = 100_000, 4
+        plain = Fabric(topology=get_topology("star"), network=FL_NETWORK)
+        compressed = Fabric(topology=get_topology("star"), network=FL_NETWORK)
+        plain_charge = plain.allreduce(dimension, num_workers, "model-sync")
+        compressed_charge = compressed.allreduce(
+            dimension, num_workers, "model-sync", compression=TopKCompressor(0.05)
+        )
+        assert compressed_charge.seconds < plain_charge.seconds
+
+
+# ---------------------------------------------------------------------------
+# Cluster / strategy / experiment integration
+# ---------------------------------------------------------------------------
+
+
+QUICK_RUN = TrainingRun(accuracy_target=0.99, max_steps=40, eval_every_steps=20)
+
+
+class TestClusterIntegration:
+    def test_compressed_synchronize_equalizes_models(self, blobs_workload):
+        cluster, _ = build_cluster(
+            blobs_workload.with_compression(
+                CompressionConfig("topk", ratio=0.2, error_feedback=True)
+            )
+        )
+        cluster.broadcast_parameters(cluster.workers[0].get_parameters())
+        cluster.step_all()
+        cluster.synchronize()
+        assert cluster.model_variance() == pytest.approx(0.0, abs=1e-18)
+
+    @pytest.mark.parametrize(
+        "strategy_factory",
+        [
+            lambda: SynchronousStrategy(),
+            lambda: LocalSGDStrategy(tau=2),
+            lambda: FDAStrategy(threshold=0.0, variant="exact"),
+        ],
+        ids=["synchronous", "local-sgd", "fda"],
+    )
+    def test_every_sync_path_compresses_uniformly(self, blobs_workload, strategy_factory):
+        plain_cluster, _ = build_cluster(blobs_workload)
+        compressed_cluster, _ = build_cluster(
+            blobs_workload.with_compression(
+                CompressionConfig("topk", ratio=0.1, error_feedback=True)
+            )
+        )
+        strategy_factory().attach(plain_cluster).run_steps(8)
+        strategy_factory().attach(compressed_cluster).run_steps(8)
+        assert plain_cluster.synchronization_count == compressed_cluster.synchronization_count
+        assert (
+            compressed_cluster.tracker.bytes_for("model-sync")
+            < plain_cluster.tracker.bytes_for("model-sync")
+        )
+
+    def test_enable_compression_binds_the_model_layout(self, blobs_workload):
+        cluster, _ = build_cluster(
+            blobs_workload.with_compression(
+                CompressionConfig("layerwise-topk", ratio=0.25)
+            )
+        )
+        cluster.broadcast_parameters(cluster.workers[0].get_parameters())
+        cluster.step_all()
+        cluster.synchronize()  # would raise without a bound layout
+        assert cluster.compression_label == "layerwise-topk(ratio=0.25)"
+
+    def test_allreduce_with_explicit_compression_kernel(self, blobs_workload):
+        cluster, _ = build_cluster(blobs_workload)
+        vectors = np.random.default_rng(0).normal(size=(cluster.num_workers, 40))
+        compressor = QuantizationCompressor(8)
+        bytes_before = cluster.total_bytes
+        averaged = cluster.allreduce(vectors, "other", compression=compressor)
+        charged = cluster.total_bytes - bytes_before
+        assert charged == compressor.transmitted_elements(40) * 4 * cluster.num_workers
+        np.testing.assert_allclose(
+            averaged, compressor.compress_rows(vectors).mean(), rtol=0, atol=0
+        )
+
+
+class TestConfigThreading:
+    def test_workload_normalizes_and_rejects_specs(self, blobs_workload):
+        assert blobs_workload.with_compression("topk").compression == CompressionConfig("topk")
+        assert blobs_workload.with_compression("none").compression is None
+        with pytest.raises(ConfigurationError):
+            blobs_workload.with_compression("gzip")
+        with pytest.raises(ConfigurationError):
+            blobs_workload.with_compression(CompressionConfig("topk", ratio=2.0))
+
+    def test_config_rejects_bits_without_a_representable_level(self):
+        # bits=1 would only fail deep inside make_compressor; the config must
+        # reject it eagerly, where the workload is defined.
+        with pytest.raises(ConfigurationError):
+            CompressionConfig("quantization", bits=1)
+
+    def test_describe_shows_only_the_knob_the_kernel_reads(self):
+        assert CompressionConfig("signsgd").describe() == "signsgd"
+        assert (
+            CompressionConfig("signsgd", error_feedback=True).describe() == "signsgd+ef"
+        )
+        assert CompressionConfig("quantization", bits=4).describe() == "quantization(bits=4)"
+
+    def test_get_compression_round_trip(self):
+        config = CompressionConfig("quantization", bits=4, error_feedback=True)
+        assert get_compression(config) is config
+        assert CompressionConfig.from_dict(config.to_dict()) == config
+        assert make_compressor(config).name == "quantization"
+
+    def test_run_result_records_and_persists_compression(self, blobs_workload):
+        workload = blobs_workload.with_compression(
+            CompressionConfig("topk", ratio=0.1, error_feedback=True)
+        )
+        cluster, test_dataset = build_cluster(workload)
+        result = QUICK_RUN.execute(
+            SynchronousStrategy(), cluster, test_dataset, workload_name="blobs"
+        )
+        assert result.compression == "topk(ratio=0.1)+ef"
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.compression == result.compression
+
+    def test_sweep_compression_orders_cells_by_savings(self, blobs_workload):
+        points = sweep_compression(
+            blobs_workload,
+            QUICK_RUN,
+            lambda: SynchronousStrategy(),
+            compressions=("none", CompressionConfig("topk", ratio=0.1)),
+        )
+        assert [p.compression for p in points] == ["none", "topk(ratio=0.1)"]
+        assert points[1].model_bytes < points[0].model_bytes

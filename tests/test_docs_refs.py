@@ -1,0 +1,143 @@
+"""Documentation reference checks: docs must not rot.
+
+Three guarantees, run as CI's dedicated docs job
+(``python -m pytest tests/test_docs_refs.py``):
+
+* every dotted ``repro.*`` reference in ``ARCHITECTURE.md`` and ``docs/``
+  resolves — the module imports and any trailing attribute chain exists;
+* every repo-relative file path those documents mention exists;
+* the doctests embedded in :mod:`repro.compression` pass.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import pkgutil
+import re
+from pathlib import Path
+
+import pytest
+
+import repro.compression
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The documents whose references are checked.
+DOC_FILES = sorted(
+    [REPO_ROOT / "ARCHITECTURE.md", *(REPO_ROOT / "docs").glob("*.md")]
+)
+
+#: Dotted ``repro.something[.more]`` references (module paths, classes,
+#: functions).  A trailing ``.py`` match is a file path, handled separately.
+DOTTED_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+\b")
+
+#: Dotted strings that are serialization format identifiers, not Python
+#: references (the ``"format"`` fields of the emitted JSON documents).
+FORMAT_IDENTIFIERS = {"repro.bench", "repro.run_results", "repro.sweep"}
+
+#: Backtick-quoted repo paths: anything with a slash or a known suffix.
+PATH_RE = re.compile(
+    r"`([A-Za-z0-9_.\-/]+\.(?:py|md|json|yml|yaml|ini|cfg|toml))`"
+)
+
+
+def _doc_text(path: Path) -> str:
+    return path.read_text(encoding="utf-8")
+
+
+def _dotted_references() -> list:
+    references = set()
+    for doc in DOC_FILES:
+        for match in DOTTED_RE.finditer(_doc_text(doc)):
+            reference = match.group(0)
+            if reference.endswith(".py"):
+                continue  # a file path caught by the path check
+            if reference in FORMAT_IDENTIFIERS:
+                continue
+            references.add((doc.name, reference))
+    return sorted(references)
+
+
+def _path_references() -> list:
+    references = set()
+    for doc in DOC_FILES:
+        for match in PATH_RE.finditer(_doc_text(doc)):
+            path = match.group(1)
+            # Emitted artifacts (BENCH_*.json) exist only after a bench run on
+            # a given machine; the docs may reference them by name.
+            if Path(path).name.startswith("BENCH_"):
+                continue
+            references.add((doc.name, path))
+    return sorted(references)
+
+
+def _resolve(reference: str) -> None:
+    """Import the longest module prefix, then getattr the remainder."""
+    parts = reference.split(".")
+    module = None
+    consumed = 0
+    for end in range(len(parts), 0, -1):
+        try:
+            module = importlib.import_module(".".join(parts[:end]))
+            consumed = end
+            break
+        except ModuleNotFoundError:
+            continue
+    assert module is not None, f"no importable module prefix in {reference!r}"
+    obj = module
+    for attribute in parts[consumed:]:
+        assert hasattr(obj, attribute), (
+            f"{reference!r}: {'.'.join(parts[:consumed])} has no attribute "
+            f"{attribute!r}"
+        )
+        obj = getattr(obj, attribute)
+
+
+def test_docs_exist():
+    assert DOC_FILES, "expected ARCHITECTURE.md and docs/*.md to exist"
+    names = {doc.name for doc in DOC_FILES}
+    assert "ARCHITECTURE.md" in names
+    assert "paper_map.md" in names
+
+
+@pytest.mark.parametrize(
+    "doc, reference", _dotted_references(), ids=lambda value: str(value)
+)
+def test_dotted_reference_resolves(doc, reference):
+    _resolve(reference)
+
+
+@pytest.mark.parametrize(
+    "doc, path", _path_references(), ids=lambda value: str(value)
+)
+def test_referenced_path_exists(doc, path):
+    # Source paths may be written repo-relative or src-relative (repro/...).
+    candidates = (REPO_ROOT / path, REPO_ROOT / "src" / path)
+    assert any(candidate.exists() for candidate in candidates), (
+        f"{doc} references missing path {path!r}"
+    )
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    sorted(
+        f"repro.compression.{info.name}"
+        for info in pkgutil.iter_modules(repro.compression.__path__)
+    )
+    + ["repro.compression"],
+)
+def test_compression_doctests_pass(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module_name}: {results.failed} doctest failures"
+
+
+def test_compression_package_has_doctests():
+    """The docs job must actually exercise examples, not vacuously pass."""
+    total = 0
+    for info in pkgutil.iter_modules(repro.compression.__path__):
+        module = importlib.import_module(f"repro.compression.{info.name}")
+        finder = doctest.DocTestFinder()
+        total += sum(len(test.examples) for test in finder.find(module))
+    assert total >= 5, f"expected >= 5 doctest examples in repro/compression, found {total}"

@@ -13,6 +13,7 @@ PUBLIC_SUBPACKAGES = [
     "repro.sketch",
     "repro.data",
     "repro.distributed",
+    "repro.compression",
     "repro.core",
     "repro.strategies",
     "repro.experiments",

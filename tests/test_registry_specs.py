@@ -83,3 +83,34 @@ class TestFigureSpecs:
         full = registry.figure8(quick=False)
         assert len(full.fda_thetas) > len(quick.fda_thetas)
         assert full.run.max_steps > quick.run.max_steps
+
+
+class TestCompressionSweepSpec:
+    def test_compression_sweep_structure(self):
+        spec = registry.compression_sweep(quick=True)
+        assert spec.experiment_id == "compression"
+        assert {"LinearFDA", "Synchronous"} <= set(spec.strategy_factories)
+        assert "none" in spec.compressions
+        assert len(spec.compressions) >= 3
+
+    def test_full_grid_adds_kernels(self):
+        quick = registry.compression_sweep(quick=True)
+        full = registry.compression_sweep(quick=False)
+        assert len(full.compressions) > len(quick.compressions)
+
+    def test_compression_cells_are_buildable(self):
+        from repro.experiments.sweep import sweep_compression
+        from repro.experiments.run import TrainingRun
+
+        spec = registry.compression_sweep(quick=True)
+        workload = next(iter(spec.workloads.values()))
+        run = TrainingRun(accuracy_target=0.99, max_steps=8, eval_every_steps=8)
+        points = sweep_compression(
+            workload,
+            run,
+            spec.strategy_factories["Synchronous"],
+            compressions=spec.compressions,
+        )
+        labels = [point.compression for point in points]
+        assert labels[0] == "none"
+        assert all(point.result.parallel_steps >= 8 for point in points)
