@@ -32,10 +32,21 @@ the EF residual matrix doubles as the in-place drift accumulator, top-k
 selection runs on cached float32 magnitudes partitioned from the sparse
 end, and a sync allocates nothing beyond the k-sized payload arrays.
 
-Both emit their grids into ``BENCH_hotpath.json`` (see ``bench_json.py``) so
-CI can track the perf trajectory PR-over-PR.  ``REPRO_BENCH_SMALL=1`` trims
-sizes; ``REPRO_BENCH_STRICT=0`` downgrades wall-clock assertions to warnings
-on runners whose timing cannot be trusted.
+**float32 vs float64 on the batched engine** (``test_bench_hotpath_dtype``,
+the dtype-parametric-plane cell).  The same batched training loop at both
+plane dtypes on a *bandwidth-bound* d≈1e5 model (9 hidden layers of width
+100, batch 16): wide stacked GEMMs and the ``(K, d)`` optimizer update are
+memory-traffic-limited, exactly where halving the element size pays.  Bars:
+float32 delivers ≥1.5× steps/s at K=32, d≈1e5, and the fabric ledger charges
+*exactly* half the sync bytes (deterministic — asserted without retries).
+The deep-narrow dispatch-bound config is deliberately not the acceptance
+cell: Python dispatch over 260 tiny layers is dtype-independent, so it
+measures the interpreter, not the memory system.
+
+All benches emit their grids into ``BENCH_hotpath.json`` (see
+``bench_json.py``) so CI can track the perf trajectory PR-over-PR.
+``REPRO_BENCH_SMALL=1`` trims sizes; ``REPRO_BENCH_STRICT=0`` downgrades
+wall-clock assertions to warnings on runners whose timing cannot be trusted.
 """
 
 from __future__ import annotations
@@ -78,6 +89,7 @@ def build_cluster(
     dropout_rate: float = 0.0,
     compression=None,
     batch_size: int = 2,
+    dtype=None,
 ) -> SimulatedCluster:
     features, width, depth, classes = configs[dimension_key]
     rng = np.random.default_rng(0)
@@ -102,7 +114,8 @@ def build_cluster(
         else None
     )
     return SimulatedCluster(
-        workers, execution=execution, timeline=timeline, compression=compression
+        workers, execution=execution, timeline=timeline, compression=compression,
+        dtype=dtype,
     )
 
 
@@ -263,6 +276,130 @@ def test_bench_hotpath_masked_batched_matches_sequential():
     np.testing.assert_allclose(
         sequential.parameter_matrix, batched.parameter_matrix, rtol=1e-6
     )
+
+
+# -- float32 vs float64 on the batched engine (dtype-parametric plane) ----------
+
+#: Model grid for the dtype benchmark: the *wide* d≈1e5 MLP (9 hidden layers
+#: of width 100), where stacked GEMMs and the (K, d) update are bandwidth
+#: bound and the element size is the lever.  Shapes match MODEL_CONFIGS.
+DTYPE_MODEL_CONFIGS = {10_000: (50, 30, 9, 33), 100_000: (150, 100, 9, 40)}
+
+#: Worker mini-batch of the dtype cell: enough rows per stacked GEMM that
+#: BLAS, not per-layer dispatch, carries the step.
+DTYPE_BENCH_BATCH = 16
+
+
+def measure_dtype_rates(num_workers: int, dimension_key: int):
+    """One cell: steps/s and per-sync ledger bytes at float64 vs float32.
+
+    Both clusters are built identically (same seeds, same batched engine) and
+    run the same full training steps plus one synchronization, so the rate
+    ratio is pure dtype and the byte ratio is pure itemsize.
+    """
+    steps = 4 if SMALL else 10
+    rates, sync_bytes = {}, {}
+    dimension = 0
+    for dtype in ("float64", "float32"):
+        cluster = build_cluster(
+            num_workers, dimension_key, execution="batched",
+            configs=DTYPE_MODEL_CONFIGS, batch_size=DTYPE_BENCH_BATCH, dtype=dtype,
+        )
+        dimension = cluster.model_dimension
+
+        def run_steps(cluster=cluster):
+            for _ in range(steps):
+                cluster.step_all()
+
+        run_steps()  # warmup: optimizer state, layer scratch, BLAS threads
+        elapsed = best_of(3, run_steps)
+        rates[dtype] = steps / elapsed
+        bytes_before = cluster.total_bytes
+        cluster.synchronize(include_buffers=False)
+        sync_bytes[dtype] = cluster.total_bytes - bytes_before
+    return rates, sync_bytes, dimension
+
+
+@pytest.mark.benchmark(group="hotpath")
+def test_bench_hotpath_dtype():
+    # Acceptance bars: float32 delivers >= 1.5x batched steps/s at K=32,
+    # d~1e5, and charges exactly half the sync bytes (deterministic).
+    throughput_bar = 1.5
+    grid = [(8, 100_000), (32, 100_000)]
+    acceptance = (32, 100_000)
+    print("\n=== plane dtype: float32 fast mode vs float64 reference (batched) ===")
+    print(
+        f"{'K':>4} {'d':>8} {'f64 steps/s':>12} {'f32 steps/s':>12} "
+        f"{'speedup':>8} {'sync B f64':>11} {'sync B f32':>11}"
+    )
+    rows = []
+    measured = {}
+    for num_workers, dimension_key in grid:
+        rates, sync_bytes, dimension = measure_dtype_rates(num_workers, dimension_key)
+        speedup = rates["float32"] / rates["float64"]
+        measured[(num_workers, dimension_key)] = speedup
+        # Itemsize conservation is exact and holds on every cell.
+        assert sync_bytes["float64"] == 2 * sync_bytes["float32"], (
+            f"float32 must charge exactly half the sync bytes, got "
+            f"{sync_bytes['float32']} vs {sync_bytes['float64']}"
+        )
+        rows.append(
+            {
+                "K": num_workers,
+                "d": dimension,
+                "dimension_key": dimension_key,
+                "batch_size": DTYPE_BENCH_BATCH,
+                "float64_steps_per_sec": round(rates["float64"], 2),
+                "float32_steps_per_sec": round(rates["float32"], 2),
+                "speedup": round(speedup, 3),
+                "sync_bytes_float64": sync_bytes["float64"],
+                "sync_bytes_float32": sync_bytes["float32"],
+            }
+        )
+        print(
+            f"{num_workers:>4} {dimension:>8} {rates['float64']:>12,.1f} "
+            f"{rates['float32']:>12,.1f} {speedup:>7.2f}x "
+            f"{sync_bytes['float64']:>11,} {sync_bytes['float32']:>11,}"
+        )
+
+    best = measured[acceptance]
+    attempts = 1
+    while STRICT and best < throughput_bar and attempts < 4:
+        rates, _, _ = measure_dtype_rates(*acceptance)
+        best = max(best, rates["float32"] / rates["float64"])
+        attempts += 1
+        print(
+            f"  re-measured dtype cell K={acceptance[0]} d~{acceptance[1]}: "
+            f"best speedup now {best:.2f}x"
+        )
+    for row in rows:
+        if (row["K"], row["dimension_key"]) == acceptance:
+            row["speedup_best_of_retries"] = round(best, 3)
+    emit_bench_section("hotpath", "dtype", rows)
+    if not STRICT and best < throughput_bar:
+        print(
+            f"  WARNING: float32 speedup {best:.2f}x < {throughput_bar}x "
+            "(REPRO_BENCH_STRICT=0)"
+        )
+        return
+    assert best >= throughput_bar, (
+        f"expected float32 to deliver at least {throughput_bar}x batched "
+        f"steps/s at K={acceptance[0]}, d~{acceptance[1]}; best of "
+        f"{attempts} runs was {best:.2f}x"
+    )
+
+
+@pytest.mark.benchmark(group="hotpath")
+def test_bench_hotpath_dtype_float32_trains_finite():
+    """The benchmarked float32 cell must be a real training loop, not NaN soup."""
+    cluster = build_cluster(
+        4, 10_000, execution="batched", configs=DTYPE_MODEL_CONFIGS,
+        batch_size=DTYPE_BENCH_BATCH, dtype="float32",
+    )
+    losses = [cluster.step_all() for _ in range(5)]
+    assert all(np.isfinite(loss) for loss in losses)
+    assert cluster.parameter_matrix.dtype == np.float32
+    assert np.isfinite(cluster.parameter_matrix).all()
 
 
 # -- compressed synchronization on the batched engine (ISSUE-5) ------------------
@@ -533,7 +670,10 @@ def test_bench_hotpath_speedup():
             )
             speedups[(num_workers, dimension_key)] = plane_rate / seed_rate
             state_bytes = state_bytes_per_step(num_workers, dimension_key)
-            sync_bytes = 4 * dimension * num_workers  # float32 AllReduce volume
+            # Itemsize-accurate AllReduce volume: these clusters run the
+            # float64 reference plane, priced at 8 B/element by the default
+            # cost model (a float32 cluster would charge exactly half).
+            sync_bytes = 8 * dimension * num_workers
             rows.append(
                 {
                     "K": num_workers,

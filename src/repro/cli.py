@@ -97,6 +97,12 @@ def _build_parser() -> argparse.ArgumentParser:
              "vectorized 'batched' pass for all K workers (A/B the engines)",
     )
     compare.add_argument(
+        "--dtype", choices=("float32", "float64"), default="float64",
+        help="compute dtype of the parameter plane: 'float64' (bit-exact "
+             "reference) or 'float32' (fast mode; byte ledgers price 4-byte "
+             "elements instead of 8)",
+    )
+    compare.add_argument(
         "--dropout-rate", type=float, default=0.0,
         help="per-round worker dropout probability (partial participation); "
              "runs on either engine — the batched engine executes only the "
@@ -222,6 +228,7 @@ def _command_compare(args: argparse.Namespace) -> int:
     workload = _WORKLOAD_BUILDERS[args.workload](num_workers=args.workers)
     workload = workload.with_fabric(topology=args.topology, network=args.network)
     workload = workload.with_execution(args.execution)
+    workload = workload.with_dtype(args.dtype)
     try:
         workload = workload.with_compression(_compression_from_args(args))
     except ConfigurationError as error:  # out-of-range ratio/bits
@@ -256,7 +263,7 @@ def _command_compare(args: argparse.Namespace) -> int:
     compression = workload.compression.describe() if workload.compression else "none"
     print(
         f"fabric: topology={args.topology} network={args.network} "
-        f"execution={args.execution} compression={compression}"
+        f"execution={args.execution} compression={compression} dtype={args.dtype}"
     )
     print(format_results_table(results, reached_only=False))
     print(format_comparison(results, "LinearFDA", "Synchronous"))

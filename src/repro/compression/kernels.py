@@ -108,7 +108,7 @@ class DenseRowPayloads(RowPayloads):
         if self.dense.shape[0] == 0:
             # An empty participation round contributes nothing: the averaged
             # update is a zero delta, not a 0/0 NaN vector.
-            return np.zeros(self.dense.shape[1])
+            return np.zeros(self.dense.shape[1], dtype=self.dense.dtype)
         return self.dense.mean(axis=0)
 
     def fold_residual(self, work: np.ndarray) -> None:
@@ -141,14 +141,14 @@ class SparseRowPayloads(RowPayloads):
         self.elements_per_row = int(elements_per_row)
 
     def reconstruct(self) -> np.ndarray:
-        dense = np.zeros((self.indices.shape[0], self.dimension))
+        dense = np.zeros((self.indices.shape[0], self.dimension), dtype=self.values.dtype)
         np.put_along_axis(dense, self.indices, self.values, axis=1)
         return dense
 
     def mean(self) -> np.ndarray:
         # One flat scatter-add instead of a dense (R, d) reconstruction: the
         # average only needs Σ values per coordinate, and R·k ≪ R·d.
-        accumulator = np.zeros(self.dimension)
+        accumulator = np.zeros(self.dimension, dtype=self.values.dtype)
         if self.indices.shape[0] == 0:
             # Empty participation round: a zero delta, not a 0/0 NaN vector.
             return accumulator
@@ -186,7 +186,9 @@ class Compressor:
 
     def compress(self, vector: np.ndarray) -> CompressedPayload:
         """Compress one flat vector (the original strategy-wrapper API)."""
-        vector = np.asarray(vector, dtype=np.float64)
+        vector = np.asarray(vector)
+        if vector.dtype not in (np.float32, np.float64):
+            vector = np.asarray(vector, dtype=np.float64)
         if vector.ndim != 1:
             raise ShapeError(f"compress expects a flat vector, got shape {vector.shape}")
         if vector.size == 0:
@@ -201,7 +203,12 @@ class Compressor:
 
 
 def _as_matrix(matrix: np.ndarray) -> np.ndarray:
-    matrix = np.asarray(matrix, dtype=np.float64)
+    # Dtype-preserving for the two plane dtypes: a float32 (K, d) drift matrix
+    # is compressed as-is (no silent full-matrix promotion copy); anything
+    # else is normalized to the float64 reference dtype.
+    matrix = np.asarray(matrix)
+    if matrix.dtype not in (np.float32, np.float64):
+        matrix = np.asarray(matrix, dtype=np.float64)
     if matrix.ndim != 2:
         raise ShapeError(f"compress_rows expects a (R, d) matrix, got shape {matrix.shape}")
     return matrix

@@ -10,7 +10,8 @@ around them, and that state lives here, owned by the
   drift ``w^{(k)} − w_ref``, and every ``broadcast_parameters`` refreshes the
   reference, so all strategies — FDA's triggered syncs included — share one
   consistent drift convention;
-* the **error-feedback residual matrix** — one ``(K, d)`` float64 matrix whose
+* the **error-feedback residual matrix** — one ``(K, d)`` matrix (in the
+  plane's dtype) whose
   row ``k`` is worker ``k``'s accumulated compression error.  Because the
   memory is row-indexed, a masked update (:meth:`ClusterCompression.compress_update`
   with ``rows``) touches exactly the participating rows: non-participating
@@ -46,6 +47,7 @@ from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
+from repro.backend import resolve_dtype
 from repro.compression.config import CompressionConfig, make_compressor
 from repro.compression.kernels import Compressor, RowPayloads
 from repro.exceptions import ShapeError
@@ -69,6 +71,7 @@ class ClusterCompression:
         num_workers: int,
         dimension: int,
         layout=None,
+        dtype=None,
     ) -> None:
         if isinstance(spec, Compressor):
             self.config: Optional[CompressionConfig] = None
@@ -83,8 +86,13 @@ class ClusterCompression:
         self.error_feedback = bool(error_feedback)
         self.num_workers = int(num_workers)
         self.dimension = int(dimension)
+        # The residual memory and drift scratch live in the owning cluster's
+        # plane dtype so error feedback never promotes a float32 plane.
+        self.dtype = resolve_dtype(dtype)
         self._residuals: Optional[np.ndarray] = (
-            np.zeros((self.num_workers, self.dimension)) if self.error_feedback else None
+            np.zeros((self.num_workers, self.dimension), dtype=self.dtype)
+            if self.error_feedback
+            else None
         )
         self._reference: Optional[np.ndarray] = None
         # (K, d) drift scratch for the no-error-feedback synchronize path
@@ -115,7 +123,7 @@ class ClusterCompression:
 
     def set_reference(self, flat: np.ndarray) -> None:
         """Install the globally shared model the next drifts are taken against."""
-        flat = np.asarray(flat, dtype=np.float64)
+        flat = np.asarray(flat, dtype=self.dtype)
         if flat.shape != (self.dimension,):
             raise ShapeError(
                 f"reference must have shape ({self.dimension},), got {flat.shape}"
@@ -146,7 +154,7 @@ class ClusterCompression:
         ``drift + residual`` and its residual becomes exactly the untransmitted
         remainder; rows outside ``rows`` are neither read nor written.
         """
-        drifts = np.asarray(drifts, dtype=np.float64)
+        drifts = np.asarray(drifts, dtype=self.dtype)
         if drifts.ndim != 2 or drifts.shape[1] != self.dimension:
             raise ShapeError(
                 f"drifts must be (K, {self.dimension}), got {drifts.shape}"
@@ -199,7 +207,9 @@ class ClusterCompression:
             np.subtract(work, reference, out=work)
         else:
             if self._drift_scratch is None:
-                self._drift_scratch = np.empty((self.num_workers, self.dimension))
+                self._drift_scratch = np.empty(
+                    (self.num_workers, self.dimension), dtype=self.dtype
+                )
             work = self._drift_scratch
             np.subtract(cluster.parameter_matrix, reference, out=work)
         payloads = self.compressor.compress_rows(work)
@@ -239,7 +249,7 @@ class ClusterCompression:
         if reference is None:
             reference = self.reference(cluster)
         else:
-            reference = np.asarray(reference, dtype=np.float64)
+            reference = np.asarray(reference, dtype=self.dtype)
         drifts = cluster.parameter_matrix - reference
         payloads = self.compress_update(drifts)
         cluster.charge_allreduce(

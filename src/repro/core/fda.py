@@ -80,7 +80,7 @@ class FDATrainer:
         # Reusable (K, d) scratch for the per-step drift matrix; its rows only
         # live within one step (states are averaged before the next step).
         self._drift_scratch = np.empty(
-            (cluster.num_workers, cluster.model_dimension), dtype=np.float64
+            (cluster.num_workers, cluster.model_dimension), dtype=cluster.dtype
         )
         # All workers start from a common global model w_0 (Algorithm 1, line 1).
         initial = cluster.workers[0].get_parameters()

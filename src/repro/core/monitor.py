@@ -97,7 +97,10 @@ class SketchMonitor(VarianceMonitor):
         return self.sketch_operator.epsilon
 
     def local_state(self, drift: np.ndarray) -> SketchState:
-        drift = np.asarray(drift, dtype=np.float64)
+        # Dtype-preserving: a float32 plane's drift is reduced in float32 (the
+        # scalar results are Python floats either way); the sketch counters
+        # themselves always accumulate in float64 (see repro.sketch.ams).
+        drift = np.asarray(drift)
         return SketchState(
             float(np.dot(drift, drift)),
             self.sketch_operator.sketch(drift),
@@ -112,7 +115,7 @@ class SketchMonitor(VarianceMonitor):
         squared norms stay per-row ``np.dot`` so each state is bit-identical
         to :meth:`local_state` (see the base-class contract).
         """
-        drifts = np.asarray(drifts, dtype=np.float64)
+        drifts = np.asarray(drifts)
         sketches = self.sketch_operator.sketch_rows(drifts)
         return [
             SketchState(float(np.dot(drift, drift)), sketch)
@@ -166,7 +169,9 @@ class LinearMonitor(VarianceMonitor):
         return vector / norm
 
     def local_state(self, drift: np.ndarray) -> LinearState:
-        drift = np.asarray(drift, dtype=np.float64)
+        # ξ stays float64 (reference-path analysis vector); the projection of
+        # a float32 drift promotes to float64 inside the dot reduction.
+        drift = np.asarray(drift)
         return LinearState(
             float(np.dot(drift, drift)),
             float(np.dot(self.direction, drift)),
@@ -209,8 +214,9 @@ class ExactMonitor(VarianceMonitor):
         # No defensive copy: every caller hands over a freshly computed drift
         # (a row of the trainer's per-step drift matrix or a standalone
         # subtraction), so copying here would double the allocation of the
-        # largest state variant for nothing.
-        drift = np.asarray(drift, dtype=np.float64)
+        # largest state variant for nothing — and dtype-preserving asarray
+        # keeps a float32 plane's drift rows zero-copy too.
+        drift = np.asarray(drift)
         return ExactState(float(np.dot(drift, drift)), drift)
 
     # The base-class per-row local_states fallback is already right here:

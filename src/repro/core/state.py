@@ -101,7 +101,12 @@ class ExactState(LocalState):
     def __post_init__(self) -> None:
         if self.drift is None:
             raise ShapeError("ExactState requires the drift vector")
-        object.__setattr__(self, "drift", np.asarray(self.drift, dtype=np.float64))
+        # Dtype-preserving: a float32 plane's drift row is kept as a
+        # zero-copy view; non-float inputs normalize to the float64 reference.
+        drift = np.asarray(self.drift)
+        if drift.dtype not in (np.float32, np.float64):
+            drift = np.asarray(drift, dtype=np.float64)
+        object.__setattr__(self, "drift", drift)
         if self.drift.ndim != 1:
             raise ShapeError(f"drift must be a 1-D vector, got shape {self.drift.shape}")
 

@@ -34,8 +34,9 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.backend import resolve_dtype
 from repro.data.datasets import Dataset
-from repro.distributed.comm import CommunicationCostModel, NAIVE_COST_MODEL
+from repro.distributed.comm import CommunicationCostModel
 from repro.distributed.engine import ClusterEngine, build_engine
 from repro.distributed.network import NetworkModel, get_network
 from repro.distributed.topology import CollectiveCharge, Fabric, Topology, get_topology
@@ -70,6 +71,15 @@ class SimulatedCluster:
     ``"layerwise-topk"``), a
     :class:`~repro.compression.config.CompressionConfig`, or ``None`` (exact
     collectives, the default).  See :meth:`enable_compression`.
+
+    ``dtype`` selects the compute dtype of the whole parameter plane:
+    ``float64`` (default, the bit-exact reference) or ``float32`` (the fast
+    mode — half the memory traffic, itemsize-accurate half the sync bytes).
+    Worker models built in another dtype are converted in place before their
+    storage is rebound onto the ``(K, d)`` matrix rows.  When no explicit
+    ``cost_model`` is passed, the cluster prices collectives at
+    ``dtype.itemsize`` bytes per element, so byte ledgers always reflect what
+    the selected precision actually puts on the wire.
     """
 
     def __init__(
@@ -82,6 +92,7 @@ class SimulatedCluster:
         timeline: Optional["Timeline"] = None,
         execution: str = "sequential",
         compression=None,
+        dtype=None,
     ) -> None:
         if not workers:
             raise ConfigurationError("a cluster needs at least one worker")
@@ -96,10 +107,29 @@ class SimulatedCluster:
                 f"all workers must share the same buffer dimension, got {sorted(buffer_sizes)}"
             )
         self.workers: List[Worker] = list(workers)
+        # The plane dtype: explicit ``dtype`` wins; otherwise inherit from the
+        # workers' models (which default to the float64 reference dtype).
+        if dtype is not None:
+            self.dtype = resolve_dtype(dtype)
+        else:
+            model_dtypes = {worker.model.dtype for worker in self.workers}
+            if len(model_dtypes) != 1:
+                raise ConfigurationError(
+                    "workers disagree on model dtype "
+                    f"({sorted(d.name for d in model_dtypes)}); pass dtype= to "
+                    "pick the cluster-wide compute dtype"
+                )
+            self.dtype = model_dtypes.pop()
+        for worker in self.workers:
+            worker.model.to_dtype(self.dtype)
         resolved_topology = get_topology(topology) if topology is not None else None
+        if cost_model is None:
+            # Itemsize-accurate pricing: a float32 plane puts 4-byte elements
+            # on the wire, a float64 plane 8-byte elements.
+            cost_model = CommunicationCostModel.for_dtype(self.dtype)
         self.fabric = Fabric(
             topology=resolved_topology or get_topology("star"),
-            cost_model=cost_model or NAIVE_COST_MODEL,
+            cost_model=cost_model,
             network=get_network(network),
         )
         self.fabric.topology.validate(len(self.workers))
@@ -119,11 +149,11 @@ class SimulatedCluster:
         # rows ARE the workers' parameter vectors (each model's flat storage is
         # rebound onto its row), plus the analogous buffer matrix.
         dimension = dimensions.pop()
-        self._param_matrix = np.empty((len(self.workers), dimension), dtype=np.float64)
+        self._param_matrix = np.empty((len(self.workers), dimension), dtype=self.dtype)
         for row, worker in zip(self._param_matrix, self.workers):
             worker.model.rebind_parameter_storage(row)
         buffer_size = buffer_sizes.pop()
-        self._buffer_matrix = np.empty((len(self.workers), buffer_size), dtype=np.float64)
+        self._buffer_matrix = np.empty((len(self.workers), buffer_size), dtype=self.dtype)
         for row, worker in zip(self._buffer_matrix, self.workers):
             worker.model.rebind_buffer_storage(row)
         self._evaluation_model = self.workers[0].model.clone()
@@ -158,6 +188,11 @@ class SimulatedCluster:
     def gradient_matrix(self) -> Optional[np.ndarray]:
         """The live ``(K, d)`` gradient matrix (batched engine only, else ``None``)."""
         return self._engine.gradient_matrix
+
+    @property
+    def dtype_name(self) -> str:
+        """The plane dtype as a string (``"float64"`` or ``"float32"``)."""
+        return self.dtype.name
 
     @property
     def model_dimension(self) -> int:
@@ -221,6 +256,7 @@ class SimulatedCluster:
             num_workers=self.num_workers,
             dimension=self.model_dimension,
             layout=self.workers[0].model.plane.parameter_layout(),
+            dtype=self.dtype,
         )
         return self._compression
 
@@ -292,7 +328,7 @@ class SimulatedCluster:
         with a reusable ``out`` buffer the rows are only valid until the next
         call that writes into the same buffer.
         """
-        reference = np.asarray(reference, dtype=np.float64)
+        reference = np.asarray(reference, dtype=self.dtype)
         if reference.shape != (self.model_dimension,):
             raise ShapeError(
                 f"reference must have shape ({self.model_dimension},), got {reference.shape}"
@@ -300,6 +336,30 @@ class SimulatedCluster:
         return np.subtract(self._param_matrix, reference, out=out)
 
     # -- collectives -----------------------------------------------------------
+
+    def _stack_vectors(
+        self, vectors: Union[Sequence[np.ndarray], np.ndarray]
+    ) -> np.ndarray:
+        """One ``(K, n)`` matrix of per-worker vectors in the plane dtype.
+
+        An already-stacked matrix whose dtype matches the plane is returned
+        *as-is* — no copy.  (The old comparison was hardcoded against
+        float64, so a float32 plane's own ``(K, d)`` matrices took a silent
+        full-matrix ``astype`` copy on every collective.)  Mismatched dtypes
+        and Python sequences are stacked/cast into a fresh matrix.
+        """
+        if isinstance(vectors, np.ndarray) and vectors.ndim == 2:
+            if vectors.shape[0] != self.num_workers:
+                raise CommunicationError(
+                    f"allreduce needs one vector per worker ({self.num_workers}), "
+                    f"got {vectors.shape[0]}"
+                )
+            return vectors if vectors.dtype == self.dtype else vectors.astype(self.dtype)
+        if len(vectors) != self.num_workers:
+            raise CommunicationError(
+                f"allreduce needs one vector per worker ({self.num_workers}), got {len(vectors)}"
+            )
+        return np.stack([np.asarray(v, dtype=self.dtype) for v in vectors], axis=0)
 
     def allreduce(
         self,
@@ -316,19 +376,7 @@ class SimulatedCluster:
         raw collective; drift-aware compression lives in ``synchronize``) and
         the fabric is charged the compressed payload.
         """
-        if isinstance(vectors, np.ndarray) and vectors.ndim == 2:
-            if vectors.shape[0] != self.num_workers:
-                raise CommunicationError(
-                    f"allreduce needs one vector per worker ({self.num_workers}), "
-                    f"got {vectors.shape[0]}"
-                )
-            stacked = vectors if vectors.dtype == np.float64 else vectors.astype(np.float64)
-        else:
-            if len(vectors) != self.num_workers:
-                raise CommunicationError(
-                    f"allreduce needs one vector per worker ({self.num_workers}), got {len(vectors)}"
-                )
-            stacked = np.stack([np.asarray(v, dtype=np.float64) for v in vectors], axis=0)
+        stacked = self._stack_vectors(vectors)
         self.charge_allreduce(int(stacked[0].size), category, compression=compression)
         if compression is not None:
             return compression.compress_rows(stacked).mean()
@@ -349,7 +397,7 @@ class SimulatedCluster:
         With compression installed, the broadcast model becomes the new
         *reference*: subsequent compressed uploads transmit drifts from it.
         """
-        flat = np.asarray(flat, dtype=np.float64)
+        flat = np.asarray(flat, dtype=self.dtype)
         if flat.shape != (self.model_dimension,):
             raise ShapeError(
                 f"expected a flat parameter vector of shape ({self.model_dimension},), "
@@ -363,7 +411,7 @@ class SimulatedCluster:
 
     def broadcast_buffers(self, flat: np.ndarray) -> None:
         """Set every worker's non-trainable buffers to ``flat`` (free of charge)."""
-        flat = np.asarray(flat, dtype=np.float64)
+        flat = np.asarray(flat, dtype=self.dtype)
         if flat.shape != (self._buffer_matrix.shape[1],):
             raise ShapeError(
                 f"expected a flat buffer vector of shape ({self._buffer_matrix.shape[1]},), "

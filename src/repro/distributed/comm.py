@@ -7,7 +7,10 @@ workers) to that byte count, and :class:`CommunicationTracker` accumulates the
 totals per traffic category (model synchronization vs. FDA local states) so
 the experiment harness can report exactly the series plotted in the figures.
 
-The unit throughout is the *float32-equivalent element* (4 bytes).  Payload
+The default unit is the *float32-equivalent element* (4 bytes), matching the
+paper's accounting; :meth:`CommunicationCostModel.for_dtype` builds a model
+priced at any plane dtype's true itemsize (clusters install one so float64
+runs charge 8-byte elements and float32 runs 4-byte elements).  Payload
 compression plugs in one level up: when a collective is charged with a
 :class:`~repro.compression.kernels.Compressor`, the
 :class:`~repro.distributed.topology.Fabric` first converts the logical vector
@@ -71,6 +74,19 @@ class CommunicationCostModel:
         if num_elements == 0 or num_workers <= 1:
             return 0
         return num_elements * self.bytes_per_element * (num_workers - 1)
+
+    @classmethod
+    def for_dtype(cls, dtype, scheme: str = "naive") -> "CommunicationCostModel":
+        """A cost model pricing elements at ``dtype``'s itemsize.
+
+        This is what :class:`~repro.distributed.cluster.SimulatedCluster`
+        installs by default: a float64 plane transmits 8-byte elements, a
+        float32 plane 4-byte elements, so per-link ledgers and byte totals
+        reflect the selected precision instead of a flat 4-byte assumption.
+        """
+        from repro.backend import resolve_dtype
+
+        return cls(scheme, bytes_per_element=resolve_dtype(dtype).itemsize)
 
 
 NAIVE_COST_MODEL = CommunicationCostModel("naive")

@@ -227,7 +227,9 @@ class BatchedEngine(ClusterEngine):
         # optimizers (mixed types, mixed Nesterov) or types without a stacked
         # update rule; binds per-row state into the workers' optimizers.
         self._optimizer = StackedOptimizer(
-            [worker.optimizer for worker in workers], cluster.model_dimension
+            [worker.optimizer for worker in workers],
+            cluster.model_dimension,
+            dtype=cluster.dtype,
         )
         self._loss = reference.loss
         # Masked-path scratch (lazy: full-participation runs never pay for it).

@@ -83,7 +83,7 @@ class Worker:
     def drift_from(self, reference: np.ndarray) -> np.ndarray:
         """The local model drift ``u_t^{(k)} = w_t^{(k)} − reference``.
 
-        Hot-path contract: ``reference`` must already be a float64 ndarray of
+        Hot-path contract: ``reference`` must already be a plane-dtype ndarray of
         shape ``(d,)`` — every trainer holds its reference that way (it comes
         from ``get_parameters``/``synchronize``) — so the subtraction runs
         straight off the parameter-plane view with no per-call ``asarray``

@@ -39,8 +39,9 @@ _RESULT_FIELDS = (
 
 #: Fields added after the seed format (fabric/timeline by the topology
 #: refactor, ``execution`` by the batched engine, ``compression`` by the
-#: collective-level compression subsystem); optional on load so result files
-#: written by earlier versions still deserialize.
+#: collective-level compression subsystem, ``dtype`` by the dtype-parametric
+#: plane); optional on load so result files written by earlier versions still
+#: deserialize.
 _OPTIONAL_RESULT_FIELDS = (
     "virtual_seconds",
     "compute_seconds",
@@ -49,6 +50,7 @@ _OPTIONAL_RESULT_FIELDS = (
     "network",
     "execution",
     "compression",
+    "dtype",
 )
 
 

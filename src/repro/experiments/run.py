@@ -58,6 +58,10 @@ class RunResult:
     #: compact label like "topk(ratio=0.1)+ef") — the byte totals above
     #: already reflect it.
     compression: str = "none"
+    #: Compute dtype of the cluster's parameter plane ("float64" or
+    #: "float32"); byte totals reflect its itemsize under the default
+    #: cost model.
+    dtype: str = "float64"
     history: RunLogger = field(default_factory=RunLogger)
 
     @property
@@ -196,5 +200,6 @@ class TrainingRun:
             network=cluster.fabric.network_name,
             execution=cluster.execution,
             compression=cluster.compression_label,
+            dtype=cluster.dtype_name,
             history=history,
         )

@@ -13,12 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional, Tuple, Union
 
+from repro.backend import resolve_dtype
 from repro.compression import CompressionConfig, get_compression
 from repro.core.timeline import StragglerProfile, Timeline
 from repro.data.datasets import Dataset
 from repro.data.partition import partition_dataset
 from repro.distributed.cluster import SimulatedCluster
-from repro.distributed.comm import CommunicationCostModel, NAIVE_COST_MODEL
+from repro.distributed.comm import CommunicationCostModel
 from repro.distributed.engine import EXECUTION_MODES
 from repro.distributed.network import NetworkModel
 from repro.distributed.topology import Topology
@@ -81,7 +82,12 @@ class WorkloadConfig:
     partition_scheme: str = "iid"
     partition_kwargs: Dict[str, object] = field(default_factory=dict)
     loss: Optional[Loss] = None
-    cost_model: CommunicationCostModel = field(default_factory=lambda: NAIVE_COST_MODEL)
+    #: Communication pricing.  ``None`` (the default) lets the cluster derive
+    #: an itemsize-accurate model from the compute dtype (8 B/element at
+    #: float64, 4 B/element at float32); pass an explicit
+    #: :class:`~repro.distributed.comm.CommunicationCostModel` (e.g.
+    #: ``NAIVE_COST_MODEL`` for the paper's flat 4-byte accounting) to pin it.
+    cost_model: Optional[CommunicationCostModel] = None
     #: Fabric configuration: a topology name (``"star"``, ``"ring"``,
     #: ``"hierarchical"``, ``"gossip"``) or instance, and a network-model name
     #: (``"fl"``, ``"hpc"``, ``"balanced"``, ``"none"``) or instance.
@@ -101,6 +107,10 @@ class WorkloadConfig:
     #: exact collectives (the default).  Applies uniformly to every strategy's
     #: sync payloads; see :mod:`repro.compression`.
     compression: Union[str, CompressionConfig, None] = None
+    #: Compute dtype of the built cluster's parameter plane: ``"float64"``
+    #: (the bit-exact reference, default) or ``"float32"`` (the fast mode;
+    #: see :mod:`repro.backend`).
+    dtype: str = "float64"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -120,6 +130,7 @@ class WorkloadConfig:
         # out-of-range knobs) surface where the workload is defined, not at
         # cluster construction deep inside a sweep.
         self.compression = get_compression(self.compression)
+        self.dtype = resolve_dtype(self.dtype).name
 
     def with_workers(self, num_workers: int) -> "WorkloadConfig":
         """A copy of this workload with a different worker count (for K sweeps)."""
@@ -178,6 +189,15 @@ class WorkloadConfig:
         """
         return replace(self, compression=compression)
 
+    def with_dtype(self, dtype) -> "WorkloadConfig":
+        """A copy of this workload on a different compute dtype.
+
+        ``dtype`` is ``"float32"``, ``"float64"``, or anything
+        :func:`repro.backend.resolve_dtype` accepts; used by the CLI's
+        ``compare --dtype`` flag and the dtype benchmarks.
+        """
+        return replace(self, dtype=resolve_dtype(dtype).name)
+
 
 def build_cluster(config: WorkloadConfig) -> Tuple[SimulatedCluster, Dataset]:
     """Build the simulated cluster for a workload.
@@ -227,5 +247,6 @@ def build_cluster(config: WorkloadConfig) -> Tuple[SimulatedCluster, Dataset]:
         timeline=timeline,
         execution=config.execution,
         compression=config.compression,
+        dtype=config.dtype,
     )
     return cluster, config.test_dataset

@@ -55,7 +55,7 @@ def _leaky_relu_gradient(upstream: np.ndarray, x: np.ndarray, alpha: float = 0.0
 
 
 def _sigmoid_forward(x: np.ndarray) -> np.ndarray:
-    out = np.empty_like(x, dtype=np.float64)
+    out = np.empty_like(x)
     positive = x >= 0
     out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
     exp_x = np.exp(x[~positive])
@@ -84,14 +84,19 @@ def _linear_gradient(upstream: np.ndarray, output: np.ndarray) -> np.ndarray:
     return upstream
 
 
+# A Python float, not an np.float64 scalar: weak promotion then keeps the
+# constant from upcasting float32 activations.
+_GELU_C = float(np.sqrt(2.0 / np.pi))
+
+
 def _gelu_forward(x: np.ndarray) -> np.ndarray:
     # tanh approximation of GELU (used by ConvNeXt-style heads).
-    c = np.sqrt(2.0 / np.pi)
+    c = _GELU_C
     return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x**3)))
 
 
 def _gelu_gradient(upstream: np.ndarray, x: np.ndarray) -> np.ndarray:
-    c = np.sqrt(2.0 / np.pi)
+    c = _GELU_C
     inner = c * (x + 0.044715 * x**3)
     tanh_inner = np.tanh(inner)
     sech2 = 1.0 - tanh_inner**2

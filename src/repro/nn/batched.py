@@ -453,7 +453,9 @@ class BatchedDropout(BatchedKernel):
             if layer.rate == 0.0:
                 mask[row] = 1.0
             else:
-                mask[row] = layer.sample_mask(sample_shape)
+                # Same dtype as the sequential path's mask so both engines
+                # perform the identical float multiply.
+                mask[row] = layer.sample_mask(sample_shape, dtype=x.dtype)
         self._cache_mask = mask
         return x * mask
 
@@ -620,7 +622,7 @@ class BatchedModel:
     ) -> np.ndarray:
         for kernel in self._row_aware:
             kernel.active_rows = rows
-        out = np.asarray(x, dtype=np.float64)
+        out = np.asarray(x, dtype=self.plane.param_matrix.dtype)
         for kernel in self.kernels:
             out = kernel.forward(out, training)
         return out

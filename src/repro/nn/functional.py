@@ -15,7 +15,7 @@ import numpy as np
 from repro.exceptions import ShapeError
 
 
-def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+def one_hot(labels: np.ndarray, num_classes: int, dtype=np.float64) -> np.ndarray:
     """Convert integer labels of shape (N,) to one-hot vectors (N, num_classes)."""
     labels = np.asarray(labels)
     if labels.ndim != 1:
@@ -25,7 +25,7 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
             f"labels must lie in [0, {num_classes}), got range "
             f"[{labels.min()}, {labels.max()}]"
         )
-    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=dtype)
     encoded[np.arange(labels.shape[0]), labels] = 1.0
     return encoded
 

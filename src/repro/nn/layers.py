@@ -11,8 +11,11 @@ Every layer follows the same minimal contract:
 * ``parameters()`` / ``gradients()`` return matching lists of arrays that the
   model flattens into the single parameter vector the FDA algorithm works on.
 
-Image tensors use the NHWC layout.  All arithmetic is float64 for numerical
-headroom in the gradient checks used by the test suite.
+Image tensors use the NHWC layout.  Arithmetic is dtype-preserving: every
+kernel computes in the dtype of the plane-owned arrays it touches (float64 —
+the reference mode with headroom for the suite's gradient checks — or the
+float32 fast mode; see :mod:`repro.backend`).  Constants are Python floats,
+which NumPy's weak promotion keeps from upcasting float32 operands.
 """
 
 from __future__ import annotations
@@ -562,23 +565,28 @@ class Dropout(Layer):
         del rng
         return tuple(input_shape)
 
-    def sample_mask(self, shape: Shape) -> np.ndarray:
+    def sample_mask(self, shape: Shape, dtype=np.float64) -> np.ndarray:
         """Draw one inverted-dropout mask for ``shape`` from the private stream.
 
         The single place the layer's RNG is consumed: the sequential
         :meth:`forward` and the batched kernel
         (:class:`repro.nn.batched.BatchedDropout`) both call it, so the two
-        engines replay exactly the same per-worker mask stream.
+        engines replay exactly the same per-worker mask stream.  The RNG draw
+        itself is always float64 (dtype does not perturb the stream); the
+        returned mask is materialized in ``dtype`` so a float32 activation is
+        not upcast by the multiply.
         """
         keep = 1.0 - self.rate
-        return (self._rng.random(shape) < keep) / keep
+        mask = (self._rng.random(shape) < keep).astype(dtype)
+        mask /= keep
+        return mask
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         self._require_built()
         if not training or self.rate == 0.0:
             self._cache_mask = None
             return x
-        mask = self.sample_mask(x.shape)
+        mask = self.sample_mask(x.shape, dtype=x.dtype)
         self._cache_mask = mask
         return x * mask
 

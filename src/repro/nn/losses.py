@@ -36,8 +36,10 @@ class Loss:
         :meth:`gradient` computes on its mini-batch alone.  The default
         iterates; subclasses override with one vectorized evaluation.
         """
+        # Per-worker losses are float64 scalars regardless of the compute
+        # dtype; the gradient tensor stays in the outputs' dtype.
         losses = np.empty(outputs.shape[0], dtype=np.float64)
-        grads = np.empty_like(outputs, dtype=np.float64)
+        grads = np.empty_like(outputs)
         for worker, (worker_out, worker_targets) in enumerate(zip(outputs, targets)):
             losses[worker], grads[worker] = self.gradient(worker_out, worker_targets)
         return losses, grads
@@ -56,14 +58,16 @@ class SoftmaxCrossEntropy(Loss):
             raise ValueError(f"label_smoothing must lie in [0, 1), got {label_smoothing}")
         self.label_smoothing = float(label_smoothing)
 
-    def _target_distribution(self, targets: np.ndarray, num_classes: int) -> np.ndarray:
+    def _target_distribution(
+        self, targets: np.ndarray, num_classes: int, dtype=np.float64
+    ) -> np.ndarray:
         targets = np.asarray(targets)
         if targets.ndim != 1:
             raise ShapeError(f"targets must be 1-D integer labels, got shape {targets.shape}")
         distribution = np.full(
             (targets.shape[0], num_classes),
             self.label_smoothing / num_classes,
-            dtype=np.float64,
+            dtype=dtype,
         )
         distribution[np.arange(targets.shape[0]), targets.astype(int)] += 1.0 - self.label_smoothing
         return distribution
@@ -72,7 +76,7 @@ class SoftmaxCrossEntropy(Loss):
         if outputs.ndim != 2:
             raise ShapeError(f"outputs must be (N, num_classes) logits, got shape {outputs.shape}")
         log_probs = log_softmax(outputs, axis=1)
-        distribution = self._target_distribution(targets, outputs.shape[1])
+        distribution = self._target_distribution(targets, outputs.shape[1], outputs.dtype)
         return float(-(distribution * log_probs).sum(axis=1).mean())
 
     def gradient(self, outputs: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
@@ -80,7 +84,7 @@ class SoftmaxCrossEntropy(Loss):
             raise ShapeError(f"outputs must be (N, num_classes) logits, got shape {outputs.shape}")
         probs = softmax(outputs, axis=1)
         log_probs = log_softmax(outputs, axis=1)
-        distribution = self._target_distribution(targets, outputs.shape[1])
+        distribution = self._target_distribution(targets, outputs.shape[1], outputs.dtype)
         loss = float(-(distribution * log_probs).sum(axis=1).mean())
         grad = (probs - distribution) / outputs.shape[0]
         return loss, grad
@@ -104,7 +108,7 @@ class SoftmaxCrossEntropy(Loss):
         # One flattened (K*B, C) target distribution via the shared helper
         # (single source of the label-smoothing semantics), regrouped per worker.
         distribution = self._target_distribution(
-            targets.reshape(-1), num_classes
+            targets.reshape(-1), num_classes, outputs.dtype
         ).reshape(outputs.shape)
         losses = -(distribution * log_probs).sum(axis=-1).mean(axis=-1)
         grads = (probs - distribution) / batch
@@ -115,7 +119,7 @@ class MeanSquaredError(Loss):
     """Mean squared error for regression outputs of any shape."""
 
     def value(self, outputs: np.ndarray, targets: np.ndarray) -> float:
-        targets = np.asarray(targets, dtype=np.float64)
+        targets = np.asarray(targets, dtype=outputs.dtype)
         if outputs.shape != targets.shape:
             raise ShapeError(
                 f"outputs and targets must have the same shape, got {outputs.shape} and {targets.shape}"
@@ -123,7 +127,7 @@ class MeanSquaredError(Loss):
         return float(np.mean((outputs - targets) ** 2))
 
     def gradient(self, outputs: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
-        targets = np.asarray(targets, dtype=np.float64)
+        targets = np.asarray(targets, dtype=outputs.dtype)
         if outputs.shape != targets.shape:
             raise ShapeError(
                 f"outputs and targets must have the same shape, got {outputs.shape} and {targets.shape}"
@@ -137,7 +141,7 @@ class MeanSquaredError(Loss):
         self, outputs: np.ndarray, targets: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Per-worker MSE over a stacked ``(K, B, ...)`` prediction tensor."""
-        targets = np.asarray(targets, dtype=np.float64)
+        targets = np.asarray(targets, dtype=outputs.dtype)
         if outputs.shape != targets.shape:
             raise ShapeError(
                 f"outputs and targets must have the same shape, got {outputs.shape} and {targets.shape}"

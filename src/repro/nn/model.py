@@ -10,7 +10,7 @@ the rest of the library needs:
 
 Since the parameter-plane refactor the flat vector is not re-materialized on
 demand: :meth:`Sequential.build` moves every layer's parameters, gradients,
-and buffers into one contiguous float64 vector each (see
+and buffers into one contiguous plane-dtype vector each (see
 :class:`~repro.nn.plane.ParameterPlane`), and the layer arrays become views
 into it.  ``parameters_view()`` / ``gradients_view()`` / ``buffers_view()``
 are therefore zero-copy; the historical ``get_*``/``set_*`` API is kept as a
@@ -44,8 +44,13 @@ class Sequential:
 
     # -- construction ------------------------------------------------------
 
-    def build(self, input_shape: Sequence[int], seed=0) -> "Sequential":
-        """Build every layer for per-sample ``input_shape`` (no batch dim)."""
+    def build(self, input_shape: Sequence[int], seed=0, dtype=None) -> "Sequential":
+        """Build every layer for per-sample ``input_shape`` (no batch dim).
+
+        ``dtype`` selects the plane's active dtype (float64 default, float32
+        fast mode); initializers always draw in float64 from the same RNG
+        stream, so a float32 build starts from the rounded float64 init.
+        """
         rng = as_rng(seed)
         shape = tuple(int(dim) for dim in input_shape)
         self.input_shape = shape
@@ -54,7 +59,7 @@ class Sequential:
         self.output_shape = shape
         # Consolidate all layer arrays into contiguous flat storage; from here
         # on the layers hold views into the plane's vectors.
-        self._plane = ParameterPlane(self.layers)
+        self._plane = ParameterPlane(self.layers, dtype=dtype)
         self.built = True
         return self
 
@@ -70,6 +75,23 @@ class Sequential:
         self._require_built()
         return self._plane
 
+    @property
+    def dtype(self) -> np.dtype:
+        """The plane's active dtype (every layer view computes in it)."""
+        self._require_built()
+        return self._plane.dtype
+
+    def to_dtype(self, dtype) -> "Sequential":
+        """Convert the plane (and thus every layer view) to ``dtype`` in place.
+
+        One cast per flat space; a no-op when the dtype already matches.
+        Returns ``self`` for chaining.  External storage the plane was
+        rebound onto is detached (see :meth:`ParameterPlane.astype`).
+        """
+        self._require_built()
+        self._plane.astype(dtype)
+        return self
+
     def clone(self) -> "Sequential":
         """Structurally rebuilt copy of the model with the same parameters.
 
@@ -80,7 +102,7 @@ class Sequential:
         """
         self._require_built()
         duplicate = Sequential([layer.fresh() for layer in self.layers], name=self.name)
-        duplicate.build(self.input_shape, seed=0)
+        duplicate.build(self.input_shape, seed=0, dtype=self._plane.dtype)
         duplicate._plane.params[...] = self._plane.params
         duplicate._plane.grads[...] = self._plane.grads
         duplicate._plane.buffers[...] = self._plane.buffers
@@ -91,7 +113,7 @@ class Sequential:
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         """Run a forward pass through every layer."""
         self._require_built()
-        out = np.asarray(x, dtype=np.float64)
+        out = np.asarray(x, dtype=self._plane.dtype)
         for layer in self.layers:
             out = layer.forward(out, training)
         return out
@@ -107,7 +129,7 @@ class Sequential:
     def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Inference-mode forward pass, processed in batches."""
         self._require_built()
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self._plane.dtype)
         outputs = []
         for start in range(0, x.shape[0], batch_size):
             outputs.append(self.forward(x[start : start + batch_size], training=False))
@@ -134,7 +156,7 @@ class Sequential:
         """Return ``(mean loss, accuracy)`` on a dataset, in inference mode."""
         self._require_built()
         loss = loss or SoftmaxCrossEntropy()
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self._plane.dtype)
         y = np.asarray(y)
         if x.shape[0] != y.shape[0]:
             raise ShapeError(
@@ -247,7 +269,7 @@ class Sequential:
     def set_parameters(self, flat: np.ndarray) -> None:
         """Write a flat vector into the parameter storage (views stay valid)."""
         self._require_built()
-        flat = np.asarray(flat, dtype=np.float64)
+        flat = np.asarray(flat, dtype=self._plane.dtype)
         expected = self._plane.num_parameters
         if flat.shape != (expected,):
             raise ShapeError(
@@ -268,7 +290,7 @@ class Sequential:
     def set_buffers(self, flat: np.ndarray) -> None:
         """Write a flat vector into the buffer storage (views stay valid)."""
         self._require_built()
-        flat = np.asarray(flat, dtype=np.float64)
+        flat = np.asarray(flat, dtype=self._plane.dtype)
         expected = self._plane.num_buffers
         if flat.shape != (expected,):
             raise ShapeError(

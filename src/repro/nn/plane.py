@@ -7,7 +7,7 @@ parameter arrays and the flat vector was re-materialized on demand
 four or more full-vector copies on every worker step.
 
 :class:`ParameterPlane` inverts that ownership: the model owns one contiguous
-float64 vector per kind of state (parameters, gradients, buffers) and each
+flat vector per kind of state (parameters, gradients, buffers) and each
 layer's arrays become reshaped *views* into it.  Reading the flat vector is
 then zero-copy, writing it is a single ``memcpy``, and a cluster can go one
 step further and rebind every worker's storage onto the rows of a single
@@ -16,6 +16,12 @@ step further and rebind every worker's storage onto the rows of a single
 Layers participate by exposing *refs* — ``(holder, attribute)`` pairs aligned
 one-to-one with their ``parameters()`` / ``gradients()`` / ``buffers()``
 lists — which the plane uses to re-point the attributes at its views.
+
+The plane owns the *active dtype* (see :mod:`repro.backend`): float64 is the
+bit-exact reference, float32 the bandwidth-halving fast mode.  Layer
+initializers may produce float64 arrays regardless; the plane casts exactly
+once, when the initial values are copied into its flat storage, so every
+downstream view computes in the plane's dtype.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.backend import resolve_dtype
 from repro.exceptions import ShapeError
 
 #: A reference to an array-valued attribute: ``getattr(holder, attribute)``.
@@ -60,15 +67,18 @@ class _Slot:
 class _FlatSpace:
     """One contiguous flat vector plus the slots viewing into it."""
 
-    def __init__(self, refs: Sequence[ArrayRef]) -> None:
+    def __init__(self, refs: Sequence[ArrayRef], dtype=None) -> None:
+        self.dtype = resolve_dtype(dtype)
         self.slots: List[_Slot] = []
         offset = 0
         for holder, attribute in refs:
             array = getattr(holder, attribute)
             self.slots.append(_Slot(holder, attribute, offset, array.size, array.shape))
             offset += array.size
-        self.flat = np.empty(offset, dtype=np.float64)
+        self.flat = np.empty(offset, dtype=self.dtype)
         for slot in self.slots:
+            # The one sanctioned cast: initializer output (any float dtype)
+            # lands in the plane's dtype here and never again.
             self.flat[slot.offset : slot.offset + slot.size] = getattr(
                 slot.holder, slot.attribute
             ).reshape(-1)
@@ -91,8 +101,8 @@ class _FlatSpace:
         attribute is re-pointed; views obtained from the previous storage are
         no longer connected to the model.
         """
-        if not isinstance(storage, np.ndarray) or storage.dtype != np.float64:
-            raise ShapeError("flat storage must be a float64 ndarray")
+        if not isinstance(storage, np.ndarray) or storage.dtype != self.dtype:
+            raise ShapeError(f"flat storage must be a {self.dtype} ndarray")
         if storage.shape != (self.size,):
             raise ShapeError(
                 f"flat storage must have shape ({self.size},), got {storage.shape}"
@@ -103,19 +113,35 @@ class _FlatSpace:
         self.flat = storage
         self._repoint()
 
+    def astype(self, dtype) -> None:
+        """Re-allocate the flat storage in ``dtype`` (one cast, views re-pointed).
+
+        Used by dtype conversion at cluster construction; storage previously
+        handed out via :meth:`rebind` is detached, exactly as a rebind would.
+        """
+        dtype = resolve_dtype(dtype)
+        if dtype == self.dtype:
+            return
+        self.dtype = dtype
+        self.flat = self.flat.astype(dtype)
+        self._repoint()
+
 
 class ParameterPlane:
     """Contiguous flat storage for a model's parameters, gradients, and buffers.
 
     The plane is created once per :meth:`Sequential.build` and owns three flat
-    float64 vectors.  ``params``/``grads``/``buffers`` are the live vectors —
-    mutating them mutates the layers (and vice versa, because the layer arrays
-    are views).  ``rebind_*`` moves a vector onto caller-owned storage, which
-    is how :class:`~repro.distributed.cluster.SimulatedCluster` stacks all
-    workers into one ``(K, d)`` matrix.
+    vectors in its active ``dtype`` (float64 unless told otherwise; see
+    :mod:`repro.backend`).  ``params``/``grads``/``buffers`` are the live
+    vectors — mutating them mutates the layers (and vice versa, because the
+    layer arrays are views).  ``rebind_*`` moves a vector onto caller-owned
+    storage, which is how
+    :class:`~repro.distributed.cluster.SimulatedCluster` stacks all workers
+    into one ``(K, d)`` matrix.
     """
 
-    def __init__(self, layers: Iterable[object]) -> None:
+    def __init__(self, layers: Iterable[object], dtype=None) -> None:
+        self.dtype = resolve_dtype(dtype)
         layers = list(layers)
         # Sizes advertised through the classic list API, captured before any
         # re-pointing: a layer that implements parameters() but forgets the
@@ -133,9 +159,9 @@ class ParameterPlane:
             param_refs.extend(layer.parameter_refs())
             grad_refs.extend(layer.gradient_refs())
             buffer_refs.extend(layer.buffer_refs())
-        self._params = _FlatSpace(param_refs)
-        self._grads = _FlatSpace(grad_refs)
-        self._buffers = _FlatSpace(buffer_refs)
+        self._params = _FlatSpace(param_refs, dtype=self.dtype)
+        self._grads = _FlatSpace(grad_refs, dtype=self.dtype)
+        self._buffers = _FlatSpace(buffer_refs, dtype=self.dtype)
         for kind, space in (
             ("parameter", self._params),
             ("gradient", self._grads),
@@ -213,6 +239,21 @@ class ParameterPlane:
     def rebind_buffers(self, storage: np.ndarray) -> None:
         """Move buffer storage onto ``storage`` (values are preserved)."""
         self._buffers.rebind(storage)
+
+    def astype(self, dtype) -> None:
+        """Convert all three flat spaces to ``dtype`` (no-op if unchanged).
+
+        One cast per space; layer views are re-pointed at the new storage.
+        Previously rebound external storage (e.g. cluster matrix rows) is
+        detached — callers converting a live cluster member must rebind
+        afterwards, which is exactly what cluster construction does.
+        """
+        dtype = resolve_dtype(dtype)
+        if dtype == self.dtype:
+            return
+        for space in (self._params, self._grads, self._buffers):
+            space.astype(dtype)
+        self.dtype = dtype
 
     def __repr__(self) -> str:
         return (

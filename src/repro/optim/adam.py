@@ -47,10 +47,18 @@ class Adam(Optimizer):
         # (optim.base.StackedOptimizer) binds _m/_v to rows of shared (K, d)
         # matrices, and the scratch buffers must still materialize lazily on
         # the first direct per-worker step.
-        if self._m is None or self._m.shape != params.shape:
+        if (
+            self._m is None
+            or self._m.shape != params.shape
+            or self._m.dtype != params.dtype
+        ):
             self._m = np.zeros_like(params)
             self._v = np.zeros_like(params)
-        if self._scratch_a is None or self._scratch_a.shape != params.shape:
+        if (
+            self._scratch_a is None
+            or self._scratch_a.shape != params.shape
+            or self._scratch_a.dtype != params.dtype
+        ):
             self._scratch_a = np.empty_like(params)
             self._scratch_b = np.empty_like(params)
 
@@ -122,12 +130,15 @@ class Adam(Optimizer):
         # The bias corrections are scalar pows per row, computed with Python
         # floats: numpy's vectorized float64 pow takes a different (SIMD) code
         # path than libm's and can differ in the last ulp, which would break
-        # bit-parity with the per-worker sequential update.
+        # bit-parity with the per-worker sequential update.  The resulting
+        # columns adopt the plane dtype so they never promote float32 rows.
         bias1 = np.array(
-            [[1.0 - float(b) ** int(t)] for b, t in zip(beta1[:, 0], timesteps[:, 0])]
+            [[1.0 - float(b) ** int(t)] for b, t in zip(beta1[:, 0], timesteps[:, 0])],
+            dtype=params.dtype,
         )
         bias2 = np.array(
-            [[1.0 - float(b) ** int(t)] for b, t in zip(beta2[:, 0], timesteps[:, 0])]
+            [[1.0 - float(b) ** int(t)] for b, t in zip(beta2[:, 0], timesteps[:, 0])],
+            dtype=params.dtype,
         )
         m_hat = np.divide(first, bias1, out=scratch_a)
         v_hat = np.divide(second, bias2, out=scratch_b)

@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backend import resolve_dtype
 from repro.exceptions import ConfigurationError, ShapeError
 from repro.optim.schedules import LearningRateSchedule, resolve_schedule
 
@@ -95,9 +96,17 @@ class Optimizer:
             )
 
     def step(self, params: np.ndarray, grads: np.ndarray) -> np.ndarray:
-        """Return the updated parameter vector for one optimization step."""
-        params = np.asarray(params, dtype=np.float64)
-        grads = np.asarray(grads, dtype=np.float64)
+        """Return the updated parameter vector for one optimization step.
+
+        Inputs are converted to ndarrays; float32 arrays step in float32
+        (the plane's dtype is authoritative), everything else is promoted
+        to the float64 reference dtype.
+        """
+        params = np.asarray(params)
+        grads = np.asarray(grads)
+        if params.dtype not in (np.float32, np.float64) or grads.dtype != params.dtype:
+            params = np.asarray(params, dtype=np.float64)
+            grads = np.asarray(grads, dtype=np.float64)
         self._validate(params, grads)
         self._require_bound_shape(params.shape)
         self._bound_shape = params.shape
@@ -109,11 +118,13 @@ class Optimizer:
     def step_inplace(self, params: np.ndarray, grads: np.ndarray) -> np.ndarray:
         """Apply one optimization step directly to ``params`` and return it.
 
-        ``params`` must be a float64 ndarray — either a flat ``(d,)`` vector
-        (typically the model's parameter-plane view) or a stacked ``(K, d)``
-        worker matrix (the batched engine's layout, updated as ``K``
-        independent per-worker steps); it is mutated.  ``grads`` must be a
-        float64 ndarray of the same shape and is never modified.  Validation
+        ``params`` must be a float32 or float64 ndarray — either a flat
+        ``(d,)`` vector (typically the model's parameter-plane view) or a
+        stacked ``(K, d)`` worker matrix (the batched engine's layout,
+        updated as ``K`` independent per-worker steps); it is mutated.
+        ``grads`` must be an ndarray of the same shape and dtype (the
+        plane's dtype — mixed-dtype stepping would silently change
+        arithmetic precision) and is never modified.  Validation
         is memoized on the shape/dtype of both inputs so that repeated calls
         pay only for the schedule lookup and the update itself; any change in
         layout re-validates.  Other input types are rejected outright — an
@@ -129,11 +140,19 @@ class Optimizer:
         )
         if key != self._validated_key:
             for name, array in (("params", params), ("grads", grads)):
-                if not isinstance(array, np.ndarray) or array.dtype != np.float64:
+                if not isinstance(array, np.ndarray) or array.dtype not in (
+                    np.float32,
+                    np.float64,
+                ):
                     raise ShapeError(
-                        f"step_inplace requires a float64 ndarray for {name}; "
+                        f"step_inplace requires a float32/float64 ndarray for {name}; "
                         "use step() for other inputs"
                     )
+            if params.dtype != grads.dtype:
+                raise ShapeError(
+                    "step_inplace requires params and grads of the same dtype, "
+                    f"got {params.dtype} and {grads.dtype}"
+                )
             self._validate(params, grads)
             self._require_bound_shape(params.shape)
             self._validated_key = key
@@ -258,7 +277,12 @@ class StackedOptimizer:
     with ``rows`` and the state rows are gathered/scattered around the update.
     """
 
-    def __init__(self, optimizers: Sequence[Optimizer], dimension: int) -> None:
+    def __init__(
+        self,
+        optimizers: Sequence[Optimizer],
+        dimension: int,
+        dtype=None,
+    ) -> None:
         if not optimizers:
             raise ConfigurationError("StackedOptimizer needs at least one optimizer")
         if dimension < 0:
@@ -292,9 +316,13 @@ class StackedOptimizer:
         self.optimizers: List[Optimizer] = list(optimizers)
         self.num_workers = len(self.optimizers)
         self.dimension = int(dimension)
+        # State, hyper-parameter columns, and scratch all live in the plane's
+        # dtype so the stacked update never promotes a float32 (K, d) matrix.
+        self.dtype = resolve_dtype(dtype)
         self._columns: Dict[str, np.ndarray] = {
             name: np.array(
-                [[float(getattr(optimizer, name))] for optimizer in self.optimizers]
+                [[float(getattr(optimizer, name))] for optimizer in self.optimizers],
+                dtype=self.dtype,
             )
             for name in reference._stacked_column_names()
         }
@@ -302,7 +330,7 @@ class StackedOptimizer:
         # optimizer so the per-worker and stacked paths share storage.
         self._state: Dict[str, np.ndarray] = {}
         for name in reference._stacked_state_names(self.optimizers):
-            matrix = np.zeros((self.num_workers, self.dimension), dtype=np.float64)
+            matrix = np.zeros((self.num_workers, self.dimension), dtype=self.dtype)
             self._state[name] = matrix
             for row, optimizer in zip(matrix, self.optimizers):
                 optimizer._stacked_bind(name, row)
@@ -320,7 +348,7 @@ class StackedOptimizer:
         """A reusable ``(count, d)`` workspace block for the update kernels."""
         buffer = self._workspace.get(name)
         if buffer is None:
-            buffer = np.empty((self.num_workers, self.dimension), dtype=np.float64)
+            buffer = np.empty((self.num_workers, self.dimension), dtype=self.dtype)
             self._workspace[name] = buffer
         return buffer[:count]
 
@@ -351,8 +379,11 @@ class StackedOptimizer:
                 f"{params.shape} and {grads.shape}"
             )
         learning_rate = np.array(
-            [[optimizer.schedule(optimizer.step_count)] for optimizer in active]
+            [[optimizer.schedule(optimizer.step_count)] for optimizer in active],
+            dtype=self.dtype,
         )
+        # Timesteps stay float64: the update rules only ever read them back
+        # as Python scalars (Adam's per-row bias-correction loop).
         timesteps = np.array(
             [[float(optimizer.step_count + 1)] for optimizer in active]
         )

@@ -44,17 +44,22 @@ class ServerOptimizer:
 
         ``client_params`` is either a sequence of flat vectors or, on the
         zero-copy path, a ready ``(K, d)`` matrix (one row per client) which
-        is averaged without stacking copies.
+        is averaged without stacking copies.  Inputs already in the plane's
+        dtype (float32 or float64) aggregate in that dtype; anything else is
+        promoted to the float64 reference dtype.
         """
-        global_params = np.asarray(global_params, dtype=np.float64)
+        global_params = np.asarray(global_params)
+        if global_params.dtype not in (np.float32, np.float64):
+            global_params = np.asarray(global_params, dtype=np.float64)
+        dtype = global_params.dtype
         if isinstance(client_params, np.ndarray) and client_params.ndim == 2:
             if client_params.shape[0] == 0:
                 raise ShapeError("aggregate requires at least one client parameter vector")
-            stacked = np.asarray(client_params, dtype=np.float64)
+            stacked = np.asarray(client_params, dtype=dtype)
         else:
             if len(client_params) == 0:
                 raise ShapeError("aggregate requires at least one client parameter vector")
-            stacked = np.stack([np.asarray(p, dtype=np.float64) for p in client_params], axis=0)
+            stacked = np.stack([np.asarray(p, dtype=dtype) for p in client_params], axis=0)
         if stacked.shape[1:] != global_params.shape:
             raise ShapeError(
                 f"client parameters of shape {stacked.shape[1:]} do not match the "

@@ -14,7 +14,7 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.optim.base import Optimizer, check_beta
 
-#: Cache-block length (float64 elements, 1 MiB) for the momentum-free
+#: Cache-block length (elements; 1 MiB at float64, 512 KiB at float32) for the momentum-free
 #: in-place update.  Large flat vectors / stacked (K, d) matrices are updated
 #: chunk by chunk so the scratch chunk stays cache-resident instead of
 #: streaming one extra full-size pass through DRAM; the arithmetic per
@@ -54,7 +54,11 @@ class SGD(Optimizer):
             grads = grads + self.weight_decay * params
         if self.momentum == 0.0:
             return params - learning_rate * grads
-        if self._velocity is None or self._velocity.shape != params.shape:
+        if (
+            self._velocity is None
+            or self._velocity.shape != params.shape
+            or self._velocity.dtype != params.dtype
+        ):
             self._velocity = np.zeros_like(params)
         self._velocity = self.momentum * self._velocity - learning_rate * grads
         if self.nesterov:
@@ -69,7 +73,11 @@ class SGD(Optimizer):
         if self.momentum == 0.0 and params.flags.c_contiguous and grads.flags.c_contiguous:
             self._plain_update_chunked(params, grads, learning_rate)
             return
-        if self._scratch is None or self._scratch.shape != params.shape:
+        if (
+            self._scratch is None
+            or self._scratch.shape != params.shape
+            or self._scratch.dtype != params.dtype
+        ):
             self._scratch = np.empty_like(params)
         if self.weight_decay:
             # lr * (grads + wd * params), accumulated in the scratch buffer.
@@ -81,7 +89,11 @@ class SGD(Optimizer):
         if self.momentum == 0.0:
             params -= scaled
             return
-        if self._velocity is None or self._velocity.shape != params.shape:
+        if (
+            self._velocity is None
+            or self._velocity.shape != params.shape
+            or self._velocity.dtype != params.dtype
+        ):
             self._velocity = np.zeros_like(params)
         velocity = self._velocity
         velocity *= self.momentum
@@ -107,8 +119,12 @@ class SGD(Optimizer):
         if params.size == 0:  # degenerate d=0 model: a no-op, like the scratch path
             return
         chunk = min(params.size, _CHUNK_ELEMENTS)
-        if self._scratch is None or self._scratch.shape != (chunk,):
-            self._scratch = np.empty(chunk, dtype=np.float64)
+        if (
+            self._scratch is None
+            or self._scratch.shape != (chunk,)
+            or self._scratch.dtype != params.dtype
+        ):
+            self._scratch = np.empty(chunk, dtype=params.dtype)
         flat_params = params.reshape(-1)
         flat_grads = grads.reshape(-1)
         for start in range(0, flat_params.size, chunk):

@@ -453,7 +453,7 @@ class TestClusterIntegration:
         bytes_before = cluster.total_bytes
         averaged = cluster.allreduce(vectors, "other", compression=compressor)
         charged = cluster.total_bytes - bytes_before
-        assert charged == compressor.transmitted_elements(40) * 4 * cluster.num_workers
+        assert charged == compressor.transmitted_elements(40) * 8 * cluster.num_workers
         np.testing.assert_allclose(
             averaged, compressor.compress_rows(vectors).mean(), rtol=0, atol=0
         )

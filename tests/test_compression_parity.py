@@ -71,13 +71,22 @@ def test_epoch_strategies_compressed_parity_value_exact(name):
     )
 
 
-def test_fda_trainer_compressed_parity_under_dropout():
-    """FDA's triggered syncs compress identically on both engines, masked included."""
+@pytest.mark.float32_smoke
+@pytest.mark.parametrize("dtype", ["float64", "float32"])
+def test_fda_trainer_compressed_parity_under_dropout(dtype):
+    """FDA's triggered syncs compress identically on both engines, masked included.
+
+    The grid cell runs at both plane dtypes: float64 is held to value-exact
+    parity; float32 uses the harness's eps-derived tolerance (the kernels are
+    shared, but single-precision GEMMs re-associate more visibly) while the
+    error-feedback residual, sync decisions, and ledgers stay engine-exact.
+    """
     run_fda_parity(
         variant="linear",
         threshold=0.05,
         steps=16,
-        exact=True,
+        exact=dtype == "float64",
+        dtype=dtype,
         num_workers=4,
         optimizer_factory=SGD_FACTORY,
         dropout_rate=0.3,

@@ -77,7 +77,7 @@ class TestStepBehaviour:
         trainer.run_steps(4)
         tracker = trainer.cluster.tracker
         assert tracker.operations_for("fda-state") == 4
-        assert tracker.bytes_for("fda-state") == 4 * 2 * 4 * 4  # steps * elems * bytes * K
+        assert tracker.bytes_for("fda-state") == 4 * 2 * 8 * 4  # steps * elems * bytes * K
 
     def test_sync_resets_variance_and_reference(self):
         trainer = make_trainer(0.0)

@@ -97,7 +97,7 @@ class TestCollectives:
         cluster = make_cluster(2)
         result = cluster.allreduce([np.ones(10), np.zeros(10)], "other")
         np.testing.assert_allclose(result, 0.5)
-        assert cluster.tracker.bytes_for("other") == 10 * 4 * 2
+        assert cluster.tracker.bytes_for("other") == 10 * 8 * 2
 
     def test_allreduce_requires_one_vector_per_worker(self):
         cluster = make_cluster(3)
@@ -144,7 +144,7 @@ class TestSynchronizeAndEvaluate:
     def test_synchronize_charges_model_category(self):
         cluster = make_cluster(3)
         cluster.synchronize()
-        expected = cluster.model_dimension * 4 * 3
+        expected = cluster.model_dimension * 8 * 3
         assert cluster.tracker.bytes_for(CATEGORY_MODEL) == expected
         assert cluster.synchronization_count == 1
 

@@ -1,0 +1,92 @@
+"""Dtype hygiene lint: no new hardcoded ``np.float64`` on the plane path.
+
+The dtype-parametric refactor routes every hot-path allocation through the
+plane dtype (``params.dtype`` / ``cluster.dtype`` /
+``repro.backend.resolve_dtype``).  A hardcoded ``np.float64`` in plane-path
+code silently upcasts a float32 run — a full-matrix copy plus doubled
+bandwidth that no test of float64 mode would ever notice.  This lint greps
+the source tree and fails on any ``np.float64`` outside the explicit
+allowlist below, so new code must either thread the active dtype or document
+itself here as deliberately float64.
+
+The allowlist is the contract documented in ``repro/backend.py`` and
+ARCHITECTURE.md: the seam itself, build-time initializers whose output is
+re-cast once at plane construction, reference-path analysis that never runs
+per step, and the few accumulators that deliberately stay double precision
+(AMS sketch counters, per-worker loss scalars, the linear monitor's
+direction ξ, timeline seconds).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Modules (relative to ``src/repro``) allowed to spell ``np.float64``.
+#: Every entry must have a reason — this list is the documentation.
+FLOAT64_ALLOWLIST = {
+    # The seam itself: owns DEFAULT_DTYPE and the supported-dtype registry.
+    "backend.py",
+    # Build-time weight initializers: models are built float64 and converted
+    # once by the parameter plane (the one sanctioned cast).
+    "nn/initializers.py",
+    # BatchNorm's pre-plane buffer allocation (rebound by the plane) and the
+    # float64 default of Dropout.sample_mask's dtype parameter.
+    "nn/layers.py",
+    # one_hot's float64 default (callers on the plane path pass the dtype).
+    "nn/functional.py",
+    # Per-worker loss *scalars* deliberately accumulate in float64.
+    "nn/losses.py",
+    # Promote-to-float64 fallbacks for non-float inputs (int gradients, object
+    # arrays); float32/float64 pass through untouched.
+    "optim/base.py",
+    "optim/server.py",
+    "compression/kernels.py",
+    "core/state.py",
+    # AMS sketch counters are float64 by proven-variance-bound design.
+    "sketch/ams.py",
+    # The linear monitor's analysis direction ξ stays float64.
+    "core/monitor.py",
+    # Reference-path analysis: offline, never on the per-step path.
+    "core/theta.py",
+    "core/variance.py",
+    "experiments/results.py",
+    "experiments/kde.py",
+    # Dataset ingestion; batches are cast to the model dtype at forward time.
+    "data/datasets.py",
+    "data/features.py",
+    # Virtual-time accounting (seconds, not streamed tensors).
+    "core/timeline.py",
+}
+
+_PATTERN = re.compile(r"np\.float64")
+
+
+def _code_lines(path: Path):
+    """Source lines with trailing ``#`` comments stripped (strings kept)."""
+    for number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        yield number, line.split("#", 1)[0]
+
+
+def test_no_new_hardcoded_float64_outside_the_allowlist():
+    offenders = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        relative = path.relative_to(SRC_ROOT).as_posix()
+        if relative in FLOAT64_ALLOWLIST:
+            continue
+        for number, code in _code_lines(path):
+            if _PATTERN.search(code):
+                offenders.append(f"src/repro/{relative}:{number}: {code.strip()}")
+    assert not offenders, (
+        "hardcoded np.float64 on the plane path — thread the active dtype "
+        "(params.dtype / cluster.dtype / repro.backend.resolve_dtype) or add "
+        "the module to FLOAT64_ALLOWLIST with a reason:\n" + "\n".join(offenders)
+    )
+
+
+def test_allowlist_entries_exist():
+    """Stale allowlist entries hide future regressions — prune them."""
+    missing = [entry for entry in FLOAT64_ALLOWLIST if not (SRC_ROOT / entry).exists()]
+    assert not missing, f"FLOAT64_ALLOWLIST names deleted modules: {missing}"

@@ -87,8 +87,10 @@ class TestTopologyRouting:
         star.synchronize(include_buffers=False)
         ring.synchronize(include_buffers=False)
         d, K = star.model_dimension, star.num_workers
-        assert star.tracker.bytes_for("model-sync") == NAIVE_COST_MODEL.allreduce_bytes(d, K)
-        assert ring.tracker.bytes_for("model-sync") == RING_COST_MODEL.allreduce_bytes(d, K)
+        # Clusters price at the plane dtype's itemsize (float64 → 8 B), so the
+        # closed forms are the 4-byte reference models scaled by 2.
+        assert star.tracker.bytes_for("model-sync") == 2 * NAIVE_COST_MODEL.allreduce_bytes(d, K)
+        assert ring.tracker.bytes_for("model-sync") == 2 * RING_COST_MODEL.allreduce_bytes(d, K)
 
     def test_topology_name_resolution_on_the_cluster(self):
         assert make_cluster().fabric.topology.name == "star"
@@ -342,7 +344,7 @@ class TestVectorizedAllreduce:
         from_matrix = cluster.allreduce(matrix, "other")
         np.testing.assert_array_equal(from_list, from_matrix)
         # Both paths charged the same bytes.
-        assert cluster.tracker.bytes_for("other") == 2 * 17 * 4 * 3
+        assert cluster.tracker.bytes_for("other") == 2 * 17 * 8 * 3
 
     def test_matrix_fast_path_validates_row_count(self):
         from repro.exceptions import CommunicationError

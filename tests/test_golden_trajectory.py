@@ -116,7 +116,7 @@ class TestGoldenMaskedTrajectory:
                      5, 6, 5, 5, 3, 4, 5, 3, 4, 4]
     #: 1-based steps whose variance estimate exceeded Θ=0.5.
     GOLDEN_SYNC_STEPS = [12, 22]
-    GOLDEN_TOTAL_BYTES = 10320
+    GOLDEN_TOTAL_BYTES = 20640
     GOLDEN_STEPS_PERFORMED = [23, 24, 22, 25, 25, 22]
     GOLDEN_FIRST_LOSS = 1.2080946490946594
     GOLDEN_LAST_ESTIMATE = 0.32483190113175
@@ -182,12 +182,13 @@ class TestFabricDefaultEquivalence:
         trainer.run_steps(steps)
         cluster = trainer.cluster
         d, K = cluster.model_dimension, cluster.num_workers
-        # Pre-refactor accounting: one naive state AllReduce per step plus one
-        # naive full-model AllReduce per triggered synchronization (the mlp
-        # has no buffers, so each sync is exactly one collective).
+        # Pre-refactor accounting: one state AllReduce per step plus one
+        # full-model AllReduce per triggered synchronization (the mlp has no
+        # buffers, so each sync is exactly one collective), priced at the
+        # float64 plane's 8 B/element by the itemsize-accurate default model.
         state_elements = trainer.state_elements_per_step
-        expected_state = steps * state_elements * 4 * K
-        expected_model = trainer.synchronization_count * d * 4 * K
+        expected_state = steps * state_elements * 8 * K
+        expected_model = trainer.synchronization_count * d * 8 * K
         assert cluster.tracker.bytes_for("fda-state") == expected_state
         assert cluster.tracker.bytes_for("model-sync") == expected_model
         assert cluster.total_bytes == expected_state + expected_model
@@ -231,15 +232,22 @@ class TestOptimizerInplaceEquivalence:
             optimizer.step_inplace(params, grads)
             np.testing.assert_array_equal(grads, grads_before)
 
-    def test_step_inplace_rejects_non_float64_params(self):
-        # An asarray copy would silently swallow the in-place update.
-        optimizer = SGD(0.1)
+    def test_step_inplace_rejects_non_float_params(self):
+        # An asarray copy would silently swallow the in-place update.  Both
+        # plane dtypes are accepted; everything else (lists, integer arrays,
+        # mixed param/grad dtypes) must raise instead of silently converting.
         from repro.exceptions import ShapeError
 
+        params32 = np.ones(4, dtype=np.float32)
+        SGD(0.1).step_inplace(params32, np.ones(4, dtype=np.float32))
+        assert params32.dtype == np.float32
+
         with pytest.raises(ShapeError):
-            optimizer.step_inplace(np.ones(4, dtype=np.float32), np.ones(4, dtype=np.float32))
+            SGD(0.1).step_inplace([1.0, 2.0], np.ones(2))
         with pytest.raises(ShapeError):
-            optimizer.step_inplace([1.0, 2.0], np.ones(2))
+            SGD(0.1).step_inplace(np.ones(4, dtype=np.int64), np.ones(4))
+        with pytest.raises(ShapeError):
+            SGD(0.1).step_inplace(np.ones(4, dtype=np.float32), np.ones(4))
 
     def test_step_inplace_revalidates_on_gradient_shape_change(self):
         from repro.exceptions import ShapeError

@@ -80,7 +80,7 @@ class TestAccountingInvariants:
         monitor = make_monitor("linear", cluster.model_dimension)
         trainer = FDATrainer(cluster, monitor, threshold=1e9)
         trainer.run_steps(num_steps)
-        expected = num_steps * 2 * 4 * num_workers  # steps * elements * bytes * K
+        expected = num_steps * 2 * 8 * num_workers  # steps * elements * bytes * K
         assert cluster.tracker.bytes_for("fda-state") == expected
 
     @SETTINGS

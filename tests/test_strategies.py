@@ -114,7 +114,7 @@ class TestFedOpt:
         cluster, _ = cluster_and_test
         strategy = FedOptStrategy(FedAvgM(), local_epochs=1).attach(cluster)
         strategy.run_round()
-        expected = cluster.model_dimension * 4 * cluster.num_workers
+        expected = cluster.model_dimension * 8 * cluster.num_workers
         assert cluster.tracker.bytes_for(CATEGORY_MODEL) == expected
 
     def test_all_workers_share_model_after_round(self, cluster_and_test):
