@@ -13,34 +13,41 @@ fixed K for the two FDA variants.  The shape checks shared by all four:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from benchmarks.conftest import print_sweep, run_workload
+from repro.experiments.executor import SweepExecutor
 from repro.experiments.registry import ExperimentSpec
 from repro.experiments.sweep import SweepPoint, sweep_theta, sweep_workers
 from repro.strategies.fda_strategy import FDAStrategy
 
 
-def run_theta_sweeps(spec: ExperimentSpec) -> Dict[str, List[SweepPoint]]:
+def run_theta_sweeps(
+    spec: ExperimentSpec, executor: Optional[SweepExecutor] = None
+) -> Dict[str, List[SweepPoint]]:
     """Θ sweep at fixed K for both FDA variants."""
     workload = next(iter(spec.workloads.values()))
     sweeps = {}
     for variant in ("linear", "sketch"):
         sweeps[variant] = sweep_theta(
-            workload, list(spec.fda_thetas), spec.run, variant=variant
+            workload, list(spec.fda_thetas), spec.run, variant=variant,
+            executor=executor,
         )
     return sweeps
 
 
-def run_worker_sweeps(spec: ExperimentSpec) -> Dict[str, List[SweepPoint]]:
+def run_worker_sweeps(
+    spec: ExperimentSpec, executor: Optional[SweepExecutor] = None
+) -> Dict[str, List[SweepPoint]]:
     """K sweep at the spec's central Θ for every strategy in the line-up."""
     workload = next(iter(spec.workloads.values()))
     sweeps = {}
     for name, factory in spec.strategy_factories.items():
         sweeps[name] = sweep_workers(
-            workload, list(spec.worker_counts), spec.run, factory
+            workload, list(spec.worker_counts), spec.run, factory,
+            executor=executor,
         )
     return sweeps
 
@@ -83,8 +90,15 @@ def print_figure(title: str, theta_sweeps, worker_sweeps) -> None:
         print_sweep(f"K sweep ({name})", points)
 
 
-def run_figure_sweeps(spec: ExperimentSpec):
-    """Run both sweeps for one figure spec."""
-    theta_sweeps = run_theta_sweeps(spec)
-    worker_sweeps = run_worker_sweeps(spec)
+def run_figure_sweeps(spec: ExperimentSpec, executor: Optional[SweepExecutor] = None):
+    """Run both sweeps for one figure spec.
+
+    ``executor`` (a :class:`~repro.experiments.executor.SweepExecutor`) is
+    shared across both sweeps when given, so one figure's cells can hit a
+    populated run store and share memoized setup.
+    """
+    if executor is None:
+        executor = SweepExecutor()
+    theta_sweeps = run_theta_sweeps(spec, executor=executor)
+    worker_sweeps = run_worker_sweeps(spec, executor=executor)
     return theta_sweeps, worker_sweeps

@@ -11,6 +11,7 @@ Examples::
     python -m repro.cli compare --workload lenet --compressor topk --compression-ratio 0.1 --error-feedback
     python -m repro.cli fabric --workload lenet --topologies star ring --networks fl hpc
     python -m repro.cli compression --workload lenet --theta 8
+    python -m repro.cli sweep --workload lenet --thetas 1 4 16 --seeds 0 1 --cache-dir runs/lenet --jobs 4
 
 ``figureN`` commands run the strategies of the corresponding registry entry on
 its workloads and print the per-strategy cost table; ``compare`` runs a custom
@@ -37,10 +38,12 @@ from repro.experiments import registry
 from repro.experiments.reporting import format_comparison, format_results_table
 from repro.experiments.run import TrainingRun
 from repro.experiments.setup import build_cluster
+from repro.experiments.executor import SweepExecutor
 from repro.experiments.sweep import (
     run_compression_spec,
     run_fabric_spec,
     sweep_fabric,
+    sweep_theta,
 )
 from repro.strategies.fda_strategy import FDAStrategy
 from repro.strategies.synchronous import SynchronousStrategy
@@ -162,6 +165,42 @@ def _build_parser() -> argparse.ArgumentParser:
         help="use the full compression grid (adds top-k without error "
              "feedback, random-k, sign+norm, and layer-wise top-k)",
     )
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run a cached Θ x seed grid through the streaming sweep executor",
+    )
+    sweep.add_argument("--workload", choices=sorted(_WORKLOAD_BUILDERS), default="lenet")
+    sweep.add_argument(
+        "--thetas", type=float, nargs="+", default=[1.0, 4.0, 16.0],
+        help="FDA variance thresholds to sweep",
+    )
+    sweep.add_argument(
+        "--seeds", type=int, nargs="+", default=[0],
+        help="workload seeds; the grid is thetas x seeds",
+    )
+    sweep.add_argument("--workers", type=int, default=4, help="number of workers K")
+    sweep.add_argument("--target", type=float, default=0.9, help="test-accuracy target")
+    sweep.add_argument("--max-steps", type=int, default=120, help="step budget per run")
+    sweep.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for uncached cells (1 = serial; results are "
+             "bit-identical either way)",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=None,
+        help="directory of the content-addressed run store (runs.jsonl + "
+             "manifest); omit to run without persistence",
+    )
+    sweep.add_argument(
+        "--resume", action=argparse.BooleanOptionalAction, default=True,
+        help="replay cells already present in the store (--no-resume "
+             "executes everything but still records results)",
+    )
+    sweep.add_argument(
+        "--force", action="store_true",
+        help="re-execute every cell even if cached, shadowing old records",
+    )
     return parser
 
 
@@ -174,6 +213,7 @@ def _command_list() -> int:
     print("  compare       custom FDA vs baselines comparison (see --help)")
     print("  fabric        topology x network sweep: bytes + virtual wall-clock")
     print("  compression   payload-compression sweep: bytes removed per kernel")
+    print("  sweep         cached theta x seed grid (resumable, parallel; see --help)")
     return 0
 
 
@@ -332,6 +372,39 @@ def _print_compression_points(label: str, points) -> None:
         )
 
 
+def _command_sweep(args: argparse.Namespace) -> int:
+    executor = SweepExecutor(
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        resume=args.resume,
+        force=args.force,
+    )
+    run = TrainingRun(
+        accuracy_target=args.target, max_steps=args.max_steps, eval_every_steps=20
+    )
+    header = (
+        f"{'theta':>8}{'seed':>6}{'bytes':>12}{'steps':>8}{'syncs':>8}"
+        f"{'acc':>8}{'reached':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for seed in args.seeds:
+        workload = _WORKLOAD_BUILDERS[args.workload](num_workers=args.workers, seed=seed)
+        points = sweep_theta(workload, args.thetas, run, seed=seed, executor=executor)
+        for point in points:
+            result = point.result
+            print(
+                f"{point.value:>8.2f}{seed:>6}"
+                f"{format_bytes(result.communication_bytes):>12}"
+                f"{result.parallel_steps:>8}{result.synchronizations:>8}"
+                f"{result.final_accuracy:>8.3f}{str(result.reached_target):>9}"
+            )
+    print(f"\ncache: {executor.stats.describe()}")
+    if executor.store is not None:
+        print(f"store: {executor.store.runs_path} ({len(executor.store)} records)")
+    return 0
+
+
 def _command_compression(args: argparse.Namespace) -> int:
     spec = registry.compression_sweep(quick=not args.full)
     print(f"{spec.experiment_id}: {spec.title}")
@@ -354,6 +427,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_fabric(args)
     if args.command == "compression":
         return _command_compression(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
     if args.command in registry.ALL_FIGURES:
         return _command_figure(args.command, full=getattr(args, "full", False))
     parser.error(f"unknown command {args.command!r}")

@@ -9,17 +9,27 @@ cost distributions, and the registry that maps every figure/table of the
 paper to a concrete configuration.
 """
 
-from repro.experiments.setup import WorkloadConfig, build_cluster, make_optimizer
+from repro.experiments.setup import (
+    SetupCache,
+    WorkloadConfig,
+    build_cluster,
+    make_optimizer,
+)
 from repro.experiments.run import RunResult, TrainingRun
 from repro.experiments.results import (
     ResultsTable,
     compare_strategies,
     summarize_results,
 )
+from repro.experiments.cache import CODE_VERSION, RunStore
+from repro.experiments.executor import SweepCell, SweepExecutor, execute_cells
 from repro.experiments.sweep import (
+    CompressionSweepPoint,
     FabricSweepPoint,
     SweepPoint,
+    run_compression_spec,
     run_fabric_spec,
+    sweep_compression,
     sweep_fabric,
     sweep_theta,
     sweep_workers,
@@ -43,12 +53,21 @@ __all__ = [
     "ResultsTable",
     "summarize_results",
     "compare_strategies",
+    "SetupCache",
+    "RunStore",
+    "CODE_VERSION",
+    "SweepCell",
+    "SweepExecutor",
+    "execute_cells",
     "SweepPoint",
     "FabricSweepPoint",
+    "CompressionSweepPoint",
     "sweep_theta",
     "sweep_workers",
     "sweep_fabric",
+    "sweep_compression",
     "run_fabric_spec",
+    "run_compression_spec",
     "kde_density",
     "log_kde_summary",
     "save_results",

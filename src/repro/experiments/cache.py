@@ -1,0 +1,328 @@
+"""Content-addressed run cache: canonical fingerprints and the JSONL store.
+
+The paper's evaluation aggregates over 1000 training runs; the streaming
+sweep executor (:mod:`repro.experiments.executor`) makes such grids tractable
+by never running the same cell twice.  This module provides the two halves of
+that guarantee:
+
+* **Canonical fingerprints** — :func:`canonical_value` reduces any
+  configuration object (dataclasses, numpy arrays, optimizer/strategy
+  instances, nested dicts) to deterministic JSON-compatible structure, and
+  :func:`fingerprint_digest` hashes it.  Datasets and models are digested by
+  *content* (:func:`dataset_digest`, :func:`model_digest`): two separately
+  constructed but equal workloads map to the same key, while any single-field
+  change — a different Θ, seed, partition scheme, dtype, topology — produces
+  a different one.  :data:`CODE_VERSION` is salted into every key so cached
+  results are invalidated wholesale when run semantics change.
+
+* **The run store** — :class:`RunStore` persists one JSON line per completed
+  cell into ``runs.jsonl`` next to a ``manifest.json``.  Appends are
+  write-then-fsync so a killed sweep loses at most the in-flight cell; the
+  loader tolerates a truncated trailing line, which is exactly the crash
+  artifact an append-mode writer can leave.  The manifest is written via
+  temp-file + fsync + atomic rename.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import inspect
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+
+PathLike = Union[str, Path]
+
+#: Salt mixed into every run key.  Bump whenever the semantics of a training
+#: run change (training loop, byte accounting, RNG layout, ...) so that
+#: results cached under the old semantics can never be replayed as current.
+CODE_VERSION = "sweep-cache-v1"
+
+#: Maximum nesting depth :func:`canonical_value` will descend before
+#: summarizing the remainder as a type token (guards against cycles).
+_MAX_DEPTH = 8
+
+
+def _json_default(value: Any):
+    """JSON encoder fallback: numpy scalars/arrays → plain Python."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"{type(value).__name__} is not JSON serializable")
+
+
+def _array_token(array: np.ndarray) -> Dict[str, object]:
+    data = np.ascontiguousarray(array)
+    return {
+        "__ndarray__": hashlib.sha256(data.tobytes()).hexdigest(),
+        "shape": list(data.shape),
+        "dtype": str(data.dtype),
+    }
+
+
+def canonical_value(value: Any, depth: int = 0) -> Any:
+    """Reduce ``value`` to a deterministic JSON-compatible structure.
+
+    Primitives pass through, numpy scalars unwrap, arrays become content
+    digests, dataclasses and mappings recurse field-wise, and arbitrary
+    objects fall back to their class name plus their public attributes
+    (objects exposing ``spec()`` or ``describe()`` use those instead).
+    Callables reduce to their qualified name — factories must therefore be
+    fingerprinted through what they *produce* (see ``model_digest``), never
+    through the callable itself.
+    """
+    if depth > _MAX_DEPTH:
+        return f"<max-depth:{type(value).__name__}>"
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return _array_token(value)
+    if isinstance(value, bytes):
+        return {"__bytes__": hashlib.sha256(value).hexdigest()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            field.name: canonical_value(getattr(value, field.name), depth + 1)
+            for field in dataclasses.fields(value)
+        }
+        return {"__class__": type(value).__name__, **fields}
+    if isinstance(value, dict):
+        return {
+            str(key): canonical_value(value[key], depth + 1)
+            for key in sorted(value, key=str)
+        }
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(item, depth + 1) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(
+            (canonical_value(item, depth + 1) for item in value),
+            key=lambda item: json.dumps(item, sort_keys=True, default=_json_default),
+        )
+    spec = getattr(value, "spec", None)
+    if callable(spec) and not isinstance(value, type):
+        return canonical_value(spec(), depth + 1)
+    describe = getattr(value, "describe", None)
+    if callable(describe) and not isinstance(value, type):
+        return {"__class__": type(value).__name__, "describe": describe()}
+    if inspect.isroutine(value) or isinstance(value, type):
+        return {"__callable__": getattr(value, "__qualname__", repr(type(value)))}
+    if hasattr(value, "__dict__"):
+        # Generic objects — including callable instances like learning-rate
+        # schedules — canonicalize by class plus public attributes, which is
+        # what distinguishes two differently configured instances.
+        public = {
+            key: canonical_value(item, depth + 1)
+            for key, item in sorted(vars(value).items())
+            if not key.startswith("_")
+        }
+        return {"__class__": type(value).__name__, **public}
+    if callable(value):
+        return {"__callable__": getattr(value, "__qualname__", repr(type(value)))}
+    return {"__class__": type(value).__name__}
+
+
+def fingerprint_digest(fingerprint: Any) -> str:
+    """SHA-256 hex digest of a canonicalized fingerprint structure."""
+    payload = json.dumps(
+        canonical_value(fingerprint),
+        sort_keys=True,
+        separators=(",", ":"),
+        default=_json_default,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def dataset_digest(dataset) -> str:
+    """Content digest of a dataset: samples, labels, shape, class count.
+
+    The name is deliberately excluded — the key addresses *content*, so two
+    identically generated datasets under different labels still share cached
+    runs (the workload name is fingerprinted separately).
+    """
+    digest = hashlib.sha256()
+    x = np.ascontiguousarray(dataset.x)
+    y = np.ascontiguousarray(dataset.y)
+    digest.update(str((x.shape, str(x.dtype), y.shape, str(y.dtype))).encode())
+    digest.update(x.tobytes())
+    digest.update(y.tobytes())
+    digest.update(str(int(dataset.num_classes)).encode())
+    return digest.hexdigest()
+
+
+def model_digest(model) -> str:
+    """Content digest of a *pristine* built model.
+
+    Covers the layer structure (class names and public configuration) and
+    the initial parameter/buffer vectors, so two factories producing
+    bit-identical models share a digest while any architectural or
+    initialization change breaks it.
+    """
+    structure = [
+        {
+            "layer": type(layer).__name__,
+            "config": {
+                key: canonical_value(item)
+                for key, item in sorted(vars(layer).items())
+                if not key.startswith("_")
+                and key not in ("built", "input_shape", "output_shape")
+                and (item is None or isinstance(item, (bool, int, float, str, tuple)))
+            },
+        }
+        for layer in model.layers
+    ]
+    digest = hashlib.sha256()
+    digest.update(
+        json.dumps(structure, sort_keys=True, default=_json_default).encode("utf-8")
+    )
+    params = np.ascontiguousarray(model.get_parameters())
+    buffers = np.ascontiguousarray(model.get_buffers())
+    digest.update(str((params.shape, str(params.dtype))).encode())
+    digest.update(params.tobytes())
+    digest.update(str((buffers.shape, str(buffers.dtype))).encode())
+    digest.update(buffers.tobytes())
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The incremental JSONL result store
+# ---------------------------------------------------------------------------
+
+_MANIFEST_NAME = "manifest.json"
+_RUNS_NAME = "runs.jsonl"
+
+
+class RunStore:
+    """Append-only content-addressed result store (``runs.jsonl`` + manifest).
+
+    Each completed cell is one JSON line keyed by its run key; loading the
+    index replays the file and keeps the last record per key, so a ``--force``
+    re-run simply appends fresh records that shadow the old ones.  The writer
+    appends-then-fsyncs, and the reader skips unparseable lines, so a sweep
+    killed mid-write resumes exactly at its last durable cell.
+    """
+
+    def __init__(self, directory: PathLike, code_version: str = CODE_VERSION) -> None:
+        self.directory = Path(directory)
+        self.code_version = str(code_version)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._ensure_manifest()
+
+    # -- paths -------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / _MANIFEST_NAME
+
+    @property
+    def runs_path(self) -> Path:
+        return self.directory / _RUNS_NAME
+
+    # -- manifest ----------------------------------------------------------
+
+    def _ensure_manifest(self) -> None:
+        if self.manifest_path.exists():
+            try:
+                manifest = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                manifest = None
+            if isinstance(manifest, dict) and manifest.get("format") == "repro.sweep-cache":
+                return
+            raise ExperimentError(
+                f"{self.manifest_path} exists but is not a repro sweep-cache manifest; "
+                "refusing to reuse the directory"
+            )
+        self._write_manifest(
+            {
+                "format": "repro.sweep-cache",
+                "version": 1,
+                "code_version": self.code_version,
+                "runs_file": _RUNS_NAME,
+            }
+        )
+
+    def _write_manifest(self, manifest: Dict[str, object]) -> None:
+        # Atomic replace: a crash mid-write can never leave a half manifest.
+        temp_path = self.manifest_path.with_suffix(".json.tmp")
+        with temp_path.open("w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, self.manifest_path)
+
+    def manifest(self) -> Dict[str, object]:
+        """The parsed manifest document."""
+        return json.loads(self.manifest_path.read_text(encoding="utf-8"))
+
+    # -- records -----------------------------------------------------------
+
+    def append(
+        self,
+        key: str,
+        result_payload: Dict[str, object],
+        label: str = "",
+        tags: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Durably append one completed cell (write + flush + fsync)."""
+        record = {
+            "format": "repro.run-record",
+            "version": 1,
+            "key": str(key),
+            "label": str(label),
+            "tags": dict(tags or {}),
+            "result": result_payload,
+        }
+        line = json.dumps(record, sort_keys=True, default=_json_default)
+        with self.runs_path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load_index(self) -> Dict[str, Dict[str, object]]:
+        """Replay ``runs.jsonl`` into a key → record map (last record wins).
+
+        Unparseable lines — the truncated tail a killed writer leaves — and
+        records without a key/result are skipped rather than raised, so a
+        crashed sweep's store always loads.
+        """
+        index: Dict[str, Dict[str, object]] = {}
+        if not self.runs_path.exists():
+            return index
+        with self.runs_path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if not isinstance(record, dict):
+                    continue
+                key = record.get("key")
+                if not isinstance(key, str) or not isinstance(record.get("result"), dict):
+                    continue
+                index[key] = record
+        return index
+
+    def keys(self) -> List[str]:
+        """All run keys currently resolvable from the store."""
+        return sorted(self.load_index())
+
+    def __len__(self) -> int:
+        return len(self.load_index())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.load_index()
+
+    def records(self) -> Iterable[Dict[str, object]]:
+        """The deduplicated records, in key order."""
+        index = self.load_index()
+        return [index[key] for key in sorted(index)]

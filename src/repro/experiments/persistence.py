@@ -16,8 +16,11 @@ from typing import Dict, Iterable, List, Union
 
 from repro.exceptions import ExperimentError
 from repro.experiments.run import RunResult
-from repro.experiments.sweep import SweepPoint
 from repro.utils.runlog import RunLogger
+
+# NOTE: sweep-point classes are imported lazily inside the sweep helpers —
+# persistence sits below the executor, which sits below sweep.py, so a
+# module-level import here would be circular.
 
 PathLike = Union[str, Path]
 
@@ -70,8 +73,22 @@ def result_from_dict(payload: Dict[str, object]) -> RunResult:
     if missing:
         raise ExperimentError(f"run-result payload is missing fields: {missing}")
     history = RunLogger(name=f"{payload['strategy']}-{payload['workload']}")
-    for entry in payload.get("history", []):
-        history.log(**entry)
+    for index, entry in enumerate(payload.get("history", [])):
+        if not isinstance(entry, dict):
+            raise ExperimentError(
+                f"history entry {index} is not an object: got {type(entry).__name__}"
+            )
+        bad_keys = [key for key in entry if not isinstance(key, str)]
+        if bad_keys:
+            raise ExperimentError(
+                f"history entry {index} has non-string metric names: {bad_keys}"
+            )
+        try:
+            history.log(**entry)
+        except TypeError as error:
+            raise ExperimentError(
+                f"history entry {index} is malformed: {error}"
+            ) from error
     kwargs = {field: payload[field] for field in _RESULT_FIELDS}
     for field in _OPTIONAL_RESULT_FIELDS:
         if field in payload:
@@ -105,23 +122,84 @@ def load_results(path: PathLike) -> List[RunResult]:
     return [result_from_dict(item) for item in document.get("results", [])]
 
 
-def sweep_to_records(points: Iterable[SweepPoint]) -> List[Dict[str, object]]:
-    """Flatten sweep points into per-point records (for JSON or tabular export)."""
-    records = []
-    for point in points:
-        record = result_to_dict(point.result)
+def _point_to_record(point) -> Dict[str, object]:
+    """One sweep point → one typed record (``point_type`` + axis fields)."""
+    from repro.experiments.sweep import (
+        CompressionSweepPoint,
+        FabricSweepPoint,
+        SweepPoint,
+    )
+
+    record = result_to_dict(point.result)
+    if isinstance(point, SweepPoint):
+        record["point_type"] = "sweep"
         record["sweep_parameter"] = point.parameter
         record["sweep_value"] = point.value
-        records.append(record)
-    return records
+    elif isinstance(point, FabricSweepPoint):
+        record["point_type"] = "fabric"
+        record["sweep_topology"] = point.topology
+        record["sweep_network"] = point.network
+    elif isinstance(point, CompressionSweepPoint):
+        record["point_type"] = "compression"
+        record["sweep_compression"] = point.compression
+    else:
+        raise ExperimentError(
+            f"cannot serialize sweep point of type {type(point).__name__}"
+        )
+    return record
 
 
-def save_sweep(points: Iterable[SweepPoint], path: PathLike) -> Path:
-    """Write sweep points to ``path`` as JSON."""
+def _point_from_record(record: Dict[str, object]):
+    """One typed record → the matching sweep-point class.
+
+    Version-1 files carry no ``point_type`` (only ``SweepPoint`` existed
+    then), so its absence means "sweep" — the backward-compatible default.
+    """
+    from repro.experiments.sweep import (
+        CompressionSweepPoint,
+        FabricSweepPoint,
+        SweepPoint,
+    )
+
+    record = dict(record)
+    point_type = record.pop("point_type", "sweep")
+    if point_type == "sweep":
+        parameter = record.pop("sweep_parameter", "unknown")
+        value = record.pop("sweep_value", float("nan"))
+        return SweepPoint(
+            parameter=parameter, value=value, result=result_from_dict(record)
+        )
+    if point_type == "fabric":
+        topology = record.pop("sweep_topology", "star")
+        network = record.pop("sweep_network", "none")
+        return FabricSweepPoint(
+            topology=topology, network=network, result=result_from_dict(record)
+        )
+    if point_type == "compression":
+        compression = record.pop("sweep_compression", "none")
+        return CompressionSweepPoint(
+            compression=compression, result=result_from_dict(record)
+        )
+    raise ExperimentError(f"unknown sweep point_type {point_type!r}")
+
+
+def sweep_to_records(points: Iterable) -> List[Dict[str, object]]:
+    """Flatten sweep points into per-point records (for JSON or tabular export).
+
+    Accepts any mix of :class:`~repro.experiments.sweep.SweepPoint`,
+    :class:`~repro.experiments.sweep.FabricSweepPoint`, and
+    :class:`~repro.experiments.sweep.CompressionSweepPoint`; each record
+    carries a ``point_type`` discriminator plus that type's axis fields.
+    """
+    return [_point_to_record(point) for point in points]
+
+
+def save_sweep(points: Iterable, path: PathLike) -> Path:
+    """Write sweep points (Θ/K, fabric, or compression grids) to ``path``."""
     path = Path(path)
     document = {
         "format": "repro.sweep",
-        "version": 1,
+        "version": 2,
         "points": sweep_to_records(points),
     }
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -130,8 +208,12 @@ def save_sweep(points: Iterable[SweepPoint], path: PathLike) -> Path:
     return path
 
 
-def load_sweep(path: PathLike) -> List[SweepPoint]:
-    """Load sweep points previously written by :func:`save_sweep`."""
+def load_sweep(path: PathLike) -> List:
+    """Load sweep points previously written by :func:`save_sweep`.
+
+    Reads both the current typed format (version 2) and version-1 files,
+    whose untyped records all deserialize as plain ``SweepPoint``s.
+    """
     path = Path(path)
     if not path.exists():
         raise ExperimentError(f"sweep file {path} does not exist")
@@ -139,9 +221,4 @@ def load_sweep(path: PathLike) -> List[SweepPoint]:
         document = json.load(handle)
     if document.get("format") != "repro.sweep":
         raise ExperimentError(f"{path} is not a repro sweep file")
-    points = []
-    for record in document.get("points", []):
-        parameter = record.pop("sweep_parameter", "unknown")
-        value = record.pop("sweep_value", float("nan"))
-        points.append(SweepPoint(parameter=parameter, value=value, result=result_from_dict(record)))
-    return points
+    return [_point_from_record(record) for record in document.get("points", [])]

@@ -60,6 +60,10 @@ class ExperimentSpec:
     topologies: Sequence[str] = field(default_factory=tuple)
     networks: Sequence[str] = field(default_factory=tuple)
     compressions: Sequence = field(default_factory=tuple)
+    #: Workload seeds for repeated-grid runs (``python -m repro.cli sweep
+    #: --seeds``); each seed re-derives the workload's partition/timeline/
+    #: worker RNG streams, multiplying the grid for aggregate statistics.
+    seeds: Sequence[int] = (0,)
     notes: str = ""
 
 

@@ -125,6 +125,17 @@ class TrainingRun:
         self.track_train_accuracy = bool(track_train_accuracy)
         self.train_eval_samples = int(train_eval_samples)
 
+    def spec(self) -> dict:
+        """The run budget as a plain dict, fingerprinted into every run key."""
+        return {
+            "class": type(self).__name__,
+            "accuracy_target": self.accuracy_target,
+            "max_steps": self.max_steps,
+            "eval_every_steps": self.eval_every_steps,
+            "track_train_accuracy": self.track_train_accuracy,
+            "train_eval_samples": self.train_eval_samples,
+        }
+
     def execute(
         self,
         strategy: Strategy,

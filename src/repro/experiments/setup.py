@@ -10,8 +10,11 @@ initialized worker models and per-worker data shards.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.backend import resolve_dtype
 from repro.compression import CompressionConfig, get_compression
@@ -199,25 +202,213 @@ class WorkloadConfig:
         return replace(self, dtype=resolve_dtype(dtype).name)
 
 
-def build_cluster(config: WorkloadConfig) -> Tuple[SimulatedCluster, Dataset]:
+# ---------------------------------------------------------------------------
+# Shared-setup memoization
+# ---------------------------------------------------------------------------
+
+
+class _ModelPool:
+    """K reusable model skeletons plus their pristine initial state.
+
+    Building a model runs every layer's initializer; on small-cell grids that
+    per-cell, per-worker rebuild dominates setup time.  The pool builds the K
+    skeletons once and thereafter *copy-on-binds*: each :meth:`bind` restores
+    the pristine initial parameter/buffer vectors (flat array copies), zeroes
+    the gradients, and rewinds every layer's private RNG stream, which is
+    bit-identical to a fresh factory build (factories seed deterministically,
+    so all builds from one factory are equal by construction).
+
+    Only one cluster built from a pool may be *live* at a time: binding for
+    the next cell overwrites the skeletons the previous cell's cluster holds.
+    The sweep executor runs cells strictly sequentially per process, which
+    satisfies this by construction.
+    """
+
+    def __init__(self, factory: ModelFactory, num_workers: int) -> None:
+        from repro.experiments.cache import model_digest
+
+        self.factory = factory  # strong ref pins id(factory) for the cache key
+        self.models = [factory() for _ in range(num_workers)]
+        template = self.models[0]
+        self.dtype = template.dtype
+        self.init_params = template.get_parameters()
+        self.init_buffers = template.get_buffers()
+        #: Content digest of the pristine model, computed once per pool.
+        self.digest = model_digest(template)
+        # Per-model snapshot of every layer's private RNG (Dropout streams):
+        # bind() rewinds them so mask sequences replay exactly.
+        self._rng_states = [
+            {
+                index: layer._rng.bit_generator.state
+                for index, layer in enumerate(model.layers)
+                if hasattr(layer, "_rng")
+            }
+            for model in self.models
+        ]
+
+    def bind(self) -> List[Sequential]:
+        """Reset every skeleton to its pristine initial state and return them."""
+        for model, rng_states in zip(self.models, self._rng_states):
+            # Restore the build dtype first: a previous float32 cell converted
+            # the plane in place, and writing float64 initials through a
+            # float32 plane would round them.
+            if model.dtype != self.dtype:
+                model.to_dtype(self.dtype)
+            model.set_parameters(self.init_params)
+            model.set_buffers(self.init_buffers)
+            model.gradients_view()[...] = 0.0
+            for index, state in rng_states.items():
+                layer = model.layers[index]
+                layer._rng = np.random.default_rng()
+                layer._rng.bit_generator.state = state
+        return self.models
+
+
+class SetupCache:
+    """Memoizes the expensive, reusable pieces of :func:`build_cluster`.
+
+    Three levels, each keyed by content (or by a pinned factory object):
+
+    * **dataset digests** — SHA-256 content hashes, memoized per dataset
+      object (datasets are immutable by convention);
+    * **partitions** — the per-worker shards for one (dataset content, K,
+      scheme, kwargs, seed) combination, shared read-only across cells;
+    * **model pools** — K pre-built skeletons per (factory, K), rebound to
+      their pristine initial state for every cell (see :class:`_ModelPool`).
+
+    One instance serves one executor (or one process of a parallel sweep);
+    everything it returns is deterministic, so memoized and eager builds
+    produce bit-identical training trajectories.
+    """
+
+    def __init__(self) -> None:
+        self._dataset_digests: Dict[int, Tuple[Dataset, str]] = {}
+        self._partitions: Dict[Tuple, List[Dataset]] = {}
+        self._pools: Dict[Tuple[int, int], Optional[_ModelPool]] = {}
+        self._model_digests: Dict[int, Tuple[ModelFactory, object]] = {}
+        self.partition_hits = 0
+        self.partition_misses = 0
+        self.model_hits = 0
+        self.model_misses = 0
+
+    def dataset_digest(self, dataset: Dataset) -> str:
+        from repro.experiments.cache import dataset_digest
+
+        entry = self._dataset_digests.get(id(dataset))
+        if entry is not None and entry[0] is dataset:
+            return entry[1]
+        digest = dataset_digest(dataset)
+        self._dataset_digests[id(dataset)] = (dataset, digest)
+        return digest
+
+    def _partition_key(self, config: WorkloadConfig) -> Tuple:
+        kwargs = json.dumps(config.partition_kwargs, sort_keys=True, default=str)
+        return (
+            self.dataset_digest(config.train_dataset),
+            int(config.num_workers),
+            str(config.partition_scheme),
+            kwargs,
+            int(config.seed),
+        )
+
+    def partitions(self, config: WorkloadConfig) -> List[Dataset]:
+        """The workload's per-worker shards (shared, read-only)."""
+        key = self._partition_key(config)
+        shards = self._partitions.get(key)
+        if shards is not None:
+            self.partition_hits += 1
+            return shards
+        self.partition_misses += 1
+        shards = partition_dataset(
+            config.train_dataset,
+            config.num_workers,
+            scheme=config.partition_scheme,
+            seed=RngFactory(config.seed).named("partition"),
+            **config.partition_kwargs,
+        )
+        self._partitions[key] = shards
+        return shards
+
+    def _pool(self, config: WorkloadConfig) -> Optional[_ModelPool]:
+        key = (id(config.model_factory), int(config.num_workers))
+        if key in self._pools:
+            entry = self._pools[key]
+            if entry is None or entry.factory is config.model_factory:
+                self.model_hits += 1
+                return entry
+        self.model_misses += 1
+        probe = config.model_factory()
+        if not getattr(probe, "built", False):
+            # An unbuilt factory relies on lazy first-forward building; the
+            # pool cannot snapshot its initial state, so fall back to eager
+            # per-cell factory calls (None is cached to skip re-probing).
+            self._pools[key] = None
+            return None
+        pool = _ModelPool(config.model_factory, config.num_workers)
+        self._pools[key] = pool
+        return pool
+
+    def worker_models(self, config: WorkloadConfig) -> Optional[List[Sequential]]:
+        """K pristine worker models for one cell, or ``None`` to build eagerly."""
+        pool = self._pool(config)
+        return pool.bind() if pool is not None else None
+
+    def model_digest(self, config: WorkloadConfig) -> object:
+        """Content digest of the workload's initial model (architecture + θ₀).
+
+        Memoized per factory object with a single probe build — key
+        computation must stay cheap even when no cell executes (the warm
+        replay path digests every cell's model without training anything).
+        """
+        from repro.experiments.cache import model_digest
+
+        key = id(config.model_factory)
+        entry = self._model_digests.get(key)
+        if entry is not None and entry[0] is config.model_factory:
+            return entry[1]
+        probe = config.model_factory()
+        if getattr(probe, "built", False):
+            digest: object = model_digest(probe)
+        else:
+            # Last resort for lazily built factories: the qualified name.
+            # Weak (two distinct lambdas share it), but such factories cannot
+            # reach a cluster anyway — SimulatedCluster requires built models.
+            digest = {"__callable__": getattr(config.model_factory, "__qualname__", "?")}
+        self._model_digests[key] = (config.model_factory, digest)
+        return digest
+
+
+def build_cluster(
+    config: WorkloadConfig, setup: Optional[SetupCache] = None
+) -> Tuple[SimulatedCluster, Dataset]:
     """Build the simulated cluster for a workload.
 
     Returns ``(cluster, test_dataset)``.  Worker models are created from the
     same factory, so they share an architecture; the cluster/strategy then
     broadcasts worker 0's parameters so that all replicas start identical.
+
+    ``setup`` (a :class:`SetupCache`) memoizes partitions and initial model
+    state across repeated builds of the same workload — the sweep executor's
+    shared-setup path.  Memoized and eager builds are bit-identical; without
+    a cache every call rebuilds everything from scratch.
     """
     rng_factory = RngFactory(config.seed)
-    partitions = partition_dataset(
-        config.train_dataset,
-        config.num_workers,
-        scheme=config.partition_scheme,
-        seed=rng_factory.named("partition"),
-        **config.partition_kwargs,
-    )
+    if setup is not None:
+        partitions = setup.partitions(config)
+        pooled_models = setup.worker_models(config)
+    else:
+        partitions = partition_dataset(
+            config.train_dataset,
+            config.num_workers,
+            scheme=config.partition_scheme,
+            seed=rng_factory.named("partition"),
+            **config.partition_kwargs,
+        )
+        pooled_models = None
     loss = config.loss or SoftmaxCrossEntropy()
     workers = []
     for worker_id, shard in enumerate(partitions):
-        model = config.model_factory()
+        model = pooled_models[worker_id] if pooled_models else config.model_factory()
         optimizer = config.optimizer_factory()
         workers.append(
             Worker(

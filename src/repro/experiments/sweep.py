@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.exceptions import ConfigurationError
+from repro.experiments.executor import SweepCell, SweepExecutor, execute_cells
 from repro.experiments.run import RunResult, TrainingRun
 from repro.experiments.setup import WorkloadConfig, build_cluster
 from repro.strategies.base import Strategy
@@ -53,6 +54,12 @@ def _run_one(
     strategy: Strategy,
     run: TrainingRun,
 ) -> RunResult:
+    """Eagerly execute one cell, rebuilding all setup from scratch.
+
+    This is the historical pre-executor path, kept as the uncached reference
+    that the sweep benchmarks measure the executor's memoization against.
+    Sweeps themselves now route through :class:`SweepExecutor`.
+    """
     cluster, test_dataset = build_cluster(workload)
     return run.execute(
         strategy,
@@ -69,16 +76,28 @@ def sweep_theta(
     run: TrainingRun,
     variant: str = "linear",
     seed: int = 0,
+    executor: Optional[SweepExecutor] = None,
 ) -> List[SweepPoint]:
     """Run an FDA variant across a grid of variance thresholds Θ (fixed K)."""
     if not thetas:
         raise ConfigurationError("thetas must contain at least one value")
-    points = []
-    for theta in thetas:
-        strategy = FDAStrategy(threshold=float(theta), variant=variant, seed=seed)
-        result = _run_one(workload, strategy, run)
-        points.append(SweepPoint(parameter="theta", value=float(theta), result=result))
-    return points
+    cells = [
+        SweepCell(
+            workload=workload,
+            strategy_factory=lambda theta=theta: FDAStrategy(
+                threshold=float(theta), variant=variant, seed=seed
+            ),
+            run=run,
+            label=f"theta={float(theta)}",
+            tags={"parameter": "theta", "value": float(theta)},
+        )
+        for theta in thetas
+    ]
+    results = execute_cells(cells, executor)
+    return [
+        SweepPoint(parameter="theta", value=float(theta), result=result)
+        for theta, result in zip(thetas, results)
+    ]
 
 
 def sweep_workers(
@@ -86,19 +105,29 @@ def sweep_workers(
     worker_counts: Sequence[int],
     run: TrainingRun,
     strategy_factory: StrategyFactory,
+    executor: Optional[SweepExecutor] = None,
 ) -> List[SweepPoint]:
     """Run one strategy across a grid of worker counts K (fixed Θ / schedule)."""
     if not worker_counts:
         raise ConfigurationError("worker_counts must contain at least one value")
-    points = []
+    cells = []
     for num_workers in worker_counts:
         if num_workers <= 0:
             raise ConfigurationError(f"worker counts must be positive, got {num_workers}")
-        scaled = workload.with_workers(int(num_workers))
-        strategy = strategy_factory()
-        result = _run_one(scaled, strategy, run)
-        points.append(SweepPoint(parameter="num_workers", value=float(num_workers), result=result))
-    return points
+        cells.append(
+            SweepCell(
+                workload=workload.with_workers(int(num_workers)),
+                strategy_factory=strategy_factory,
+                run=run,
+                label=f"num_workers={int(num_workers)}",
+                tags={"parameter": "num_workers", "value": float(num_workers)},
+            )
+        )
+    results = execute_cells(cells, executor)
+    return [
+        SweepPoint(parameter="num_workers", value=float(num_workers), result=result)
+        for num_workers, result in zip(worker_counts, results)
+    ]
 
 
 @dataclass(frozen=True)
@@ -133,6 +162,7 @@ def sweep_fabric(
     strategy_factory: StrategyFactory,
     topologies: Sequence[str] = DEFAULT_TOPOLOGIES,
     networks: Sequence[str] = DEFAULT_NETWORKS,
+    executor: Optional[SweepExecutor] = None,
 ) -> List[FabricSweepPoint]:
     """Run one strategy across a topology × network grid on one workload.
 
@@ -145,15 +175,22 @@ def sweep_fabric(
         raise ConfigurationError("topologies must contain at least one name")
     if not networks:
         raise ConfigurationError("networks must contain at least one name")
-    points = []
-    for topology in topologies:
-        for network in networks:
-            fabric_workload = workload.with_fabric(topology=topology, network=network)
-            result = _run_one(fabric_workload, strategy_factory(), run)
-            points.append(
-                FabricSweepPoint(topology=str(topology), network=str(network), result=result)
-            )
-    return points
+    grid = [(str(topology), str(network)) for topology in topologies for network in networks]
+    cells = [
+        SweepCell(
+            workload=workload.with_fabric(topology=topology, network=network),
+            strategy_factory=strategy_factory,
+            run=run,
+            label=f"fabric={topology}/{network}",
+            tags={"topology": topology, "network": network},
+        )
+        for topology, network in grid
+    ]
+    results = execute_cells(cells, executor)
+    return [
+        FabricSweepPoint(topology=topology, network=network, result=result)
+        for (topology, network), result in zip(grid, results)
+    ]
 
 
 @dataclass(frozen=True)
@@ -182,6 +219,7 @@ def sweep_compression(
     run: TrainingRun,
     strategy_factory: StrategyFactory,
     compressions: Sequence = ("none", "quantization", "topk"),
+    executor: Optional[SweepExecutor] = None,
 ) -> List[CompressionSweepPoint]:
     """Run one strategy across a grid of compression settings on one workload.
 
@@ -193,17 +231,26 @@ def sweep_compression(
     """
     if not compressions:
         raise ConfigurationError("compressions must contain at least one spec")
-    points = []
-    for spec in compressions:
-        compressed_workload = workload.with_compression(None if spec == "none" else spec)
-        result = _run_one(compressed_workload, strategy_factory(), run)
-        points.append(
-            CompressionSweepPoint(compression=result.compression, result=result)
+    cells = [
+        SweepCell(
+            workload=workload.with_compression(None if spec == "none" else spec),
+            strategy_factory=strategy_factory,
+            run=run,
+            label=f"compression={spec}",
+            tags={"compression": str(spec)},
         )
-    return points
+        for spec in compressions
+    ]
+    results = execute_cells(cells, executor)
+    return [
+        CompressionSweepPoint(compression=result.compression, result=result)
+        for result in results
+    ]
 
 
-def run_fabric_spec(spec) -> Dict[str, List[FabricSweepPoint]]:
+def run_fabric_spec(
+    spec, executor: Optional[SweepExecutor] = None
+) -> Dict[str, List[FabricSweepPoint]]:
     """Execute an :class:`~repro.experiments.registry.ExperimentSpec`'s fabric grid.
 
     Runs every strategy of the spec over every workload × topology × network
@@ -227,13 +274,16 @@ def run_fabric_spec(spec) -> Dict[str, List[FabricSweepPoint]]:
                     factory,
                     topologies=spec.topologies,
                     networks=spec.networks,
+                    executor=executor,
                 )
             )
         results[strategy_name] = points
     return results
 
 
-def run_compression_spec(spec) -> Dict[str, List[CompressionSweepPoint]]:
+def run_compression_spec(
+    spec, executor: Optional[SweepExecutor] = None
+) -> Dict[str, List[CompressionSweepPoint]]:
     """Execute an :class:`~repro.experiments.registry.ExperimentSpec`'s compression grid.
 
     Runs every strategy of the spec over every workload × compression cell
@@ -252,7 +302,11 @@ def run_compression_spec(spec) -> Dict[str, List[CompressionSweepPoint]]:
         for workload in spec.workloads.values():
             points.extend(
                 sweep_compression(
-                    workload, spec.run, factory, compressions=spec.compressions
+                    workload,
+                    spec.run,
+                    factory,
+                    compressions=spec.compressions,
+                    executor=executor,
                 )
             )
         results[strategy_name] = points
@@ -263,11 +317,13 @@ def sweep_strategies(
     workload: WorkloadConfig,
     strategy_factories: Sequence[StrategyFactory],
     run: TrainingRun,
+    executor: Optional[SweepExecutor] = None,
 ) -> List[RunResult]:
     """Run several strategies on identical copies of one workload."""
     if not strategy_factories:
         raise ConfigurationError("strategy_factories must contain at least one factory")
-    results = []
-    for factory in strategy_factories:
-        results.append(_run_one(workload, factory(), run))
-    return results
+    cells = [
+        SweepCell(workload=workload, strategy_factory=factory, run=run)
+        for factory in strategy_factories
+    ]
+    return execute_cells(cells, executor)

@@ -112,6 +112,26 @@ class Strategy:
         model (e.g. FDA mid-round) can consolidate here.
         """
 
+    # -- fingerprinting -------------------------------------------------------------
+
+    def spec(self) -> dict:
+        """Canonical configuration of a *fresh* strategy instance.
+
+        Used by the sweep executor to fingerprint the strategy into a run
+        key: the class plus every public attribute (thresholds, variants,
+        seeds, controllers — nested objects are canonicalized downstream).
+        Mutable training state (``rounds_completed``, ``_``-prefixed
+        attributes) is excluded; call this on an unattached instance.
+        """
+        config = {
+            key: value
+            for key, value in vars(self).items()
+            if not key.startswith("_") and key != "rounds_completed"
+        }
+        config["class"] = type(self).__name__
+        config.setdefault("name", self.name)
+        return config
+
     # -- subclass hooks -------------------------------------------------------------
 
     def _setup(self, cluster: SimulatedCluster) -> None:

@@ -16,7 +16,12 @@ from repro.experiments.persistence import (
 from repro.experiments.results import compare_strategies
 from repro.experiments.run import TrainingRun
 from repro.experiments.setup import build_cluster
-from repro.experiments.sweep import SweepPoint, sweep_theta
+from repro.experiments.sweep import (
+    CompressionSweepPoint,
+    FabricSweepPoint,
+    SweepPoint,
+    sweep_theta,
+)
 from repro.strategies.compression import QuantizationCompressor, TopKCompressor
 from repro.strategies.fda_strategy import FDAStrategy
 from repro.strategies.local_sgd import (
@@ -153,3 +158,57 @@ class TestPersistence:
     def test_from_dict_validates_fields(self):
         with pytest.raises(ExperimentError):
             result_from_dict({"strategy": "A"})
+
+    def test_malformed_history_entry_names_index(self, blobs_workload):
+        payload = result_to_dict(run_on(blobs_workload, FDAStrategy(threshold=2.0)))
+        payload["history"] = list(payload["history"]) + ["not-a-dict"]
+        with pytest.raises(ExperimentError, match=f"entry {len(payload['history']) - 1}"):
+            result_from_dict(payload)
+
+    def test_history_entry_bad_metric_names_raise(self, blobs_workload):
+        payload = result_to_dict(run_on(blobs_workload, FDAStrategy(threshold=2.0)))
+        payload["history"] = [{1: 0.5}]
+        with pytest.raises(ExperimentError, match="entry 0"):
+            result_from_dict(payload)
+
+    def test_typed_sweep_points_round_trip(self, blobs_workload, tmp_path):
+        result = run_on(blobs_workload, FDAStrategy(threshold=2.0))
+        points = [
+            SweepPoint(parameter="theta", value=2.0, result=result),
+            FabricSweepPoint(topology="ring", network="fl", result=result),
+            CompressionSweepPoint(compression="topk(ratio=0.1)", result=result),
+        ]
+        path = save_sweep(points, tmp_path / "mixed.json")
+        restored = load_sweep(path)
+        assert [type(p) for p in restored] == [type(p) for p in points]
+        assert restored[1].topology == "ring" and restored[1].network == "fl"
+        assert restored[2].compression == "topk(ratio=0.1)"
+        for original, loaded in zip(points, restored):
+            assert loaded.result.history.entries == original.result.history.entries
+
+    def test_version1_sweep_file_loads_as_sweep_points(self, blobs_workload, tmp_path):
+        import json
+
+        points = sweep_theta(blobs_workload, [0.5], RUN)
+        path = save_sweep(points, tmp_path / "v2.json")
+        document = json.loads(path.read_text())
+        # Rewrite as a pre-typed version-1 file: no point_type discriminator.
+        document["version"] = 1
+        for record in document["points"]:
+            record.pop("point_type")
+        legacy = tmp_path / "v1.json"
+        legacy.write_text(json.dumps(document))
+        restored = load_sweep(legacy)
+        assert [type(p) for p in restored] == [SweepPoint]
+        assert restored[0].value == 0.5
+
+    def test_unknown_point_type_raises(self, blobs_workload, tmp_path):
+        import json
+
+        points = sweep_theta(blobs_workload, [0.5], RUN)
+        path = save_sweep(points, tmp_path / "sweep.json")
+        document = json.loads(path.read_text())
+        document["points"][0]["point_type"] = "mystery"
+        path.write_text(json.dumps(document))
+        with pytest.raises(ExperimentError, match="mystery"):
+            load_sweep(path)

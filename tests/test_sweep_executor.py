@@ -1,0 +1,329 @@
+"""Tests for the streaming sweep executor and its content-addressed cache.
+
+Covers the four tentpole guarantees: content-addressed keys are stable under
+reconstruction and sensitive to every configuration field; a killed sweep
+resumes from its durable records without re-executing completed cells; the
+shared-setup memoization is bit-identical to eager per-cell builds (including
+models with Dropout RNG streams); and process-parallel execution is
+bit-identical to serial.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.data.synthetic import gaussian_blobs
+from repro.exceptions import ExperimentError
+from repro.experiments.cache import CODE_VERSION, RunStore
+from repro.experiments.executor import (
+    SweepCell,
+    SweepExecutor,
+    fork_parallelism_available,
+)
+from repro.experiments.run import TrainingRun
+from repro.experiments.setup import SetupCache, WorkloadConfig, make_optimizer
+from repro.experiments.sweep import _run_one, sweep_theta
+from repro.nn.architectures import mlp, transfer_head
+from repro.strategies.fda_strategy import FDAStrategy
+
+BLOBS_FEATURES = 8
+BLOBS_CLASSES = 3
+
+RUN = TrainingRun(accuracy_target=0.95, max_steps=8, eval_every_steps=4)
+THETAS = (0.5, 2.0, 8.0)
+
+
+def small_model_factory(seed: int = 0):
+    """A factory for the small MLP used as the worker model."""
+    return lambda: mlp(
+        BLOBS_FEATURES, BLOBS_CLASSES, hidden_units=(16,), seed=seed, name="test-mlp"
+    )
+
+
+def build_workload(seed: int = 0, **overrides) -> WorkloadConfig:
+    """A fresh blobs workload; repeated calls share no objects, only content."""
+    config = dict(
+        name="blobs",
+        model_factory=small_model_factory(),
+        train_dataset=gaussian_blobs(
+            360, feature_dim=BLOBS_FEATURES, num_classes=BLOBS_CLASSES, seed=0
+        ),
+        test_dataset=gaussian_blobs(
+            150, feature_dim=BLOBS_FEATURES, num_classes=BLOBS_CLASSES, seed=0
+        ),
+        optimizer_factory=make_optimizer("adam", learning_rate=0.01),
+        num_workers=4,
+        batch_size=16,
+        seed=seed,
+    )
+    config.update(overrides)
+    return WorkloadConfig(**config)
+
+
+def make_cell(workload, theta: float = 2.0, run: TrainingRun = RUN) -> SweepCell:
+    return SweepCell(
+        workload=workload,
+        strategy_factory=lambda: FDAStrategy(threshold=theta, variant="linear", seed=0),
+        run=run,
+    )
+
+
+def assert_results_identical(left, right):
+    """Bit-level equality of two run results: ledgers, histories, accuracies."""
+    assert left.communication_bytes == right.communication_bytes
+    assert left.state_bytes == right.state_bytes
+    assert left.model_bytes == right.model_bytes
+    assert left.parallel_steps == right.parallel_steps
+    assert left.synchronizations == right.synchronizations
+    assert left.final_accuracy == right.final_accuracy
+    assert left.best_accuracy == right.best_accuracy
+    assert left.history.entries == right.history.entries
+
+
+class TestRunKeys:
+    def test_reconstructed_workload_same_key(self):
+        # Two separately constructed workloads: distinct dataset objects,
+        # distinct factory lambdas — identical content, therefore one key.
+        executor = SweepExecutor()
+        key_a = executor.run_key(make_cell(build_workload()))
+        key_b = executor.run_key(make_cell(build_workload()))
+        assert key_a == key_b
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda w: w.with_seed(1),
+            lambda w: w.with_workers(5),
+            lambda w: replace(w, batch_size=8),
+            lambda w: replace(w, name="other"),
+            lambda w: w.with_dtype("float32"),
+            lambda w: w.with_execution("batched"),
+            lambda w: w.with_fabric(topology="ring"),
+            lambda w: w.with_fabric(network="fl"),
+            lambda w: w.with_compression("topk"),
+            lambda w: w.with_partition("dirichlet", alpha=0.3),
+            lambda w: w.with_timeline(dropout_rate=0.2),
+            lambda w: replace(
+                w,
+                train_dataset=gaussian_blobs(
+                    360, feature_dim=BLOBS_FEATURES, num_classes=BLOBS_CLASSES, seed=7
+                ),
+            ),
+            lambda w: replace(w, model_factory=small_model_factory(seed=3)),
+            lambda w: replace(
+                w, optimizer_factory=make_optimizer("adam", learning_rate=0.02)
+            ),
+        ],
+    )
+    def test_any_workload_field_change_changes_key(self, mutate):
+        executor = SweepExecutor()
+        base = executor.run_key(make_cell(build_workload()))
+        changed = executor.run_key(make_cell(mutate(build_workload())))
+        assert changed != base
+
+    def test_strategy_and_run_changes_change_key(self):
+        executor = SweepExecutor()
+        workload = build_workload()
+        base = executor.run_key(make_cell(workload, theta=2.0))
+        assert executor.run_key(make_cell(workload, theta=4.0)) != base
+        longer = TrainingRun(accuracy_target=0.95, max_steps=16, eval_every_steps=4)
+        assert executor.run_key(make_cell(workload, run=longer)) != base
+
+    def test_key_salted_with_code_version(self):
+        executor = SweepExecutor()
+        key = executor.run_key(make_cell(build_workload()))
+        assert CODE_VERSION  # the salt exists...
+        # ...and participates: recomputing under a patched salt must differ.
+        import repro.experiments.executor as executor_module
+
+        original = executor_module.CODE_VERSION
+        executor_module.CODE_VERSION = original + "-next"
+        try:
+            assert executor.run_key(make_cell(build_workload())) != key
+        finally:
+            executor_module.CODE_VERSION = original
+
+
+class TestMemoizedSetup:
+    def test_memoized_results_match_eager(self):
+        eager = [
+            _run_one(
+                build_workload(),
+                FDAStrategy(threshold=theta, variant="linear", seed=0),
+                RUN,
+            )
+            for theta in THETAS
+        ]
+        executor = SweepExecutor()
+        points = sweep_theta(build_workload(), THETAS, RUN, executor=executor)
+        # Partitions and the model pool were each built exactly once for the
+        # whole grid (pool lookups also serve key fingerprinting, so hit
+        # counts exceed cell counts — misses are the build-cost metric).
+        assert executor.setup.partition_misses == 1
+        assert executor.setup.model_misses == 1
+        assert executor.setup.partition_hits == len(THETAS) - 1
+        for point, reference in zip(points, eager):
+            assert_results_identical(point.result, reference)
+
+    def test_memoized_dropout_model_matches_eager(self):
+        # Dropout layers consume a private RNG stream during training; the
+        # model pool must rewind it on every bind for mask sequences to
+        # replay exactly.
+        workload = build_workload(
+            model_factory=lambda: transfer_head(
+                BLOBS_FEATURES,
+                num_classes=BLOBS_CLASSES,
+                hidden_units=(12,),
+                dropout_rate=0.3,
+                seed=0,
+            ),
+        )
+        eager = [
+            _run_one(
+                workload, FDAStrategy(threshold=theta, variant="linear", seed=0), RUN
+            )
+            for theta in THETAS
+        ]
+        points = sweep_theta(workload, THETAS, RUN, executor=SweepExecutor())
+        for point, reference in zip(points, eager):
+            assert_results_identical(point.result, reference)
+
+    def test_pool_survives_dtype_change(self):
+        # A float32 cell converts the pooled skeletons in place; the next
+        # float64 cell must get pristine float64 initials back.
+        executor = SweepExecutor()
+        reference = _run_one(
+            build_workload(), FDAStrategy(threshold=2.0, variant="linear", seed=0), RUN
+        )
+        sweep_theta(build_workload(dtype="float32"), (2.0,), RUN, executor=executor)
+        points = sweep_theta(build_workload(), (2.0,), RUN, executor=executor)
+        assert_results_identical(points[0].result, reference)
+
+
+class TestCrashResume:
+    def test_interrupted_sweep_resumes_without_reexecution(self, tmp_path, monkeypatch):
+        cache_dir = tmp_path / "cache"
+        uninterrupted = sweep_theta(
+            build_workload(), THETAS, RUN, executor=SweepExecutor()
+        )
+
+        # Kill the sweep after two completed cells (the third raises).
+        real_execute = TrainingRun.execute
+        calls = {"count": 0}
+
+        def dying_execute(self, *args, **kwargs):
+            calls["count"] += 1
+            if calls["count"] == 3:
+                raise RuntimeError("simulated crash")
+            return real_execute(self, *args, **kwargs)
+
+        monkeypatch.setattr(TrainingRun, "execute", dying_execute)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            sweep_theta(
+                build_workload(), THETAS, RUN, executor=SweepExecutor(cache_dir=cache_dir)
+            )
+        monkeypatch.setattr(TrainingRun, "execute", real_execute)
+        assert len(RunStore(cache_dir)) == 2  # both completed cells are durable
+
+        # Re-invoke: only the lost cell may execute.
+        counting = {"count": 0}
+
+        def counting_execute(self, *args, **kwargs):
+            counting["count"] += 1
+            return real_execute(self, *args, **kwargs)
+
+        monkeypatch.setattr(TrainingRun, "execute", counting_execute)
+        executor = SweepExecutor(cache_dir=cache_dir)
+        points = sweep_theta(build_workload(), THETAS, RUN, executor=executor)
+        assert counting["count"] == 1
+        assert executor.stats.cache_hits == 2 and executor.stats.executed == 1
+        for point, reference in zip(points, uninterrupted):
+            assert_results_identical(point.result, reference.result)
+
+    def test_force_reexecutes_and_shadows(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        sweep_theta(build_workload(), THETAS, RUN, executor=SweepExecutor(cache_dir=cache_dir))
+        forced = SweepExecutor(cache_dir=cache_dir, force=True)
+        sweep_theta(build_workload(), THETAS, RUN, executor=forced)
+        assert forced.stats.cache_hits == 0 and forced.stats.executed == len(THETAS)
+        # Shadowing appends: 6 lines on disk, 3 resolvable records.
+        store = RunStore(cache_dir)
+        assert len(store.runs_path.read_text().splitlines()) == 2 * len(THETAS)
+        assert len(store) == len(THETAS)
+
+    def test_no_resume_executes_but_still_records(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        sweep_theta(build_workload(), THETAS, RUN, executor=SweepExecutor(cache_dir=cache_dir))
+        blind = SweepExecutor(cache_dir=cache_dir, resume=False)
+        sweep_theta(build_workload(), THETAS, RUN, executor=blind)
+        assert blind.stats.cache_hits == 0 and blind.stats.executed == len(THETAS)
+        replaying = SweepExecutor(cache_dir=cache_dir)
+        sweep_theta(build_workload(), THETAS, RUN, executor=replaying)
+        assert replaying.stats.cache_hits == len(THETAS)
+
+
+class TestRunStore:
+    def test_truncated_tail_line_is_tolerated(self, tmp_path):
+        store = RunStore(tmp_path / "cache")
+        store.append("key-1", {"value": 1}, label="a")
+        store.append("key-2", {"value": 2}, label="b")
+        with store.runs_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"format": "repro.run-record", "key": "key-3", "resu')
+        index = store.load_index()
+        assert sorted(index) == ["key-1", "key-2"]
+
+    def test_last_record_wins(self, tmp_path):
+        store = RunStore(tmp_path / "cache")
+        store.append("key-1", {"value": "old"})
+        store.append("key-1", {"value": "new"})
+        assert store.load_index()["key-1"]["result"] == {"value": "new"}
+        assert len(store) == 1
+
+    def test_refuses_foreign_manifest(self, tmp_path):
+        foreign = tmp_path / "other"
+        foreign.mkdir()
+        (foreign / "manifest.json").write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ExperimentError, match="manifest"):
+            RunStore(foreign)
+
+    def test_manifest_is_well_formed(self, tmp_path):
+        store = RunStore(tmp_path / "cache")
+        manifest = store.manifest()
+        assert manifest["format"] == "repro.sweep-cache"
+        assert manifest["code_version"] == CODE_VERSION
+        assert manifest["runs_file"] == "runs.jsonl"
+
+
+@pytest.mark.skipif(not fork_parallelism_available(), reason="fork start method unavailable")
+class TestParallelExecution:
+    def test_parallel_results_bit_identical_to_serial(self, tmp_path):
+        serial = sweep_theta(build_workload(), THETAS, RUN, executor=SweepExecutor())
+        parallel_executor = SweepExecutor(cache_dir=tmp_path / "cache", jobs=2)
+        parallel = sweep_theta(build_workload(), THETAS, RUN, executor=parallel_executor)
+        assert parallel_executor.stats.parallel_cells == len(THETAS)
+        for left, right in zip(serial, parallel):
+            assert_results_identical(left.result, right.result)
+
+    def test_parallel_completions_are_durable(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        sweep_theta(
+            build_workload(), THETAS, RUN, executor=SweepExecutor(cache_dir=cache_dir, jobs=2)
+        )
+        replaying = SweepExecutor(cache_dir=cache_dir)
+        sweep_theta(build_workload(), THETAS, RUN, executor=replaying)
+        assert replaying.stats.cache_hits == len(THETAS)
+
+
+class TestCellValidation:
+    def test_rejects_non_cells(self):
+        with pytest.raises(ExperimentError, match="SweepCell"):
+            SweepExecutor().execute(["not-a-cell"])
+
+    def test_rejects_non_positive_jobs(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="jobs"):
+            SweepExecutor(jobs=0)
