@@ -11,6 +11,8 @@ Examples::
     python -m repro.cli compare --workload lenet --compressor topk --compression-ratio 0.1 --error-feedback
     python -m repro.cli fabric --workload lenet --topologies star ring --networks fl hpc
     python -m repro.cli compression --workload lenet --theta 8
+    python -m repro.cli compare --workload lenet --crash-rate 0.1 --loss-rate 0.05
+    python -m repro.cli faults --workload lenet --crash-rates 0 0.1 --loss-rates 0 0.05
     python -m repro.cli sweep --workload lenet --thetas 1 4 16 --seeds 0 1 --cache-dir runs/lenet --jobs 4
 
 ``figureN`` commands run the strategies of the corresponding registry entry on
@@ -130,6 +132,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="keep per-worker error-feedback memory (a (K, d) residual "
              "matrix on the cluster) so dropped mass re-enters later payloads",
     )
+    compare.add_argument(
+        "--crash-rate", type=float, default=0.0,
+        help="per-worker per-round crash probability (deterministic fault "
+             "injection; crashed workers freeze, then rejoin after a "
+             "geometric outage and pay a real model download)",
+    )
+    compare.add_argument(
+        "--loss-rate", type=float, default=0.0,
+        help="per-link per-collective message-loss probability; lost "
+             "transfers retransmit with capped exponential backoff, charged "
+             "to the byte/virtual-second ledgers",
+    )
+    compare.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the fault plan's own RNG streams (independent of the "
+             "workload seed)",
+    )
+    compare.add_argument(
+        "--checkpoint-every", type=int, default=0,
+        help="write a cluster checkpoint every N in-parallel steps "
+             "(requires --checkpoint-path; 0 disables)",
+    )
+    compare.add_argument(
+        "--checkpoint-path", default=None,
+        help="file the periodic checkpoint is atomically written to",
+    )
 
     fabric = subparsers.add_parser(
         "fabric", help="sweep a topology x network grid and report bytes + wall-clock"
@@ -164,6 +192,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "--full", action="store_true",
         help="use the full compression grid (adds top-k without error "
              "feedback, random-k, sign+norm, and layer-wise top-k)",
+    )
+
+    faults = subparsers.add_parser(
+        "faults",
+        help="sweep a crash-rate x loss-rate grid and report FDA-vs-BSP degradation",
+    )
+    faults.add_argument("--workload", choices=sorted(_WORKLOAD_BUILDERS), default="lenet")
+    faults.add_argument("--theta", type=float, default=8.0, help="FDA variance threshold")
+    faults.add_argument("--workers", type=int, default=4, help="number of workers K")
+    faults.add_argument("--target", type=float, default=0.9, help="test-accuracy target")
+    faults.add_argument("--max-steps", type=int, default=120, help="step budget per run")
+    faults.add_argument(
+        "--crash-rates", type=float, nargs="+", default=[0.0, 0.05, 0.1],
+        help="per-worker per-round crash probabilities to sweep",
+    )
+    faults.add_argument(
+        "--loss-rates", type=float, nargs="+", default=[0.0, 0.05],
+        help="per-link per-collective loss probabilities to sweep",
+    )
+    faults.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the fault plans' RNG streams",
     )
 
     sweep = subparsers.add_parser(
@@ -213,6 +263,7 @@ def _command_list() -> int:
     print("  compare       custom FDA vs baselines comparison (see --help)")
     print("  fabric        topology x network sweep: bytes + virtual wall-clock")
     print("  compression   payload-compression sweep: bytes removed per kernel")
+    print("  faults        crash x loss degradation grid: FDA vs BSP under churn")
     print("  sweep         cached theta x seed grid (resumable, parallel; see --help)")
     return 0
 
@@ -280,9 +331,29 @@ def _command_compare(args: argparse.Namespace) -> int:
         except ConfigurationError as error:  # out-of-range rate
             print(f"error: {error}")
             return 2
-    run = TrainingRun(
-        accuracy_target=args.target, max_steps=args.max_steps, eval_every_steps=20
-    )
+    if args.crash_rate or args.loss_rate:
+        from repro.faults import FaultPlan
+
+        try:
+            workload = workload.with_faults(
+                FaultPlan(
+                    crash_rate=args.crash_rate,
+                    loss_rate=args.loss_rate,
+                    seed=args.fault_seed,
+                )
+            )
+        except ConfigurationError as error:  # out-of-range rates
+            print(f"error: {error}")
+            return 2
+    try:
+        run = TrainingRun(
+            accuracy_target=args.target, max_steps=args.max_steps, eval_every_steps=20,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.checkpoint_path,
+        )
+    except ConfigurationError as error:  # --checkpoint-every without a path
+        print(f"error: {error}")
+        return 2
     fedopt = "fedavgm" if "densenet" in args.workload else "fedadam"
     strategies = registry.default_strategies(args.theta, fedopt=fedopt)
     results = []
@@ -301,9 +372,11 @@ def _command_compare(args: argparse.Namespace) -> int:
             return 2
         results.append(run.execute(strategy, cluster, test_dataset, workload_name=workload.name))
     compression = workload.compression.describe() if workload.compression else "none"
+    faults = workload.faults.describe() if workload.faults else "none"
     print(
         f"fabric: topology={args.topology} network={args.network} "
-        f"execution={args.execution} compression={compression} dtype={args.dtype}"
+        f"execution={args.execution} compression={compression} dtype={args.dtype} "
+        f"faults={faults}"
     )
     print(format_results_table(results, reached_only=False))
     print(format_comparison(results, "LinearFDA", "Synchronous"))
@@ -405,6 +478,53 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_faults(args: argparse.Namespace) -> int:
+    """Crash-rate x loss-rate degradation grid: FDA vs BSP, plus retry costs."""
+    from repro.faults import FaultPlan
+
+    workload = _WORKLOAD_BUILDERS[args.workload](num_workers=args.workers)
+    run = TrainingRun(
+        accuracy_target=args.target, max_steps=args.max_steps, eval_every_steps=20
+    )
+    strategies = (
+        ("LinearFDA", lambda: FDAStrategy(threshold=args.theta, variant="linear")),
+        ("Synchronous", lambda: SynchronousStrategy()),
+    )
+    header = (
+        f"{'crash':>7}{'loss':>7}  {'strategy':<14}{'bytes':>12}{'steps':>8}"
+        f"{'acc':>8}{'reached':>9}{'retx':>10}{'crashes':>9}"
+    )
+    print(f"fault-degradation grid (theta={args.theta}, K={args.workers})")
+    print(header)
+    print("-" * len(header))
+    for crash_rate in args.crash_rates:
+        for loss_rate in args.loss_rates:
+            try:
+                plan = FaultPlan(
+                    crash_rate=crash_rate, loss_rate=loss_rate, seed=args.fault_seed
+                )
+            except ConfigurationError as error:  # out-of-range rates
+                print(f"error: {error}")
+                return 2
+            faulted = workload.with_faults(None if plan.is_null else plan)
+            for name, factory in strategies:
+                cluster, test_dataset = build_cluster(faulted)
+                result = run.execute(
+                    factory(), cluster, test_dataset, workload_name=faulted.name
+                )
+                log = result.fault_log or {}
+                print(
+                    f"{crash_rate:>7.2f}{loss_rate:>7.2f}  {name:<14}"
+                    f"{format_bytes(result.communication_bytes):>12}"
+                    f"{result.parallel_steps:>8}"
+                    f"{result.final_accuracy:>8.3f}"
+                    f"{str(result.reached_target):>9}"
+                    f"{format_bytes(log.get('retransmitted_bytes', 0)):>10}"
+                    f"{len(log.get('crashes', [])):>9}"
+                )
+    return 0
+
+
 def _command_compression(args: argparse.Namespace) -> int:
     spec = registry.compression_sweep(quick=not args.full)
     print(f"{spec.experiment_id}: {spec.title}")
@@ -427,6 +547,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_fabric(args)
     if args.command == "compression":
         return _command_compression(args)
+    if args.command == "faults":
+        return _command_faults(args)
     if args.command == "sweep":
         return _command_sweep(args)
     if args.command in registry.ALL_FIGURES:

@@ -82,6 +82,11 @@ class FDATrainer:
         self._drift_scratch = np.empty(
             (cluster.num_workers, cluster.model_dimension), dtype=cluster.dtype
         )
+        # Last-known local state per worker, kept only under worker churn: a
+        # dead worker cannot report, so the variance estimate substitutes its
+        # most recent (stale) state until it rejoins.  ``None`` rows mean the
+        # worker never reported (it died before its first state).
+        self._stale_states: Optional[List[Optional[object]]] = None
         # All workers start from a common global model w_0 (Algorithm 1, line 1).
         initial = cluster.workers[0].get_parameters()
         cluster.broadcast_parameters(initial)
@@ -117,7 +122,15 @@ class FDATrainer:
         # Local states from the drifts relative to the last synchronization
         # point; one vectorized (K, d) subtraction, monitors consume the rows.
         drifts = self.cluster.drift_matrix(self._reference, out=self._drift_scratch)
-        if active is None:
+        alive = self.cluster.alive_mask
+        if alive is not None:
+            # Worker churn: dead workers cannot report a local state, so the
+            # estimate substitutes their last-known (stale) state — the
+            # monitor still sees one state per ever-reporting worker, keeping
+            # the variance over-estimate property (stale drifts only make the
+            # estimate more conservative).
+            states, num_active = self._states_under_churn(drifts, active, alive)
+        elif active is None:
             # The monitor consumes the whole drift matrix and batches what it
             # can without changing bits (e.g. the flat-bincount sketch of all
             # rows); its contract makes every state bit-identical to a
@@ -133,14 +146,19 @@ class FDATrainer:
                 if is_active
             ]
             num_active = len(states)
-        # AllReduce of the local states (charged as small "fda-state" traffic,
-        # routed through the fabric's topology and network).
-        self.cluster.charge_allreduce(self.state_elements_per_step, CATEGORY_STATE)
-        averaged = average_states(states)
-        estimate = self.monitor.estimate(averaged)
+        if states:
+            # AllReduce of the local states (charged as small "fda-state"
+            # traffic, routed through the fabric's topology and network).
+            self.cluster.charge_allreduce(self.state_elements_per_step, CATEGORY_STATE)
+            averaged = average_states(states)
+            estimate = self.monitor.estimate(averaged)
+        else:
+            # Only reachable under churn: every contributor is dead and none
+            # ever reported.  No state traffic, no sync decision this step.
+            estimate = self.last_estimate if self.last_estimate is not None else 0.0
         self.last_estimate = float(estimate)
 
-        synchronized = estimate > self.threshold
+        synchronized = bool(states) and estimate > self.threshold
         if synchronized:
             self._complete_synchronization()
 
@@ -165,6 +183,30 @@ class FDATrainer:
         )
         self.history.append(result)
         return result
+
+    def _states_under_churn(self, drifts, active, alive):
+        """Per-worker states with stale substitution for dead workers.
+
+        Alive (and participation-active) workers report fresh states computed
+        from *copies* of their drift rows — the rows live in a reusable
+        scratch buffer, and exact-variant states keep zero-copy views, so
+        retained states must own their memory.  Dead workers contribute their
+        most recent retained state; workers that died before ever reporting
+        contribute nothing.  Returns ``(states, num_fresh)``.
+        """
+        if self._stale_states is None:
+            self._stale_states = [None] * self.cluster.num_workers
+        num_fresh = 0
+        states = []
+        for worker_id in range(self.cluster.num_workers):
+            if alive[worker_id] and (active is None or active[worker_id]):
+                state = self.monitor.local_state(np.array(drifts[worker_id]))
+                self._stale_states[worker_id] = state
+                states.append(state)
+                num_fresh += 1
+            elif not alive[worker_id] and self._stale_states[worker_id] is not None:
+                states.append(self._stale_states[worker_id])
+        return states, num_fresh
 
     def run_steps(self, num_steps: int) -> List[FdaStepResult]:
         """Run ``num_steps`` FDA steps and return their results."""

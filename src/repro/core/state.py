@@ -134,3 +134,43 @@ def average_states(states: Sequence[LocalState]) -> LocalState:
     if not states:
         raise CommunicationError("average_states requires at least one state")
     return states[0]._combine(states)
+
+
+def state_to_dict(state: LocalState) -> dict:
+    """Serialize a local state for checkpointing (arrays stay numpy).
+
+    The faults-plane :class:`~repro.faults.checkpoint.ClusterCheckpoint`
+    encodes the contained arrays to base64; this only flattens the state into
+    a tagged plain structure.
+    """
+    if isinstance(state, LinearState):
+        return {
+            "type": "linear",
+            "drift_sq_norm": float(state.drift_sq_norm),
+            "projection": float(state.projection),
+        }
+    if isinstance(state, SketchState):
+        return {
+            "type": "sketch",
+            "drift_sq_norm": float(state.drift_sq_norm),
+            "sketch": np.array(state.sketch),
+        }
+    if isinstance(state, ExactState):
+        return {
+            "type": "exact",
+            "drift_sq_norm": float(state.drift_sq_norm),
+            "drift": np.array(state.drift),
+        }
+    raise CommunicationError(f"cannot serialize state of type {type(state).__name__}")
+
+
+def state_from_dict(payload: dict) -> LocalState:
+    """Rebuild a local state serialized by :func:`state_to_dict`."""
+    kind = payload.get("type")
+    if kind == "linear":
+        return LinearState(float(payload["drift_sq_norm"]), float(payload["projection"]))
+    if kind == "sketch":
+        return SketchState(float(payload["drift_sq_norm"]), np.asarray(payload["sketch"]))
+    if kind == "exact":
+        return ExactState(float(payload["drift_sq_norm"]), np.asarray(payload["drift"]))
+    raise CommunicationError(f"unknown serialized state type {kind!r}")

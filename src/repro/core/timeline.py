@@ -112,6 +112,9 @@ class Timeline:
         self.compute_seconds = 0.0
         self.comm_seconds = 0.0
         self.rounds_advanced = 0
+        # Churn ledger: (time, "crash" | "rejoin", worker_id) events recorded
+        # by the fault-injection plane, in virtual-time order.
+        self.churn_events: List[Tuple[float, str, int]] = []
         # Event mode: a heap of (completion_time, worker_id) step completions.
         self._queue: List[Tuple[float, int]] = []
 
@@ -250,6 +253,29 @@ class Timeline:
         """Move the clock forward to ``time`` (idle wait); never backwards."""
         if time > self.now:
             self.now = float(time)
+
+    # -- churn ------------------------------------------------------------------
+
+    def record_churn(self, kind: str, worker_id: int) -> None:
+        """Append one crash/rejoin event to the churn ledger at the current time."""
+        if kind not in ("crash", "rejoin"):
+            raise ConfigurationError(f"unknown churn event kind {kind!r}")
+        self.churn_events.append((self.now, kind, int(worker_id)))
+
+    def stall(self, seconds: float) -> None:
+        """Stretch the current round's compute critical path by ``seconds``.
+
+        Used for transient straggler spikes injected by the faults plane: the
+        spiked worker gates the lockstep barrier, so everyone waits.
+        """
+        if seconds < 0:
+            raise ConfigurationError(f"seconds must be non-negative, got {seconds}")
+        if seconds == 0.0:
+            return
+        self.now += seconds
+        self.compute_seconds += seconds
+        if self._queue:
+            self.delay_pending(seconds)
 
     def __repr__(self) -> str:
         return (

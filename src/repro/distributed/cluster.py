@@ -93,6 +93,7 @@ class SimulatedCluster:
         execution: str = "sequential",
         compression=None,
         dtype=None,
+        faults=None,
     ) -> None:
         if not workers:
             raise ConfigurationError("a cluster needs at least one worker")
@@ -162,6 +163,21 @@ class SimulatedCluster:
         self._compression = None
         if compression is not None:
             self.enable_compression(compression)
+        # Optional fault injection: ``faults`` is a
+        # :class:`~repro.faults.plan.FaultPlan` (or ``None``).  A null plan
+        # (all rates zero) installs nothing at all, which is what makes the
+        # fault-free path bit-identical to a run with no plan attached.
+        self.faults = None
+        if faults is not None and not faults.is_null:
+            if self._compression is not None:
+                raise ConfigurationError(
+                    "fault injection and collective compression cannot be "
+                    "combined yet; drop one of the two"
+                )
+            from repro.faults.injector import FaultInjector
+
+            self.faults = FaultInjector(faults, len(self.workers))
+            self.fabric.injector = self.faults
         # The execution engine (sequential per-worker loop or one batched
         # pass) sits below step_all; built last because the batched engine
         # stacks gradients next to the matrices created above.
@@ -405,7 +421,15 @@ class SimulatedCluster:
             )
         if count_cost:
             self.charge_broadcast(int(flat.size), CATEGORY_MODEL)
-        self._param_matrix[...] = flat
+        alive = self.alive_mask
+        if alive is None or alive.all():
+            self._param_matrix[...] = flat
+        else:
+            # Dead workers are unreachable: their rows stay frozen and they
+            # pull the current model when they rejoin.
+            self._param_matrix[alive] = flat
+        if count_cost:
+            self._maybe_corrupt(self._receiving_rows())
         if self._compression is not None:
             self._compression.set_reference(flat)
 
@@ -425,13 +449,24 @@ class SimulatedCluster:
         """The global model ``w̄`` (average of worker parameters); free of charge.
 
         This is a *bookkeeping* average used for evaluation — it does not
-        correspond to any network traffic in the simulated system.
+        correspond to any network traffic in the simulated system.  Under
+        worker churn the average renormalizes over the surviving workers:
+        dead rows hold frozen, stale models and do not vote.
         """
-        return self._param_matrix.mean(axis=0)
+        alive = self.alive_mask
+        if alive is None or alive.all():
+            return self._param_matrix.mean(axis=0)
+        return self._param_matrix[alive].mean(axis=0)
 
     def average_buffers(self) -> np.ndarray:
-        """Average of the workers' non-trainable buffers (batch-norm statistics)."""
-        return self._buffer_matrix.mean(axis=0)
+        """Average of the workers' non-trainable buffers (batch-norm statistics).
+
+        Renormalized over survivors under churn, like :meth:`average_parameters`.
+        """
+        alive = self.alive_mask
+        if alive is None or alive.all():
+            return self._buffer_matrix.mean(axis=0)
+        return self._buffer_matrix[alive].mean(axis=0)
 
     def synchronize(self, include_buffers: bool = True) -> np.ndarray:
         """Full model synchronization via AllReduce (Algorithm 1, line 9).
@@ -453,11 +488,19 @@ class SimulatedCluster:
             return self._compression.synchronize(self, include_buffers=include_buffers)
         average = self.average_parameters()
         self.charge_allreduce(int(average.size), CATEGORY_MODEL)
-        self._param_matrix[...] = average
+        alive = self.alive_mask
+        if alive is None or alive.all():
+            self._param_matrix[...] = average
+        else:
+            self._param_matrix[alive] = average
         if include_buffers and self._buffer_matrix.shape[1]:
             buffer_average = self.average_buffers()
             self.charge_allreduce(int(buffer_average.size), CATEGORY_MODEL)
-            self._buffer_matrix[...] = buffer_average
+            if alive is None or alive.all():
+                self._buffer_matrix[...] = buffer_average
+            else:
+                self._buffer_matrix[alive] = buffer_average
+        self._maybe_corrupt(self._receiving_rows())
         self.synchronization_count += 1
         return average
 
@@ -480,6 +523,95 @@ class SimulatedCluster:
             return self._param_matrix
         return self._compression.gather_models(self, reference=reference, category=category)
 
+    # -- the fault plane ---------------------------------------------------------
+
+    @property
+    def alive_mask(self) -> Optional[np.ndarray]:
+        """Boolean liveness mask when worker churn is active, else ``None``.
+
+        ``None`` means every worker is structurally alive (no fault plan, or a
+        plan without crashes) — the hot paths below use it to skip masking
+        entirely, keeping the fault-free trajectory byte-identical.
+        """
+        if self.faults is None or not self.faults.churn_active:
+            return None
+        return self.faults.alive
+
+    def _process_faults(self) -> None:
+        """Advance churn by one round: crash draws, due rejoins, recoveries.
+
+        Called at the top of every ``step_all``/``epoch_all`` round.  A
+        crashed worker's ``(K, d)`` rows are frozen from here on (engines
+        exclude it from the active mask); its un-synced local progress is
+        lost, modelled by resetting its optimizer state on rejoin.  A
+        rejoining worker pays a real point-to-point model download from the
+        coordinator before it may step again.
+        """
+        if self.faults is None:
+            return
+        crashed, rejoined = self.faults.advance_round(self.timeline.now)
+        for worker_id in crashed:
+            self.timeline.record_churn("crash", worker_id)
+        for worker_id in rejoined:
+            self._rejoin_worker(worker_id)
+            self.timeline.record_churn("rejoin", worker_id)
+
+    def _rejoin_worker(self, worker_id: int) -> None:
+        """Bring a recovered worker back: download the current model, cold-start.
+
+        The worker pulls the survivors' average model over its actual
+        coordinator path (charged as a point-to-point transfer on the fabric
+        ledgers) and restarts with zeroed optimizer moments and step count —
+        whatever momentum it had accumulated before the crash died with it.
+        State arrays are zeroed *in place* so the stacked optimizer's row
+        bindings (batched engine) stay intact.
+        """
+        mask = self.faults.alive.copy()
+        mask[worker_id] = False
+        if mask.any():
+            model = self._param_matrix[mask].mean(axis=0)
+            self._param_matrix[worker_id] = model
+            if self._buffer_matrix.shape[1]:
+                self._buffer_matrix[worker_id] = self._buffer_matrix[mask].mean(axis=0)
+        charge = self.charge_upload(self.model_dimension, CATEGORY_MODEL, worker_id)
+        self.faults.log.note_recovery_cost(worker_id, charge.num_bytes, charge.seconds)
+        optimizer = self.workers[worker_id].optimizer
+        for attr in ("_velocity", "_m", "_v"):
+            value = getattr(optimizer, attr, None)
+            if isinstance(value, np.ndarray):
+                value[...] = 0.0
+        optimizer.step_count = 0
+
+    def _faulted_active(self, active: Optional[np.ndarray]) -> Optional[np.ndarray]:
+        """Fold liveness into a participation mask after processing churn."""
+        self._process_faults()
+        alive = self.alive_mask
+        if alive is None or alive.all():
+            return active
+        if active is None:
+            return alive.copy()
+        return active & alive
+
+    def _maybe_spike(self, round_seconds: float) -> None:
+        """Draw and apply this round's transient straggler spike (if enabled)."""
+        if self.faults is None or not self.faults.straggler_active:
+            return
+        extra = self.faults.sample_straggler_spike(self.timeline.now, round_seconds)
+        if extra > 0.0:
+            self.timeline.stall(extra)
+
+    def _maybe_corrupt(self, rows: np.ndarray) -> None:
+        """Maybe corrupt the model payload received by ``rows`` (in place)."""
+        if self.faults is not None and self.faults.corruption_active and rows.size:
+            self.faults.corrupt_rows(self._param_matrix, rows)
+
+    def _receiving_rows(self) -> np.ndarray:
+        """Row indices that receive model broadcasts (alive workers only)."""
+        alive = self.alive_mask
+        if alive is None:
+            return np.arange(self.num_workers, dtype=np.intp)
+        return np.flatnonzero(alive)
+
     # -- training helpers ----------------------------------------------------------
 
     def step_all(self, active: Optional[np.ndarray] = None) -> float:
@@ -494,15 +626,37 @@ class SimulatedCluster:
         matrices stay bit-untouched.  The timeline advances by the slowest
         participating worker's step duration.  Returns the mean loss over the
         workers that stepped.
+
+        With a fault plan attached, churn is processed first (crashes freeze
+        rows; due rejoins pay their model download) and the effective mask is
+        ``active ∧ alive``; a round in which no live worker participates
+        performs no compute and returns a loss of ``0.0``.
         """
+        active = self._faulted_active(active)
+        if active is not None and not active.any():
+            return 0.0
         mean_loss = self._engine.step_all(active=active)
-        self.timeline.advance_round(1, active=active)
+        elapsed = self.timeline.advance_round(1, active=active)
+        self._maybe_spike(elapsed)
         return mean_loss
 
     def epoch_all(self) -> float:
-        """Run one local epoch on every worker; returns the mean loss."""
-        mean_loss = self._engine.epoch_all()
-        self.timeline.advance_round(max(w.batches_per_epoch for w in self.workers))
+        """Run one local epoch on every (alive) worker; returns the mean loss."""
+        active = self._faulted_active(None)
+        if active is None:
+            mean_loss = self._engine.epoch_all()
+            participants = self.workers
+        else:
+            if not active.any():
+                return 0.0
+            rows = [int(i) for i in np.flatnonzero(active)]
+            losses = [self._engine.epoch_worker(row) for row in rows]
+            mean_loss = float(np.mean(losses))
+            participants = [self.workers[row] for row in rows]
+        elapsed = self.timeline.advance_round(
+            max(w.batches_per_epoch for w in participants)
+        )
+        self._maybe_spike(elapsed)
         return mean_loss
 
     # -- evaluation -------------------------------------------------------------------

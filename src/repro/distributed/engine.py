@@ -51,13 +51,14 @@ the engine, at the cluster's collective layer: both engines feed the same
 ``(K, d)`` parameter matrix into the same row-wise compression kernels, so
 compressed runs inherit the cross-engine parity guarantee unchanged.
 
-One asymmetry is inherent and deliberate: the *error* path of a non-finite
-loss (``TrainingError``).  The sequential engine fails mid-loop — workers
-before the diverging one have already stepped — while the batched engine
-fails atomically before any parameter/optimizer/buffer update (though every
-participating worker's sampler stream has advanced).  ``TrainingError``
-signals a diverged run to be aborted or restarted, not resumed, so the
-engines only guarantee matching state on completed steps.
+Divergence (a non-finite loss) raises ``TrainingError`` consistently on both
+engines: the error names *every* diverged worker, the batched engine fails
+atomically — parameters, optimizer moments, and batch-norm buffers are rolled
+back or never touched — and the sequential engine completes the round for the
+remaining workers before raising, so every non-diverged worker has stepped
+exactly once.  ``TrainingError`` still signals a run to be aborted or
+restarted, not resumed (every participating worker's sampler stream has
+advanced), so the engines only guarantee matching state on completed steps.
 """
 
 from __future__ import annotations
@@ -77,6 +78,22 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster builds engin
 #: Engine names accepted by ``SimulatedCluster(execution=...)`` and
 #: ``WorkloadConfig.execution``.
 EXECUTION_MODES = ("sequential", "batched")
+
+
+def _divergence_error(worker_ids, loss_values) -> TrainingError:
+    """One ``TrainingError`` naming every diverged worker.
+
+    Keeps the per-worker ``"worker N: loss became non-finite (...)"`` wording
+    so callers (and tests) matching on a worker id keep working regardless of
+    how many workers diverged in the same round.
+    """
+    parts = [
+        f"worker {int(worker_id)}: loss became non-finite ({value})"
+        for worker_id, value in zip(worker_ids, loss_values)
+    ]
+    return TrainingError(
+        "; ".join(parts) + "; reduce the learning rate or variance threshold"
+    )
 
 
 class ClusterEngine:
@@ -136,14 +153,22 @@ class SequentialEngine(ClusterEngine):
 
     def step_all(self, active: Optional[np.ndarray] = None) -> float:
         workers = self.cluster.workers
-        if active is None:
-            losses = [worker.local_step() for worker in workers]
-        else:
-            losses = [
-                worker.local_step()
-                for worker, is_active in zip(workers, active)
-                if is_active
+        if active is not None:
+            workers = [
+                worker for worker, is_active in zip(workers, active) if is_active
             ]
+        losses: List[float] = []
+        failures: List[str] = []
+        for worker in workers:
+            # Complete the round for every worker before reporting failures,
+            # so the error names *all* diverged workers (not just the first)
+            # and every non-diverged worker has stepped exactly once.
+            try:
+                losses.append(worker.local_step())
+            except TrainingError as error:
+                failures.append(str(error))
+        if failures:
+            raise TrainingError("; ".join(failures))
         return float(np.mean(losses)) if losses else 0.0
 
 
@@ -237,6 +262,11 @@ class BatchedEngine(ClusterEngine):
         self._grad_scratch: Optional[np.ndarray] = None
         self._buffer_scratch: Optional[np.ndarray] = None
         self._masked_models: Dict[int, BatchedModel] = {}
+        # Full-path divergence rollback: the stacked forward mutates the live
+        # buffer matrix (batch-norm running stats) before losses exist, so a
+        # pre-step snapshot is needed to keep failure atomic (lazy, and only
+        # ever allocated for models that have buffers at all).
+        self._buffer_rollback: Optional[np.ndarray] = None
 
     @staticmethod
     def _model_signature(model) -> List[tuple]:
@@ -362,10 +392,9 @@ class BatchedEngine(ClusterEngine):
         losses = model.train_batch(x, y, self._loss, rows=rows)
         bad = np.flatnonzero(~np.isfinite(losses))
         if bad.size:
-            raise TrainingError(
-                f"worker {int(rows[bad[0]])}: loss became non-finite "
-                f"({losses[bad[0]]}); reduce the learning rate or variance threshold"
-            )
+            # The stacked pass only touched the scratch block: live
+            # parameters, buffers, and optimizer moments are untouched.
+            raise _divergence_error(rows[bad], losses[bad])
         self._optimizer.step_rows(
             self._param_scratch[:count], self._grad_scratch[:count], rows
         )
@@ -390,13 +419,22 @@ class BatchedEngine(ClusterEngine):
                 self.cluster.workers[int(k)].last_loss = float(value)
             return float(losses.mean())
         x, y = self._sampler.sample()
+        buffer_matrix = self.cluster.buffer_matrix
+        has_buffers = bool(buffer_matrix.shape[1])
+        if has_buffers:
+            # The stacked forward writes batch-norm running stats into the
+            # live buffer matrix before losses exist; snapshot them so a
+            # divergence can be rolled back (atomic failure, as on the
+            # masked scratch path).
+            if self._buffer_rollback is None:
+                self._buffer_rollback = np.empty_like(buffer_matrix)
+            self._buffer_rollback[...] = buffer_matrix
         losses = self._model.train_batch(x, y, self._loss)
         bad = np.flatnonzero(~np.isfinite(losses))
         if bad.size:
-            raise TrainingError(
-                f"worker {int(bad[0])}: loss became non-finite ({losses[bad[0]]}); "
-                "reduce the learning rate or variance threshold"
-            )
+            if has_buffers:
+                buffer_matrix[...] = self._buffer_rollback
+            raise _divergence_error(bad, losses[bad])
         self._optimizer.step_rows(self.cluster.parameter_matrix, self._grad_matrix)
         for worker, value in zip(self.cluster.workers, losses):
             worker.steps_performed += 1

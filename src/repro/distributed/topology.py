@@ -457,6 +457,11 @@ class Fabric:
     bytes_by_link: Dict[Link, int] = field(default_factory=dict)
     comm_seconds: float = 0.0
     seconds_by_category: Dict[str, float] = field(default_factory=dict)
+    #: Optional :class:`~repro.faults.injector.FaultInjector`.  When set and
+    #: its link-loss category is active, every collective draws per-link
+    #: retransmissions that are charged to the same ledgers as the original
+    #: transfer (see :meth:`_retransmit`).
+    injector: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.tracker is None:
@@ -481,9 +486,44 @@ class Fabric:
         critical_bytes = critical_elements * self.cost_model.bytes_per_element
         return self.network.transfer_time(critical_bytes, num_operations=rounds)
 
+    def _retransmit(self, loads: Dict[Link, float]) -> CollectiveCharge:
+        """Draw per-link retransmissions for one collective over lossy links.
+
+        For every link the collective touches (in deterministic sorted order)
+        the injector draws a capped-geometric retry count; each retry resends
+        that link's full payload, so the extra bytes land on *both* the
+        per-link ledger and the tracker total — the conservation property the
+        faults bench asserts (`tracker delta == Σ FaultLog link entries`).
+        Retry latency is the capped exponential backoff plus the network
+        transfer time of the resent payload (zero without a network model).
+        """
+        bytes_per_element = self.cost_model.bytes_per_element
+        extra_bytes = 0
+        extra_seconds = 0.0
+        for link in sorted(loads):
+            retries, backoff = self.injector.sample_link_retries()
+            if retries <= 0:
+                continue
+            link_bytes = int(round(loads[link] * bytes_per_element)) * retries
+            delay = backoff
+            if self.network is not None and link_bytes:
+                delay += self.network.transfer_time(link_bytes, num_operations=retries)
+            if link_bytes:
+                self.bytes_by_link[link] = self.bytes_by_link.get(link, 0) + link_bytes
+            extra_bytes += link_bytes
+            extra_seconds += delay
+            self.injector.log.record_retransmission(
+                f"{link[0]}->{link[1]}", retries, link_bytes, backoff
+            )
+        return CollectiveCharge(extra_bytes, extra_seconds)
+
     def _charge(
         self, num_bytes: int, seconds: float, category: str, loads: Dict[Link, float]
     ) -> CollectiveCharge:
+        if self.injector is not None and self.injector.loss_active:
+            resent = self._retransmit(loads)
+            num_bytes += resent.num_bytes
+            seconds += resent.seconds
         self.tracker.record_transfer(num_bytes, category)
         self._record_links(loads)
         self.comm_seconds += seconds

@@ -91,7 +91,8 @@ def workload_fingerprint(config: WorkloadConfig, setup: SetupCache) -> Dict[str,
     Datasets and the initial model are digested by content (not by factory
     identity), so two separately constructed but equal workloads share a
     fingerprint; every configuration field that can change a run's outcome —
-    partitioning, fabric, timeline, engine, compression, dtype, seed — is
+    partitioning, fabric, timeline, engine, compression, dtype, faults, seed
+    — is
     included, so any single-field change produces a different key.
     """
     return {
@@ -109,6 +110,7 @@ def workload_fingerprint(config: WorkloadConfig, setup: SetupCache) -> Dict[str,
         "execution": str(config.execution),
         "compression": canonical_value(config.compression),
         "dtype": str(config.dtype),
+        "faults": canonical_value(config.faults),
         "seed": int(config.seed),
         "train_dataset": setup.dataset_digest(config.train_dataset),
         "test_dataset": setup.dataset_digest(config.test_dataset),

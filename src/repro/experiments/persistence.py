@@ -43,8 +43,8 @@ _RESULT_FIELDS = (
 #: Fields added after the seed format (fabric/timeline by the topology
 #: refactor, ``execution`` by the batched engine, ``compression`` by the
 #: collective-level compression subsystem, ``dtype`` by the dtype-parametric
-#: plane); optional on load so result files written by earlier versions still
-#: deserialize.
+#: plane, ``faults``/``fault_log`` by the fault-injection plane); optional on
+#: load so result files written by earlier versions still deserialize.
 _OPTIONAL_RESULT_FIELDS = (
     "virtual_seconds",
     "compute_seconds",
@@ -54,6 +54,8 @@ _OPTIONAL_RESULT_FIELDS = (
     "execution",
     "compression",
     "dtype",
+    "faults",
+    "fault_log",
 )
 
 

@@ -62,6 +62,12 @@ class RunResult:
     #: "float32"); byte totals reflect its itemsize under the default
     #: cost model.
     dtype: str = "float64"
+    #: Compact label of the fault plan the run was injected with ("none"
+    #: without one), and the injector's full audit log (crashes, rejoins,
+    #: per-link retransmissions, spikes) as a plain dict — see
+    #: :class:`~repro.faults.injector.FaultLog`.
+    faults: str = "none"
+    fault_log: Optional[dict] = None
     history: RunLogger = field(default_factory=RunLogger)
 
     @property
@@ -108,6 +114,8 @@ class TrainingRun:
         eval_every_steps: int = 20,
         track_train_accuracy: bool = False,
         train_eval_samples: int = 512,
+        checkpoint_every: int = 0,
+        checkpoint_path=None,
     ) -> None:
         if not 0.0 < accuracy_target <= 1.0:
             raise ConfigurationError(
@@ -119,14 +127,29 @@ class TrainingRun:
             raise ConfigurationError(
                 f"eval_every_steps must be positive, got {eval_every_steps}"
             )
+        if checkpoint_every < 0:
+            raise ConfigurationError(
+                f"checkpoint_every must be non-negative, got {checkpoint_every}"
+            )
+        if checkpoint_every and checkpoint_path is None:
+            raise ConfigurationError(
+                "checkpoint_every requires a checkpoint_path to write snapshots to"
+            )
         self.accuracy_target = float(accuracy_target)
         self.max_steps = int(max_steps)
         self.eval_every_steps = int(eval_every_steps)
         self.track_train_accuracy = bool(track_train_accuracy)
         self.train_eval_samples = int(train_eval_samples)
+        self.checkpoint_every = int(checkpoint_every)
+        self.checkpoint_path = checkpoint_path
 
     def spec(self) -> dict:
-        """The run budget as a plain dict, fingerprinted into every run key."""
+        """The run budget as a plain dict, fingerprinted into every run key.
+
+        Checkpoint cadence and path are deliberately absent: snapshots are an
+        observer of the trajectory (a checkpointed run and an uncheckpointed
+        one are bit-identical), so they must not invalidate sweep cache keys.
+        """
         return {
             "class": type(self).__name__,
             "accuracy_target": self.accuracy_target,
@@ -143,8 +166,18 @@ class TrainingRun:
         test_dataset: Dataset,
         train_dataset: Optional[Dataset] = None,
         workload_name: str = "workload",
+        resume_from=None,
     ) -> RunResult:
-        """Attach ``strategy`` to ``cluster`` and train until target or budget."""
+        """Attach ``strategy`` to ``cluster`` and train until target or budget.
+
+        ``resume_from`` (a path or a loaded
+        :class:`~repro.faults.checkpoint.ClusterCheckpoint`) restores a
+        snapshot taken by a previous ``execute`` of the *same configuration*
+        into the freshly attached cluster/strategy and continues mid-run: the
+        continued trajectory, history, and ledgers are bit-identical to an
+        uninterrupted run.  With ``checkpoint_every > 0`` the run writes a
+        snapshot to ``checkpoint_path`` every that-many in-parallel steps.
+        """
         strategy.attach(cluster)
         history = RunLogger(name=f"{strategy.name}-{workload_name}")
         best_accuracy = 0.0
@@ -152,20 +185,76 @@ class TrainingRun:
         final_train_accuracy: Optional[float] = None
         reached = False
         evaluations = 0
+        mean_loss = 0.0
+        #: Target of a partially completed evaluation block being resumed.
+        pending_target: Optional[int] = None
+
+        if resume_from is not None:
+            from repro.faults.checkpoint import ClusterCheckpoint
+
+            checkpoint = (
+                resume_from
+                if isinstance(resume_from, ClusterCheckpoint)
+                else ClusterCheckpoint.load(resume_from)
+            )
+            run_state = checkpoint.restore(cluster, strategy)
+            if run_state:
+                best_accuracy = float(run_state["best_accuracy"])
+                final_accuracy = float(run_state["final_accuracy"])
+                train_acc = run_state.get("final_train_accuracy")
+                final_train_accuracy = None if train_acc is None else float(train_acc)
+                reached = bool(run_state["reached"])
+                evaluations = int(run_state["evaluations"])
+                mean_loss = float(run_state["mean_loss"])
+                pending_target = run_state.get("block_target")
+                for entry in run_state.get("history", []):
+                    history.log(**entry)
 
         train_eval = None
         if self.track_train_accuracy and train_dataset is not None:
             subset_size = min(self.train_eval_samples, len(train_dataset))
             train_eval = train_dataset.subset(range(subset_size), name="train-eval")
 
-        while cluster.parallel_steps < self.max_steps:
-            target_steps = min(
-                cluster.parallel_steps + self.eval_every_steps, self.max_steps
+        last_snapshot_steps = cluster.parallel_steps
+
+        def maybe_snapshot(block_target: int) -> None:
+            nonlocal last_snapshot_steps
+            if not self.checkpoint_every:
+                return
+            if cluster.parallel_steps - last_snapshot_steps < self.checkpoint_every:
+                return
+            from repro.faults.checkpoint import ClusterCheckpoint
+
+            run_state = {
+                "best_accuracy": best_accuracy,
+                "final_accuracy": final_accuracy,
+                "final_train_accuracy": final_train_accuracy,
+                "reached": reached,
+                "evaluations": evaluations,
+                "mean_loss": mean_loss,
+                "block_target": int(block_target),
+                "history": list(history.entries),
+            }
+            ClusterCheckpoint.capture(cluster, strategy, run_state).save(
+                self.checkpoint_path
             )
-            mean_loss = 0.0
+            last_snapshot_steps = cluster.parallel_steps
+
+        while not reached and cluster.parallel_steps < self.max_steps:
+            if pending_target is not None:
+                # Resume the interrupted evaluation block where it left off,
+                # keeping evaluation points aligned with the original run.
+                target_steps = int(pending_target)
+                pending_target = None
+            else:
+                target_steps = min(
+                    cluster.parallel_steps + self.eval_every_steps, self.max_steps
+                )
+                mean_loss = 0.0
             while cluster.parallel_steps < target_steps:
                 round_result = strategy.run_round()
                 mean_loss = round_result.mean_loss
+                maybe_snapshot(target_steps)
 
             _, test_accuracy = cluster.evaluate_global(test_dataset)
             evaluations += 1
@@ -212,5 +301,11 @@ class TrainingRun:
             execution=cluster.execution,
             compression=cluster.compression_label,
             dtype=cluster.dtype_name,
+            faults=(
+                cluster.faults.plan.describe() if cluster.faults is not None else "none"
+            ),
+            fault_log=(
+                cluster.faults.log.to_dict() if cluster.faults is not None else None
+            ),
             history=history,
         )

@@ -28,6 +28,7 @@ from repro.distributed.network import NetworkModel
 from repro.distributed.topology import Topology
 from repro.distributed.worker import Worker
 from repro.exceptions import ConfigurationError
+from repro.faults.plan import FaultPlan
 from repro.nn.losses import Loss, SoftmaxCrossEntropy
 from repro.nn.model import Sequential
 from repro.optim.adam import Adam, AdamW
@@ -114,6 +115,12 @@ class WorkloadConfig:
     #: (the bit-exact reference, default) or ``"float32"`` (the fast mode;
     #: see :mod:`repro.backend`).
     dtype: str = "float64"
+    #: Fault injection for the built cluster: a
+    #: :class:`~repro.faults.plan.FaultPlan` (worker churn, lossy links,
+    #: straggler spikes, payload corruption) or ``None``.  A null plan (all
+    #: rates zero) installs nothing — the built cluster is bit-identical to
+    #: one with no plan at all.
+    faults: Optional["FaultPlan"] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -200,6 +207,16 @@ class WorkloadConfig:
         ``compare --dtype`` flag and the dtype benchmarks.
         """
         return replace(self, dtype=resolve_dtype(dtype).name)
+
+    def with_faults(self, faults: Optional["FaultPlan"]) -> "WorkloadConfig":
+        """A copy of this workload under a different fault plan.
+
+        ``faults`` is a :class:`~repro.faults.plan.FaultPlan` or ``None`` to
+        return to the fault-free plane; used by the CLI's ``compare
+        --crash-rate``/``--loss-rate`` flags and the ``faults`` degradation
+        grid.
+        """
+        return replace(self, faults=faults)
 
 
 # ---------------------------------------------------------------------------
@@ -439,5 +456,6 @@ def build_cluster(
         execution=config.execution,
         compression=config.compression,
         dtype=config.dtype,
+        faults=config.faults,
     )
     return cluster, config.test_dataset

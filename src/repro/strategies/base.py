@@ -112,6 +112,23 @@ class Strategy:
         model (e.g. FDA mid-round) can consolidate here.
         """
 
+    # -- checkpointing --------------------------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        """JSON-safe protocol state for a :class:`~repro.faults.checkpoint.ClusterCheckpoint`.
+
+        The base implementation captures the round counter; strategies with
+        protocol-level mutable state (FDA's references and monitor direction,
+        for instance) extend the dict.  Restoring the returned dict via
+        :meth:`restore_state` on a freshly attached strategy must reproduce
+        the protocol bit-exactly.
+        """
+        return {"rounds_completed": int(self.rounds_completed)}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore protocol state captured by :meth:`checkpoint_state`."""
+        self.rounds_completed = int(state["rounds_completed"])
+
     # -- fingerprinting -------------------------------------------------------------
 
     def spec(self) -> dict:

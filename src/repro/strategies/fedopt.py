@@ -59,6 +59,12 @@ class FedOptStrategy(Strategy):
         # matrix as the server sees it — the live (K, d) parameter matrix on
         # the exact path, reference + reconstructed drifts under compression.
         client_models = cluster.gather_models(self._global_parameters, CATEGORY_MODEL)
+        alive = cluster.alive_mask
+        if alive is not None and not alive.all():
+            # Worker churn: dead clients cannot upload, so the server
+            # renormalizes its aggregation over the surviving rows instead of
+            # letting frozen, stale models vote.
+            client_models = client_models[alive]
         new_global = self.server_optimizer.aggregate(
             self._global_parameters, client_models
         )
@@ -68,6 +74,38 @@ class FedOptStrategy(Strategy):
             cluster.broadcast_buffers(cluster.average_buffers())
         cluster.synchronization_count += 1
         return mean_loss
+
+    # -- checkpointing -----------------------------------------------------------
+
+    #: Server-optimizer state arrays captured by checkpointing (FedAvgM's
+    #: velocity, the adaptive variants' moment estimates).
+    _SERVER_STATE_ATTRS = ("_velocity", "_m", "_v")
+
+    def checkpoint_state(self) -> dict:
+        import numpy as np
+
+        state = super().checkpoint_state()
+        payload = {
+            "global_parameters": np.array(self._global_parameters),
+            "server_round_count": int(self.server_optimizer.round_count),
+            "server_state": {},
+        }
+        for attr in self._SERVER_STATE_ATTRS:
+            value = getattr(self.server_optimizer, attr, None)
+            if value is not None:
+                payload["server_state"][attr] = np.array(value)
+        state["fedopt"] = payload
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        import numpy as np
+
+        super().restore_state(state)
+        payload = state["fedopt"]
+        self._global_parameters = np.asarray(payload["global_parameters"])
+        self.server_optimizer.round_count = int(payload["server_round_count"])
+        for attr, value in payload["server_state"].items():
+            setattr(self.server_optimizer, attr, np.asarray(value))
 
 
 def fedavgm_strategy(

@@ -59,6 +59,12 @@ FLOAT64_ALLOWLIST = {
     "data/features.py",
     # Virtual-time accounting (seconds, not streamed tensors).
     "core/timeline.py",
+    # Fault-plane bookkeeping: crash clocks are virtual-time seconds, like
+    # the timeline's — never part of a streamed tensor.
+    "faults/injector.py",
+    # Checkpoint restore writes the monitor's direction ξ back in the same
+    # deliberate float64 that core/monitor.py keeps it in.
+    "strategies/fda_strategy.py",
 }
 
 _PATTERN = re.compile(r"np\.float64")
