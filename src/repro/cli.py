@@ -150,6 +150,17 @@ def _build_parser() -> argparse.ArgumentParser:
              "workload seed)",
     )
     compare.add_argument(
+        "--population", type=int, default=0,
+        help="register this many logical clients (population plane) and "
+             "train per-round sampled cohorts instead of the materialized "
+             "cluster; 0 disables",
+    )
+    compare.add_argument(
+        "--cohort-size", type=int, default=16,
+        help="worker slots per round under --population (the physical "
+             "cohort window; replaces --workers for population runs)",
+    )
+    compare.add_argument(
         "--checkpoint-every", type=int, default=0,
         help="write a cluster checkpoint every N in-parallel steps "
              "(requires --checkpoint-path; 0 disables)",
@@ -343,6 +354,18 @@ def _command_compare(args: argparse.Namespace) -> int:
                 )
             )
         except ConfigurationError as error:  # out-of-range rates
+            print(f"error: {error}")
+            return 2
+    if args.population:
+        from repro.population import PopulationConfig
+
+        try:
+            workload = workload.with_population(
+                PopulationConfig(
+                    num_clients=args.population, cohort_size=args.cohort_size
+                )
+            )
+        except ConfigurationError as error:  # e.g. cohort larger than N
             print(f"error: {error}")
             return 2
     try:

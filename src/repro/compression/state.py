@@ -213,7 +213,14 @@ class ClusterCompression:
             work = self._drift_scratch
             np.subtract(cluster.parameter_matrix, reference, out=work)
         payloads = self.compressor.compress_rows(work)
-        average_delta = payloads.mean()
+        weights = cluster.normalized_aggregation_weights()
+        if weights is None:
+            average_delta = payloads.mean()
+        else:
+            # Population data-size weights (zero on a partial cohort's unbound
+            # slots): the server averages the reconstructed drifts weighted by
+            # the bound clients' shard sizes.
+            average_delta = weights.astype(self.dtype) @ payloads.reconstruct()
         if self.error_feedback:
             payloads.fold_residual(work)  # the accumulator becomes the residual
         cluster.charge_allreduce(

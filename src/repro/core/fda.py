@@ -117,6 +117,11 @@ class FDATrainer:
         # active workers, the batched engine executes only the active rows of
         # its (K, d) matrices (inactive rows stay bit-untouched).
         active = self.cluster.timeline.sample_participation()
+        population = self.cluster.population_mask
+        if population is not None:
+            # Partial cohorts (population plane): unbound slots hold stale
+            # client state and neither step nor report a local drift state.
+            active = population.copy() if active is None else active & population
         mean_loss = self.cluster.step_all(active=active)
 
         # Local states from the drifts relative to the last synchronization

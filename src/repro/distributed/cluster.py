@@ -167,6 +167,13 @@ class SimulatedCluster:
         # :class:`~repro.faults.plan.FaultPlan` (or ``None``).  A null plan
         # (all rates zero) installs nothing at all, which is what makes the
         # fault-free path bit-identical to a run with no plan attached.
+        # Optional population plane: aggregation weights (data-size weighted
+        # collectives), a participation mask for partial cohorts, and a back
+        # reference to the owning ClientPopulation.  All ``None`` means the
+        # exact legacy collectives — the bit-exact parity path.
+        self._aggregation_weights: Optional[np.ndarray] = None
+        self._population_mask: Optional[np.ndarray] = None
+        self.population = None
         self.faults = None
         if faults is not None and not faults.is_null:
             if self._compression is not None:
@@ -443,7 +450,57 @@ class SimulatedCluster:
             )
         self._buffer_matrix[...] = flat
 
+    # -- aggregation weights (population plane) ----------------------------------
+
+    @property
+    def aggregation_weights(self) -> Optional[np.ndarray]:
+        """Per-slot aggregation weights (``None`` = exact uniform collectives).
+
+        Set by the population plane when cohorts carry data-size weights (or a
+        partial cohort zero-weights its unbound slots).  ``None`` keeps every
+        collective on the legacy ``mean(axis=0)`` path, bit-identical to a
+        cluster without a population attached.
+        """
+        return self._aggregation_weights
+
+    def set_aggregation_weights(self, weights: Optional[np.ndarray]) -> None:
+        """Install per-slot aggregation weights (``None`` restores exact means)."""
+        if weights is None:
+            self._aggregation_weights = None
+            return
+        from repro.distributed.weights import validate_aggregation_weights
+
+        self._aggregation_weights = validate_aggregation_weights(
+            weights, self.num_workers
+        )
+
+    def normalized_aggregation_weights(
+        self, mask: Optional[np.ndarray] = None
+    ) -> Optional[np.ndarray]:
+        """Weights renormalized over ``mask`` (``None`` when no weights are set).
+
+        Returns a float64 vector summing to one over the masked-in slots, or
+        ``None`` when the cluster runs the exact uniform path.  Falls back to
+        ``None`` (uniform over the mask) if masking zeroes every weight.
+        """
+        from repro.distributed.weights import renormalized_weights
+
+        return renormalized_weights(self._aggregation_weights, mask)
+
     # -- model synchronization ---------------------------------------------------
+
+    def _mean_rows(self, matrix: np.ndarray, alive: Optional[np.ndarray]) -> np.ndarray:
+        """Row average honouring liveness and (if set) aggregation weights.
+
+        With ``aggregation_weights is None`` this is byte-for-byte the legacy
+        path: plain ``mean(axis=0)``, renormalized over survivors under churn.
+        """
+        normalized = self.normalized_aggregation_weights(alive)
+        if normalized is not None:
+            return normalized.astype(matrix.dtype) @ matrix
+        if alive is None or alive.all():
+            return matrix.mean(axis=0)
+        return matrix[alive].mean(axis=0)
 
     def average_parameters(self) -> np.ndarray:
         """The global model ``w̄`` (average of worker parameters); free of charge.
@@ -451,22 +508,17 @@ class SimulatedCluster:
         This is a *bookkeeping* average used for evaluation — it does not
         correspond to any network traffic in the simulated system.  Under
         worker churn the average renormalizes over the surviving workers:
-        dead rows hold frozen, stale models and do not vote.
+        dead rows hold frozen, stale models and do not vote.  With population
+        aggregation weights installed the average is the weighted mean.
         """
-        alive = self.alive_mask
-        if alive is None or alive.all():
-            return self._param_matrix.mean(axis=0)
-        return self._param_matrix[alive].mean(axis=0)
+        return self._mean_rows(self._param_matrix, self.alive_mask)
 
     def average_buffers(self) -> np.ndarray:
         """Average of the workers' non-trainable buffers (batch-norm statistics).
 
         Renormalized over survivors under churn, like :meth:`average_parameters`.
         """
-        alive = self.alive_mask
-        if alive is None or alive.all():
-            return self._buffer_matrix.mean(axis=0)
-        return self._buffer_matrix[alive].mean(axis=0)
+        return self._mean_rows(self._buffer_matrix, self.alive_mask)
 
     def synchronize(self, include_buffers: bool = True) -> np.ndarray:
         """Full model synchronization via AllReduce (Algorithm 1, line 9).
@@ -582,9 +634,31 @@ class SimulatedCluster:
                 value[...] = 0.0
         optimizer.step_count = 0
 
+    @property
+    def population_mask(self) -> Optional[np.ndarray]:
+        """Boolean mask of slots bound to cohort members (``None`` = all bound)."""
+        return self._population_mask
+
+    def set_population_mask(self, mask: Optional[np.ndarray]) -> None:
+        """Install a partial-cohort participation mask (``None`` = all slots bound)."""
+        if mask is None:
+            self._population_mask = None
+            return
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.num_workers,):
+            raise ShapeError(
+                f"population mask must have shape ({self.num_workers},), got {mask.shape}"
+            )
+        if not mask.any():
+            raise ConfigurationError("population mask must keep at least one slot bound")
+        self._population_mask = mask
+
     def _faulted_active(self, active: Optional[np.ndarray]) -> Optional[np.ndarray]:
-        """Fold liveness into a participation mask after processing churn."""
+        """Fold cohort binding and liveness into a mask after processing churn."""
         self._process_faults()
+        population = self._population_mask
+        if population is not None:
+            active = population.copy() if active is None else active & population
         alive = self.alive_mask
         if alive is None or alive.all():
             return active

@@ -1,0 +1,51 @@
+"""Aggregation-weight metadata for weighted collectives (population plane).
+
+Aggregation weights are O(K) *accounting* vectors — client sample counts or
+participation masks — not streamed ``(K, d)`` tensors, so like the fabric's
+byte counters and the timeline's virtual seconds they deliberately stay
+float64 regardless of the plane dtype: normalization (``w / w.sum()``)
+happens once per round in double precision, and only the final normalized
+vector is cast to the plane dtype at the weighted-mean matmul.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShapeError
+
+
+def validate_aggregation_weights(weights, num_workers: int) -> np.ndarray:
+    """Check and canonicalize one per-slot weight vector (float64 copy)."""
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (num_workers,):
+        raise ShapeError(
+            f"aggregation weights must have shape ({num_workers},), "
+            f"got {weights.shape}"
+        )
+    if np.any(weights < 0.0) or not np.isfinite(weights).all():
+        raise ConfigurationError("aggregation weights must be finite and >= 0")
+    if weights.sum() <= 0.0:
+        raise ConfigurationError("aggregation weights must not sum to zero")
+    return weights
+
+
+def renormalized_weights(
+    weights: Optional[np.ndarray], mask: Optional[np.ndarray] = None
+) -> Optional[np.ndarray]:
+    """Weights renormalized to sum one over ``mask`` (``None`` = uniform path).
+
+    ``None`` weights pass through (the exact ``mean(axis=0)`` collectives);
+    a mask that zeroes every weight also returns ``None`` so callers fall
+    back to the uniform average over the mask instead of dividing by zero.
+    """
+    if weights is None:
+        return None
+    if mask is not None:
+        weights = np.where(mask, weights, 0.0)
+    total = weights.sum()
+    if total <= 0.0:
+        return None
+    return weights / total

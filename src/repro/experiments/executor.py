@@ -111,6 +111,7 @@ def workload_fingerprint(config: WorkloadConfig, setup: SetupCache) -> Dict[str,
         "compression": canonical_value(config.compression),
         "dtype": str(config.dtype),
         "faults": canonical_value(config.faults),
+        "population": canonical_value(config.population),
         "seed": int(config.seed),
         "train_dataset": setup.dataset_digest(config.train_dataset),
         "test_dataset": setup.dataset_digest(config.test_dataset),

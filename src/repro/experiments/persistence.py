@@ -43,8 +43,9 @@ _RESULT_FIELDS = (
 #: Fields added after the seed format (fabric/timeline by the topology
 #: refactor, ``execution`` by the batched engine, ``compression`` by the
 #: collective-level compression subsystem, ``dtype`` by the dtype-parametric
-#: plane, ``faults``/``fault_log`` by the fault-injection plane); optional on
-#: load so result files written by earlier versions still deserialize.
+#: plane, ``faults``/``fault_log`` by the fault-injection plane,
+#: ``population`` by the population plane); optional on load so result files
+#: written by earlier versions still deserialize.
 _OPTIONAL_RESULT_FIELDS = (
     "virtual_seconds",
     "compute_seconds",
@@ -54,6 +55,7 @@ _OPTIONAL_RESULT_FIELDS = (
     "execution",
     "compression",
     "dtype",
+    "population",
     "faults",
     "fault_log",
 )

@@ -68,6 +68,9 @@ class RunResult:
     #: :class:`~repro.faults.injector.FaultLog`.
     faults: str = "none"
     fault_log: Optional[dict] = None
+    #: Compact label of the population the run trained over ("none" for a
+    #: materialized cluster; e.g. "pop(N=100000,C=16,fixed,data-size)").
+    population: str = "none"
     history: RunLogger = field(default_factory=RunLogger)
 
     @property
@@ -179,6 +182,12 @@ class TrainingRun:
         snapshot to ``checkpoint_path`` every that-many in-parallel steps.
         """
         strategy.attach(cluster)
+        population = getattr(cluster, "population", None)
+        if population is not None:
+            # Attach after the strategy's initial broadcast so the captured
+            # fresh-client model is the shared w₀; from here each round draws
+            # a cohort, binds it onto the slots, and runs the strategy round.
+            population.attach(cluster, strategy)
         history = RunLogger(name=f"{strategy.name}-{workload_name}")
         best_accuracy = 0.0
         final_accuracy = 0.0
@@ -252,7 +261,10 @@ class TrainingRun:
                 )
                 mean_loss = 0.0
             while cluster.parallel_steps < target_steps:
-                round_result = strategy.run_round()
+                if population is not None:
+                    round_result = population.run_round()
+                else:
+                    round_result = strategy.run_round()
                 mean_loss = round_result.mean_loss
                 maybe_snapshot(target_steps)
 
@@ -306,6 +318,9 @@ class TrainingRun:
             ),
             fault_log=(
                 cluster.faults.log.to_dict() if cluster.faults is not None else None
+            ),
+            population=(
+                population.describe() if population is not None else "none"
             ),
             history=history,
         )

@@ -34,6 +34,7 @@ from repro.nn.model import Sequential
 from repro.optim.adam import Adam, AdamW
 from repro.optim.base import Optimizer
 from repro.optim.sgd import SGD
+from repro.population.config import PopulationConfig
 from repro.utils.rng import RngFactory
 
 ModelFactory = Callable[[], Sequential]
@@ -121,6 +122,12 @@ class WorkloadConfig:
     #: rates zero) installs nothing — the built cluster is bit-identical to
     #: one with no plan at all.
     faults: Optional["FaultPlan"] = None
+    #: Population plane: a :class:`~repro.population.config.PopulationConfig`
+    #: registers ``num_clients`` logical clients multiplexed onto
+    #: ``cohort_size`` physical worker slots (``num_workers`` must equal the
+    #: cohort size).  ``None`` (the default) trains the materialized cluster
+    #: directly — bit-identical to the pre-population behaviour.
+    population: Optional[PopulationConfig] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -141,6 +148,12 @@ class WorkloadConfig:
         # cluster construction deep inside a sweep.
         self.compression = get_compression(self.compression)
         self.dtype = resolve_dtype(self.dtype).name
+        if self.population is not None and self.num_workers != self.population.cohort_size:
+            raise ConfigurationError(
+                f"population workloads need num_workers == cohort_size "
+                f"({self.population.cohort_size}), got num_workers={self.num_workers}; "
+                f"use with_population() to keep them in sync"
+            )
 
     def with_workers(self, num_workers: int) -> "WorkloadConfig":
         """A copy of this workload with a different worker count (for K sweeps)."""
@@ -217,6 +230,19 @@ class WorkloadConfig:
         grid.
         """
         return replace(self, faults=faults)
+
+    def with_population(self, population: Optional[PopulationConfig]) -> "WorkloadConfig":
+        """A copy of this workload over a registered client population.
+
+        ``population`` is a :class:`~repro.population.config.PopulationConfig`
+        (the worker count snaps to its cohort size — the cluster's slots
+        become the cohort window) or ``None`` to return to the materialized
+        cluster; used by the CLI's ``compare --population``/``--cohort-size``
+        flags and the population scaling bench.
+        """
+        if population is None:
+            return replace(self, population=None)
+        return replace(self, population=population, num_workers=population.cohort_size)
 
 
 # ---------------------------------------------------------------------------
@@ -347,7 +373,13 @@ class SetupCache:
         return shards
 
     def _pool(self, config: WorkloadConfig) -> Optional[_ModelPool]:
-        key = (id(config.model_factory), int(config.num_workers))
+        # Pools are sized and keyed by *physical slots*, not the logical
+        # worker/client count: a population cell's cluster holds cohort_size
+        # slots regardless of num_clients, so two cells with different
+        # populations but the same cohort share one pool, and a cell that
+        # changes cohort size never rebinds a wrong-sized skeleton list.
+        slots = _worker_slots(config)
+        key = (id(config.model_factory), slots)
         if key in self._pools:
             entry = self._pools[key]
             if entry is None or entry.factory is config.model_factory:
@@ -361,7 +393,7 @@ class SetupCache:
             # per-cell factory calls (None is cached to skip re-probing).
             self._pools[key] = None
             return None
-        pool = _ModelPool(config.model_factory, config.num_workers)
+        pool = _ModelPool(config.model_factory, slots)
         self._pools[key] = pool
         return pool
 
@@ -395,6 +427,18 @@ class SetupCache:
         return digest
 
 
+def _worker_slots(config: WorkloadConfig) -> int:
+    """Physical worker slots of the cluster a workload builds.
+
+    Equal to ``num_workers`` for materialized workloads; under a population
+    config the slots form the cohort window (``cohort_size``), independent of
+    the logical client count.
+    """
+    if config.population is not None:
+        return int(config.population.cohort_size)
+    return int(config.num_workers)
+
+
 def build_cluster(
     config: WorkloadConfig, setup: Optional[SetupCache] = None
 ) -> Tuple[SimulatedCluster, Dataset]:
@@ -408,7 +452,14 @@ def build_cluster(
     state across repeated builds of the same workload — the sweep executor's
     shared-setup path.  Memoized and eager builds are bit-identical; without
     a cache every call rebuilds everything from scratch.
+
+    With ``config.population`` set, the built cluster is the *cohort window*:
+    ``cohort_size`` slots seeded from the population's client directory, with
+    an unattached :class:`~repro.population.plane.ClientPopulation` hung on
+    ``cluster.population`` for the training run to attach and drive.
     """
+    if config.population is not None:
+        return _build_population_cluster(config, setup)
     rng_factory = RngFactory(config.seed)
     if setup is not None:
         partitions = setup.partitions(config)
@@ -458,4 +509,71 @@ def build_cluster(
         dtype=config.dtype,
         faults=config.faults,
     )
+    return cluster, config.test_dataset
+
+
+def _build_population_cluster(
+    config: WorkloadConfig, setup: Optional[SetupCache] = None
+) -> Tuple[SimulatedCluster, Dataset]:
+    """Build the cohort-window cluster for a population workload.
+
+    The cluster holds ``cohort_size`` slots; slot ``s`` is seeded with client
+    ``s mod N``'s shard so every slot has valid data before the first cohort
+    binds (the population swaps shards per round).  Partitioning is bypassed
+    entirely — client shards come from the
+    :class:`~repro.population.directory.ClientDirectory` — while the model
+    pool memoization applies unchanged (pools key on slot count).
+    """
+    from repro.population.plane import ClientPopulation
+
+    rng_factory = RngFactory(config.seed)
+    population = ClientPopulation(
+        config.population,
+        train_dataset=config.train_dataset,
+        seed=config.seed,
+        client_seed_fn=rng_factory.worker,
+    )
+    slots = _worker_slots(config)
+    pooled_models = setup.worker_models(config) if setup is not None else None
+    loss = config.loss or SoftmaxCrossEntropy()
+    workers = []
+    for slot in range(slots):
+        shard = population.directory.shard(slot % config.population.num_clients)
+        model = pooled_models[slot] if pooled_models else config.model_factory()
+        optimizer = config.optimizer_factory()
+        workers.append(
+            Worker(
+                slot,
+                model,
+                shard,
+                optimizer,
+                batch_size=config.batch_size,
+                loss=loss,
+                seed=rng_factory.worker(slot),
+            )
+        )
+    timeline = None
+    if config.compute_profile is not None or config.dropout_rate:
+        timeline = Timeline(
+            slots,
+            profile=config.compute_profile,
+            seed=rng_factory.named("timeline"),
+            dropout_rate=config.dropout_rate,
+        )
+    cluster = SimulatedCluster(
+        workers,
+        cost_model=config.cost_model,
+        loss=loss,
+        topology=config.topology,
+        network=config.network,
+        timeline=timeline,
+        execution=config.execution,
+        compression=config.compression,
+        dtype=config.dtype,
+        faults=config.faults,
+    )
+    # Unattached until the training run calls population.attach(cluster,
+    # strategy) — attach must run after the strategy's initial broadcast so
+    # the captured fresh-client model is the shared w₀.
+    cluster.population = population
     return cluster, config.test_dataset

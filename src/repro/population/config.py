@@ -1,0 +1,104 @@
+"""Configuration of the population plane.
+
+A :class:`PopulationConfig` describes a *registered client population* far
+larger than the physical cluster: ``num_clients`` logical clients exist as
+lightweight descriptors, and each round a sampled *cohort* of at most
+``cohort_size`` of them is bound onto the cluster's worker slots.  The config
+is a frozen dataclass so it canonicalizes field-wise into sweep-cache
+fingerprints (see :func:`repro.experiments.cache.canonical_value`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+
+#: Cohort sampling schemes: ``"fixed"`` draws exactly ``cohort_size`` distinct
+#: clients per round; ``"bernoulli"`` draws a Binomial(N, act_prob) activation
+#: count (clamped to ``[1, cohort_size]``) and then that many distinct clients
+#: — distributionally the classic per-client coin flip, computed in O(cohort)
+#: instead of O(N).
+SAMPLING_SCHEMES = ("fixed", "bernoulli")
+
+#: Aggregation weighting: ``"uniform"`` keeps the cluster's exact
+#: ``mean(axis=0)`` collectives (the bit-exact parity path); ``"data-size"``
+#: weights every aggregation by the bound clients' shard sizes (the FedDyn /
+#: Ji et al. regime).
+WEIGHTING_SCHEMES = ("uniform", "data-size")
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Everything that defines one registered client population.
+
+    ``memory_budget`` caps the number of *resident* (in-memory) client state
+    snapshots; least-recently-bound clients beyond it are spilled to disk and
+    rematerialized bit-exactly on their next binding.  ``None`` derives the
+    default ``2 × cohort_size`` bound, which keeps peak resident state a
+    function of the cohort — never of ``num_clients``.
+    """
+
+    num_clients: int
+    cohort_size: int
+    sampling: str = "fixed"
+    act_prob: float = 0.1
+    weighting: str = "data-size"
+    memory_budget: Optional[int] = None
+    min_client_samples: int = 24
+    max_client_samples: int = 64
+
+    def __post_init__(self) -> None:
+        if self.num_clients < 1:
+            raise ConfigurationError(
+                f"num_clients must be positive, got {self.num_clients}"
+            )
+        if not 1 <= self.cohort_size <= self.num_clients:
+            raise ConfigurationError(
+                f"cohort_size must lie in [1, num_clients={self.num_clients}], "
+                f"got {self.cohort_size}"
+            )
+        if self.sampling not in SAMPLING_SCHEMES:
+            raise ConfigurationError(
+                f"sampling must be one of {SAMPLING_SCHEMES}, got {self.sampling!r}"
+            )
+        if not 0.0 < self.act_prob <= 1.0:
+            raise ConfigurationError(
+                f"act_prob must lie in (0, 1], got {self.act_prob}"
+            )
+        if self.weighting not in WEIGHTING_SCHEMES:
+            raise ConfigurationError(
+                f"weighting must be one of {WEIGHTING_SCHEMES}, got {self.weighting!r}"
+            )
+        if self.memory_budget is not None and self.memory_budget < 1:
+            raise ConfigurationError(
+                f"memory_budget must be positive (or None), got {self.memory_budget}"
+            )
+        if not 1 <= self.min_client_samples <= self.max_client_samples:
+            raise ConfigurationError(
+                "client sample bounds must satisfy 1 <= min <= max, got "
+                f"[{self.min_client_samples}, {self.max_client_samples}]"
+            )
+
+    @property
+    def effective_memory_budget(self) -> int:
+        """The resident-snapshot cap actually enforced by the state store."""
+        if self.memory_budget is not None:
+            return self.memory_budget
+        return max(2 * self.cohort_size, 2)
+
+    @property
+    def samples_all_clients(self) -> bool:
+        """True when every registered client is bound every round (cohort=all)."""
+        return self.cohort_size >= self.num_clients
+
+    def describe(self) -> str:
+        """Compact label for reports, run results, and persisted rows."""
+        parts = [f"N={self.num_clients}", f"C={self.cohort_size}", self.sampling]
+        if self.sampling == "bernoulli":
+            parts.append(f"p={self.act_prob}")
+        parts.append(self.weighting)
+        if self.memory_budget is not None:
+            parts.append(f"budget={self.memory_budget}")
+        return f"pop({','.join(parts)})"

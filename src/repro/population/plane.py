@@ -1,0 +1,318 @@
+"""The population plane: cohort binding over a fixed-slot cluster.
+
+A :class:`ClientPopulation` turns the ``(K, d)`` cluster into a *window* onto
+a registered population of ``N ≫ K`` logical clients.  The cluster's worker
+slots are physical resources (models, optimizers, samplers, parameter-matrix
+rows); clients are logical records.  Each round:
+
+1. the :class:`~repro.population.sampler.CohortSampler` draws a cohort,
+2. every cohort member is **bound** into a slot — the slot is first reset to
+   the pristine fresh-client state (initial global model, zero optimizer
+   moments, the client's seed-derived RNG streams, zero error-feedback
+   residual), then the client's saved snapshot, if any, is overlaid *in
+   place* so the stacked optimizer's and compression state's row bindings
+   survive,
+3. the strategy runs its round on the bound cluster exactly as it would on a
+   materialized one — the masked ``(A, d)`` batched path, the fabric charges,
+   FDA's triggered syncs, all unchanged,
+4. every bound client is **unbound** — its slot state is snapshotted into the
+   LRU :class:`~repro.population.store.ClientStateStore`.
+
+Aggregation weights: with ``weighting="data-size"`` the cluster's collectives
+(`synchronize`, `gather_models` consumers, global evaluation) average with
+per-slot weights equal to the bound clients' shard sizes.  With ``"uniform"``
+the cluster keeps its exact ``mean(axis=0)`` paths — which is what makes the
+cohort=all configuration bit-identical to a fully materialized cluster
+(asserted by ``tests/helpers/parity.run_population_parity``).
+
+Fault plans compose at the *slot* level: churn crashes a slot, and whichever
+client is bound there loses its local progress for the round — cohort-scoped
+churn, matching the cross-device reality that a sampled device can drop out
+mid-round.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.exceptions import ConfigurationError, ExperimentError
+from repro.faults.checkpoint import (
+    _OPTIMIZER_STATE_ATTRS,
+    _model_rng_states,
+    _restore_model_rng_states,
+    _rng_state,
+)
+from repro.population.config import PopulationConfig
+from repro.population.directory import ClientDirectory
+from repro.population.sampler import CohortSampler
+from repro.population.store import ClientStateStore
+from repro.utils.rng import RngFactory, as_rng
+
+
+class ClientPopulation:
+    """N logical clients multiplexed onto a C-slot cluster, one cohort per round.
+
+    ``client_seed_fn`` maps a client id to the seed of its private training
+    streams (batch sampler + epoch iterator); the default derives a named
+    stream per client from ``seed``.  ``build_cluster`` passes the workload's
+    ``RngFactory.worker`` so that a population of ``N == K`` clients with
+    cohort=all reproduces a materialized ``build_cluster`` worker-for-worker;
+    the parity harness passes ``lambda c: c`` to mirror its int-seeded
+    workers.
+    """
+
+    def __init__(
+        self,
+        config: PopulationConfig,
+        *,
+        shards: Optional[Sequence[Dataset]] = None,
+        train_dataset: Optional[Dataset] = None,
+        seed: int = 0,
+        client_seed_fn: Optional[Callable[[int], object]] = None,
+        spill_dir=None,
+    ) -> None:
+        self.config = config
+        self.seed = int(seed)
+        self.directory = ClientDirectory(
+            config, shards=shards, train_dataset=train_dataset, seed=seed
+        )
+        self.cohort_sampler = CohortSampler(config, seed)
+        self.store = ClientStateStore(
+            budget=config.effective_memory_budget, spill_dir=spill_dir
+        )
+        if client_seed_fn is None:
+            factory = RngFactory(seed)
+            client_seed_fn = lambda client_id: factory.named(f"pop-client-{client_id}")
+        self._client_seed_fn = client_seed_fn
+        self._cluster = None
+        self.strategy = None
+        self._initial_params: Optional[np.ndarray] = None
+        self._initial_buffers: Optional[np.ndarray] = None
+        self._pristine_model_rngs = None
+        self._bound: Optional[np.ndarray] = None
+        self._bound_base_steps: Optional[list] = None
+        self.rounds_completed = 0
+        #: Cumulative local steps per ever-bound client (small: one int per
+        #: stateful client, regardless of snapshot residency).
+        self.client_steps: Dict[int, int] = {}
+
+    # -- wiring ------------------------------------------------------------------
+
+    @property
+    def cluster(self):
+        if self._cluster is None:
+            raise ExperimentError(
+                "ClientPopulation is not attached to a cluster; call attach() first"
+            )
+        return self._cluster
+
+    def attach(self, cluster, strategy=None) -> "ClientPopulation":
+        """Bind to a cluster (after the strategy's initial broadcast).
+
+        Captures the pristine fresh-client state every binding resets to: the
+        shared initial model ``w₀``, the factory-initial buffers, and each
+        slot model's pristine layer RNG streams (Dropout masks).  Must run
+        *after* ``strategy.attach`` so ``w₀`` is the broadcast initial model.
+        """
+        if cluster.num_workers != self.config.cohort_size:
+            raise ConfigurationError(
+                f"population cohort_size={self.config.cohort_size} needs exactly "
+                f"that many worker slots, cluster has {cluster.num_workers}"
+            )
+        self._cluster = cluster
+        if strategy is not None:
+            self.strategy = strategy
+        self._initial_params = cluster.parameter_matrix[0].copy()
+        self._initial_buffers = (
+            cluster.buffer_matrix[0].copy() if cluster.buffer_matrix.shape[1] else None
+        )
+        self._pristine_model_rngs = [
+            _model_rng_states(worker.model) for worker in cluster.workers
+        ]
+        cluster.population = self
+        return self
+
+    def describe(self) -> str:
+        return self.config.describe()
+
+    @property
+    def peak_resident_clients(self) -> int:
+        """High-water mark of in-memory client snapshots (cohort-bounded)."""
+        return self.store.peak_resident
+
+    # -- binding -----------------------------------------------------------------
+
+    def _reset_slot(self, slot: int, client_id: int, shard: Dataset) -> None:
+        """Reset one slot to the fresh-client state, strictly in place."""
+        cluster = self.cluster
+        worker = cluster.workers[slot]
+        worker.dataset = shard
+        worker._sampler.dataset = shard
+        worker._epoch_iterator.dataset = shard
+        cluster.parameter_matrix[slot] = self._initial_params
+        if self._initial_buffers is not None:
+            cluster.buffer_matrix[slot] = self._initial_buffers
+        optimizer = worker.optimizer
+        optimizer.step_count = 0
+        for attr in _OPTIMIZER_STATE_ATTRS:
+            value = getattr(optimizer, attr, None)
+            if isinstance(value, np.ndarray):
+                value[...] = 0.0
+        worker.last_loss = None
+        fresh_state = as_rng(self._client_seed_fn(client_id)).bit_generator.state
+        worker._sampler._rng.bit_generator.state = fresh_state
+        worker._epoch_iterator._rng.bit_generator.state = fresh_state
+        _restore_model_rng_states(worker.model, self._pristine_model_rngs[slot])
+        compression = cluster.compression
+        if compression is not None and compression.residual_matrix is not None:
+            compression.residual_matrix[slot] = 0.0
+
+    def _overlay_snapshot(self, slot: int, snapshot: dict) -> None:
+        """Overlay a returning client's saved state onto a freshly reset slot."""
+        cluster = self.cluster
+        worker = cluster.workers[slot]
+        cluster.parameter_matrix[slot] = snapshot["params"]
+        if self._initial_buffers is not None and snapshot.get("buffers") is not None:
+            cluster.buffer_matrix[slot] = snapshot["buffers"]
+        optimizer = worker.optimizer
+        optimizer.step_count = int(snapshot["optimizer"]["step_count"])
+        for attr in _OPTIMIZER_STATE_ATTRS:
+            saved = snapshot["optimizer"].get(attr)
+            if saved is None:
+                continue
+            current = getattr(optimizer, attr, None)
+            if isinstance(current, np.ndarray):
+                current[...] = saved
+            else:
+                setattr(optimizer, attr, np.array(saved))
+        last_loss = snapshot["last_loss"]
+        worker.last_loss = None if last_loss is None else float(last_loss)
+        worker._sampler._rng.bit_generator.state = snapshot["sampler_rng"]
+        worker._epoch_iterator._rng.bit_generator.state = snapshot["epoch_rng"]
+        _restore_model_rng_states(worker.model, snapshot["model_rngs"])
+        compression = cluster.compression
+        if compression is not None and compression.residual_matrix is not None:
+            saved_residual = snapshot.get("residual")
+            if saved_residual is not None:
+                compression.residual_matrix[slot] = saved_residual
+
+    def _capture_slot(self, slot: int, client_id: int) -> dict:
+        """Snapshot one slot's client state (copies — the slot lives on)."""
+        cluster = self.cluster
+        worker = cluster.workers[slot]
+        optimizer = worker.optimizer
+        optimizer_state: dict = {"step_count": int(optimizer.step_count)}
+        for attr in _OPTIMIZER_STATE_ATTRS:
+            value = getattr(optimizer, attr, None)
+            if isinstance(value, np.ndarray):
+                optimizer_state[attr] = np.array(value)
+        snapshot = {
+            "params": np.array(cluster.parameter_matrix[slot]),
+            "buffers": (
+                np.array(cluster.buffer_matrix[slot])
+                if self._initial_buffers is not None
+                else None
+            ),
+            "steps": self.client_steps.get(client_id, 0),
+            "last_loss": worker.last_loss,
+            "optimizer": optimizer_state,
+            "sampler_rng": _rng_state(worker._sampler._rng),
+            "epoch_rng": _rng_state(worker._epoch_iterator._rng),
+            "model_rngs": _model_rng_states(worker.model),
+        }
+        compression = cluster.compression
+        if compression is not None and compression.residual_matrix is not None:
+            snapshot["residual"] = np.array(compression.residual_matrix[slot])
+        return snapshot
+
+    def bind_cohort(self, cohort: np.ndarray) -> None:
+        """Bind the cohort's clients into slots 0..len(cohort)-1.
+
+        Slots beyond a partial (Bernoulli) cohort keep their stale contents
+        but are masked out of stepping, state reporting, and aggregation via
+        the cluster's population mask and zeroed aggregation weights.
+        """
+        cluster = self.cluster
+        if self._bound is not None:
+            raise ExperimentError("a cohort is already bound; unbind it first")
+        cohort = np.asarray(cohort, dtype=np.int64)
+        if cohort.size == 0 or cohort.size > cluster.num_workers:
+            raise ConfigurationError(
+                f"cohort size must lie in [1, {cluster.num_workers}], got {cohort.size}"
+            )
+        sample_counts = np.zeros(cluster.num_workers)
+        for slot, client_id in enumerate(cohort):
+            client_id = int(client_id)
+            shard = self.directory.shard(client_id)
+            self._reset_slot(slot, client_id, shard)
+            snapshot = self.store.load(client_id)
+            if snapshot is not None:
+                self._overlay_snapshot(slot, snapshot)
+            sample_counts[slot] = len(shard)
+        if cohort.size < cluster.num_workers:
+            mask = np.zeros(cluster.num_workers, dtype=bool)
+            mask[: cohort.size] = True
+            cluster.set_population_mask(mask)
+            if self.config.weighting == "data-size":
+                cluster.set_aggregation_weights(sample_counts)
+            else:
+                cluster.set_aggregation_weights(mask)
+        else:
+            cluster.set_population_mask(None)
+            if self.config.weighting == "data-size":
+                cluster.set_aggregation_weights(sample_counts)
+            else:
+                # Uniform full-slot cohorts keep weights=None: the cluster's
+                # exact mean(axis=0) collectives, bit-identical to a
+                # materialized cluster (the parity contract).
+                cluster.set_aggregation_weights(None)
+        self._bound = cohort
+        self._bound_base_steps = [
+            worker.steps_performed for worker in cluster.workers[: cohort.size]
+        ]
+
+    def unbind_cohort(self) -> None:
+        """Snapshot every bound client into the store and release the slots.
+
+        Aggregation weights and the participation mask are deliberately left
+        in force until the next binding, so between-round evaluation of the
+        global model still aggregates over the round's cohort.
+        """
+        cluster = self.cluster
+        if self._bound is None:
+            raise ExperimentError("no cohort is bound")
+        for slot, client_id in enumerate(self._bound):
+            client_id = int(client_id)
+            delta = cluster.workers[slot].steps_performed - self._bound_base_steps[slot]
+            self.client_steps[client_id] = self.client_steps.get(client_id, 0) + delta
+            self.store.save(client_id, self._capture_slot(slot, client_id))
+        self._bound = None
+        self._bound_base_steps = None
+
+    # -- the round loop ----------------------------------------------------------
+
+    def run_round(self):
+        """Draw a cohort, bind it, run one strategy round, unbind.
+
+        Returns the strategy's :class:`~repro.strategies.base.StrategyRound`.
+        """
+        if self.strategy is None:
+            raise ExperimentError(
+                "ClientPopulation has no strategy; attach(cluster, strategy) first"
+            )
+        cohort = self.cohort_sampler.draw()
+        self.bind_cohort(cohort)
+        result = self.strategy.run_round()
+        self.unbind_cohort()
+        self.rounds_completed += 1
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"ClientPopulation({self.describe()}, rounds={self.rounds_completed}, "
+            f"stateful={self.store.stateful_count}, "
+            f"resident={self.store.resident_count})"
+        )

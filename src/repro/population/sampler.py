@@ -1,0 +1,55 @@
+"""Seeded cohort sampling over the registered population.
+
+The sampler owns its *own* named RNG stream (``"population-cohort"`` under
+the workload seed), so drawing cohorts never perturbs the training streams —
+a population run and a materialized run consume identical training RNG.
+
+Two schemes (see :data:`~repro.population.config.SAMPLING_SCHEMES`):
+
+* ``"fixed"`` — exactly ``cohort_size`` distinct clients per round, drawn by
+  rejection into a set: O(cohort) expected work for cohorts far smaller than
+  the population, never O(N);
+* ``"bernoulli"`` — the activation count is ``Binomial(N, act_prob)``
+  (distributionally identical to flipping one coin per client, without the
+  O(N) pass), clamped to ``[1, cohort_size]`` so the drawn cohort always fits
+  the physical slots, then that many distinct clients are drawn as above.
+
+The degenerate ``cohort_size == num_clients`` configuration returns
+``arange(N)`` **without consuming any RNG** — the cohort=all parity mode, in
+which a population run must be bit-identical to a fully materialized cluster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.population.config import PopulationConfig
+from repro.utils.rng import RngFactory, as_rng
+
+
+class CohortSampler:
+    """Draws one cohort of client ids per round, deterministically from a seed."""
+
+    def __init__(self, config: PopulationConfig, seed: int = 0) -> None:
+        self.config = config
+        self._rng = as_rng(RngFactory(seed).named("population-cohort"))
+        self.rounds_drawn = 0
+
+    def draw(self) -> np.ndarray:
+        """The next round's cohort: sorted, distinct client ids."""
+        config = self.config
+        population = config.num_clients
+        self.rounds_drawn += 1
+        if config.samples_all_clients:
+            # Cohort=all consumes no RNG at all, so this mode's training
+            # trajectory is bit-identical to the materialized cluster's.
+            return np.arange(population, dtype=np.int64)
+        if config.sampling == "bernoulli":
+            count = int(self._rng.binomial(population, config.act_prob))
+            count = max(1, min(count, config.cohort_size))
+        else:
+            count = config.cohort_size
+        chosen = set()
+        while len(chosen) < count:
+            chosen.add(int(self._rng.integers(0, population)))
+        return np.array(sorted(chosen), dtype=np.int64)

@@ -1,0 +1,113 @@
+"""LRU client-state store with a bounded resident set and bit-exact disk spill.
+
+A *stateful* client is one that has been bound into a cohort at least once:
+its snapshot (parameters, optimizer moments, error-feedback residual, RNG
+streams, step count) must survive until its next binding.  Keeping all of
+them resident would tie memory to the number of ever-sampled clients — over a
+long run, to ``N`` — so the store holds at most ``budget`` snapshots in
+memory (least-recently-bound evicted first) and spills the rest to disk via
+``pickle``, which round-trips ndarray bytes and PCG64 state dicts exactly.
+``peak_resident`` records the high-water mark; the population bench asserts
+it stays a function of the cohort size, never of ``N``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.exceptions import ConfigurationError
+
+
+class ClientStateStore:
+    """Bounded in-memory snapshot cache over an unbounded disk spill."""
+
+    def __init__(self, budget: Optional[int] = None, spill_dir=None) -> None:
+        if budget is not None and budget < 1:
+            raise ConfigurationError(f"budget must be positive (or None), got {budget}")
+        self.budget = budget
+        self._resident: "OrderedDict[int, dict]" = OrderedDict()
+        self._spilled: Dict[int, Path] = {}
+        self._spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._tmp: Optional[tempfile.TemporaryDirectory] = None
+        self.peak_resident = 0
+        self.evictions = 0
+        self.spill_loads = 0
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    @property
+    def resident_count(self) -> int:
+        """Snapshots currently held in memory."""
+        return len(self._resident)
+
+    @property
+    def stateful_count(self) -> int:
+        """Clients with any saved state, resident or spilled."""
+        return len(self._resident) + len(self._spilled)
+
+    def __contains__(self, client_id: int) -> bool:
+        return client_id in self._resident or client_id in self._spilled
+
+    # -- spill plumbing ----------------------------------------------------------
+
+    def _spill_path(self, client_id: int) -> Path:
+        if self._spill_dir is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="repro-population-")
+            self._spill_dir = Path(self._tmp.name)
+        self._spill_dir.mkdir(parents=True, exist_ok=True)
+        return self._spill_dir / f"client-{client_id}.pkl"
+
+    def _spill(self, client_id: int, snapshot: dict) -> None:
+        path = self._spill_path(client_id)
+        with path.open("wb") as handle:
+            pickle.dump(snapshot, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        self._spilled[client_id] = path
+        self.evictions += 1
+
+    # -- the store interface -----------------------------------------------------
+
+    def save(self, client_id: int, snapshot: dict) -> None:
+        """Install the client's latest snapshot, evicting LRU beyond the budget."""
+        client_id = int(client_id)
+        stale = self._spilled.pop(client_id, None)
+        if stale is not None:
+            stale.unlink(missing_ok=True)
+        self._resident[client_id] = snapshot
+        self._resident.move_to_end(client_id)
+        while self.budget is not None and len(self._resident) > self.budget:
+            victim, victim_snapshot = self._resident.popitem(last=False)
+            self._spill(victim, victim_snapshot)
+        self.peak_resident = max(self.peak_resident, len(self._resident))
+
+    def load(self, client_id: int) -> Optional[dict]:
+        """The client's saved snapshot (``None`` for a never-bound client).
+
+        A resident hit refreshes recency; a spilled snapshot is read back
+        bit-exactly from disk (and stays on disk until the client's next
+        :meth:`save` supersedes it).
+        """
+        client_id = int(client_id)
+        snapshot = self._resident.get(client_id)
+        if snapshot is not None:
+            self._resident.move_to_end(client_id)
+            return snapshot
+        path = self._spilled.get(client_id)
+        if path is None:
+            return None
+        with path.open("rb") as handle:
+            snapshot = pickle.load(handle)
+        self.spill_loads += 1
+        return snapshot
+
+    def evict(self, client_id: int) -> bool:
+        """Force-spill one resident snapshot (test hook for eviction orders)."""
+        client_id = int(client_id)
+        snapshot = self._resident.pop(client_id, None)
+        if snapshot is None:
+            return False
+        self._spill(client_id, snapshot)
+        return True

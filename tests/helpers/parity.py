@@ -309,6 +309,86 @@ def run_fda_parity(
     return seq_trainer, bat_trainer
 
 
+def run_population_parity(
+    strategy_factory,
+    rounds: int = 6,
+    num_workers: int = 4,
+    exact: bool = True,
+    dtype=None,
+    memory_budget: Optional[int] = None,
+    executions: Sequence[str] = EXECUTIONS,
+    **cluster_kwargs,
+) -> None:
+    """Population mode with cohort=all must be bit-identical to no population.
+
+    For each execution engine, builds two identical clusters; one trains the
+    strategy directly, the other trains it through a
+    :class:`~repro.population.plane.ClientPopulation` with ``N == K`` clients
+    (the workers' own shards as explicit client shards), cohort=all, and
+    uniform weighting.  Because binding a full cohort is then an identity
+    round-trip — fresh-reset followed by the client's own snapshot overlay,
+    executing identical arithmetic — every observable must match *exactly*
+    (``exact=True`` by default): per-round losses, sync decisions, byte
+    ledgers, parameter/buffer planes, optimizer step counts, and the
+    per-worker sampler/epoch RNG stream states.  ``memory_budget`` forwards
+    to the population (small budgets force evict/rematerialize cycles through
+    the middle of training — still bit-exact).
+    """
+    from repro.population import ClientPopulation, PopulationConfig
+
+    if dtype is not None:
+        cluster_kwargs["dtype"] = dtype
+    for execution in executions:
+        plain_cluster = make_cluster(execution, num_workers=num_workers, **cluster_kwargs)
+        plain_strategy = strategy_factory().attach(plain_cluster)
+        plain_rounds = [plain_strategy.run_round() for _ in range(rounds)]
+
+        pop_cluster = make_cluster(execution, num_workers=num_workers, **cluster_kwargs)
+        pop_strategy = strategy_factory().attach(pop_cluster)
+        population = ClientPopulation(
+            PopulationConfig(
+                num_clients=num_workers,
+                cohort_size=num_workers,
+                weighting="uniform",
+                memory_budget=memory_budget,
+            ),
+            shards=[worker.dataset for worker in pop_cluster.workers],
+            # Mirror make_cluster's int-seeded workers: client c's training
+            # streams start exactly where worker c's did.
+            client_seed_fn=lambda client_id: client_id,
+        )
+        population.attach(pop_cluster, pop_strategy)
+        pop_rounds = [population.run_round() for _ in range(rounds)]
+
+        assert_close(
+            [r.mean_loss for r in plain_rounds],
+            [r.mean_loss for r in pop_rounds],
+            exact,
+        )
+        assert [r.synchronized for r in plain_rounds] == [
+            r.synchronized for r in pop_rounds
+        ]
+        assert [r.communication_bytes for r in plain_rounds] == [
+            r.communication_bytes for r in pop_rounds
+        ]
+        assert [r.steps_advanced for r in plain_rounds] == [
+            r.steps_advanced for r in pop_rounds
+        ]
+        assert_cluster_states_match(plain_cluster, pop_cluster, exact)
+        assert_ledgers_equal(plain_cluster, pop_cluster)
+        # The private training RNG streams must land in identical states: the
+        # population consumed exactly the draws the materialized run did.
+        for plain_worker, pop_worker in zip(plain_cluster.workers, pop_cluster.workers):
+            assert (
+                plain_worker._sampler._rng.bit_generator.state
+                == pop_worker._sampler._rng.bit_generator.state
+            )
+            assert (
+                plain_worker._epoch_iterator._rng.bit_generator.state
+                == pop_worker._epoch_iterator._rng.bit_generator.state
+            )
+
+
 def run_masked_step_parity(
     masks: Sequence[Optional[np.ndarray]],
     exact: bool = False,

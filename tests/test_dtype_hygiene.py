@@ -65,6 +65,10 @@ FLOAT64_ALLOWLIST = {
     # Checkpoint restore writes the monitor's direction ξ back in the same
     # deliberate float64 that core/monitor.py keeps it in.
     "strategies/fda_strategy.py",
+    # Aggregation-weight metadata (population plane): O(K) sample-count /
+    # mask vectors normalized in double precision, cast to the plane dtype
+    # only at the weighted-mean matmul — never a streamed (K, d) tensor.
+    "distributed/weights.py",
 }
 
 _PATTERN = re.compile(r"np\.float64")

@@ -265,3 +265,82 @@ class TestOptimizerInplaceEquivalence:
         for _ in range(300):
             optimizer.step_inplace(params, 2.0 * (params - target))
         np.testing.assert_allclose(params, 3.0, atol=1e-3)
+
+
+class TestGoldenPopulationTrajectory:
+    """Frozen fixture for a weighted-aggregation FDA run over N=10⁵ clients.
+
+    The population plane multiplexes 100 000 logical clients onto a 16-slot
+    cohort with data-size aggregation weights: each round draws a fresh seeded
+    cohort, binds it onto the batched (A, d) path, and FDA's triggered syncs
+    weight the model average by shard size.  This fixture freezes the full
+    protocol surface of that run — which rounds synchronize, the byte ledger
+    split (per-step FDA state vs triggered weighted model syncs), how many
+    distinct clients became stateful, the per-client step-count multiset (as
+    a sha256 digest — 479 entries are too many for literals), and the store's
+    resident high-water mark — so refactors of cohort sampling, the
+    directory's virtual-shard streams, snapshot overlay, or the weighted
+    collectives fail loudly here.  Integer observables are platform-exact;
+    sync decisions were verified stable under a ±5 % threshold sweep, far
+    beyond BLAS reassociation noise, and the loss probe uses a loose rtol.
+    """
+
+    GOLDEN_SYNC_ROUNDS = [1, 29]
+    GOLDEN_TOTAL_BYTES = 55040
+    GOLDEN_STATE_BYTES = 7680    # 30 rounds × 16 workers × 2 els × 8 B
+    GOLDEN_MODEL_BYTES = 47360   # 2 weighted syncs × 16 workers × d × 8 B
+    #: 480 cohort slots drew 479 distinct clients (one repeat → steps == 2).
+    GOLDEN_STATEFUL_CLIENTS = 479
+    GOLDEN_TOTAL_CLIENT_STEPS = 480
+    GOLDEN_MAX_CLIENT_STEPS = 2
+    #: sha256 over "id:steps" pairs in ascending client order.
+    GOLDEN_STEPS_DIGEST = (
+        "36f0bd2840e75e9e5d443aa0b0c72c95ed193c8f66229f76b84ef346477455e4"
+    )
+    GOLDEN_FIRST_LOSS = 1.2066481507864428
+
+    def test_weighted_population_fda_matches_frozen_observables(self):
+        import hashlib
+
+        from helpers.parity import make_cluster
+        from repro.data.synthetic import gaussian_blobs
+        from repro.population import ClientPopulation, PopulationConfig
+        from repro.strategies.fda_strategy import FDAStrategy
+
+        train = gaussian_blobs(600, feature_dim=6, num_classes=3, seed=0)
+        config = PopulationConfig(
+            num_clients=100_000,
+            cohort_size=16,
+            weighting="data-size",
+            min_client_samples=24,
+            max_client_samples=48,
+        )
+        cluster = make_cluster("batched", num_workers=16)
+        strategy = FDAStrategy(threshold=0.01).attach(cluster)
+        population = ClientPopulation(config, train_dataset=train, seed=2026)
+        population.attach(cluster, strategy)
+
+        results = [population.run_round() for _ in range(30)]
+
+        assert [
+            i + 1 for i, r in enumerate(results) if r.synchronized
+        ] == self.GOLDEN_SYNC_ROUNDS
+        assert cluster.tracker.bytes_for("fda-state") == self.GOLDEN_STATE_BYTES
+        assert cluster.tracker.bytes_for("model-sync") == self.GOLDEN_MODEL_BYTES
+        assert cluster.total_bytes == self.GOLDEN_TOTAL_BYTES
+        # Data-size weights were in force for the triggered syncs.
+        assert cluster.aggregation_weights is not None
+
+        steps = population.client_steps
+        assert population.store.stateful_count == self.GOLDEN_STATEFUL_CLIENTS
+        assert sum(steps.values()) == self.GOLDEN_TOTAL_CLIENT_STEPS
+        assert max(steps.values()) == self.GOLDEN_MAX_CLIENT_STEPS
+        digest = hashlib.sha256(
+            ",".join(f"{cid}:{steps[cid]}" for cid in sorted(steps)).encode()
+        ).hexdigest()
+        assert digest == self.GOLDEN_STEPS_DIGEST
+        # Resident state is bounded by the cohort (2·C), never by N.
+        assert population.peak_resident_clients <= 2 * config.cohort_size
+        np.testing.assert_allclose(
+            results[0].mean_loss, self.GOLDEN_FIRST_LOSS, rtol=1e-6
+        )
