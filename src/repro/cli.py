@@ -47,6 +47,13 @@ from repro.experiments.sweep import (
     sweep_fabric,
     sweep_theta,
 )
+from repro.serving.aggregation import STALENESS_RULES
+from repro.serving.config import (
+    ARRIVAL_KINDS,
+    PROTOCOLS,
+    QUEUE_POLICIES,
+    ServingConfig,
+)
 from repro.strategies.fda_strategy import FDAStrategy
 from repro.strategies.synchronous import SynchronousStrategy
 from repro.utils.formatting import format_bytes, format_duration
@@ -262,6 +269,72 @@ def _build_parser() -> argparse.ArgumentParser:
         "--force", action="store_true",
         help="re-execute every cell even if cached, shadowing old records",
     )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="drive a workload as a served system: open-loop arrivals, "
+             "bounded ingress queue, latency percentiles",
+    )
+    serve.add_argument("--workload", choices=sorted(_WORKLOAD_BUILDERS), default="lenet")
+    serve.add_argument("--theta", type=float, default=8.0, help="FDA variance threshold")
+    serve.add_argument("--workers", type=int, default=4, help="number of workers K")
+    serve.add_argument(
+        "--updates", type=int, default=500,
+        help="how many client updates to aggregate before reporting",
+    )
+    serve.add_argument(
+        "--arrival", choices=sorted(ARRIVAL_KINDS), default="poisson",
+        help="arrival process ('closed' = degenerate pre-serving loop)",
+    )
+    serve.add_argument(
+        "--arrival-rate", type=float, default=1.0,
+        help="per-worker arrivals per virtual second",
+    )
+    serve.add_argument(
+        "--trace", default=None,
+        help="JSONL arrival trace for --arrival trace",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=None,
+        help="ingress-queue capacity (omit for unbounded)",
+    )
+    serve.add_argument(
+        "--queue-policy", choices=sorted(QUEUE_POLICIES), default="drop",
+        help="overflow policy of the ingress queue",
+    )
+    serve.add_argument(
+        "--staleness-rule", choices=sorted(STALENESS_RULES), default="uniform",
+        help="staleness-aware aggregation rule",
+    )
+    serve.add_argument(
+        "--max-staleness", type=int, default=4,
+        help="rejection bound of the max-staleness rule",
+    )
+    serve.add_argument(
+        "--poly-alpha", type=float, default=0.5,
+        help="decay exponent of the polynomial rule",
+    )
+    serve.add_argument(
+        "--service-seconds", type=float, default=0.0,
+        help="coordinator aggregation time per update (virtual seconds)",
+    )
+    serve.add_argument(
+        "--protocol", choices=sorted(PROTOCOLS), default="fda",
+        help="coordinator protocol: triggered-sync FDA or lockstep BSP",
+    )
+    serve.add_argument(
+        "--variant", choices=["sketch", "linear", "exact"], default="linear",
+        help="FDA variance-monitor variant",
+    )
+    serve.add_argument(
+        "--topology", choices=_TOPOLOGY_CHOICES, default="star",
+        help="communication-fabric topology",
+    )
+    serve.add_argument(
+        "--network", choices=_NETWORK_CHOICES, default="none",
+        help="network model converting bytes into virtual wall-clock",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="workload + arrival seed")
     return parser
 
 
@@ -276,6 +349,7 @@ def _command_list() -> int:
     print("  compression   payload-compression sweep: bytes removed per kernel")
     print("  faults        crash x loss degradation grid: FDA vs BSP under churn")
     print("  sweep         cached theta x seed grid (resumable, parallel; see --help)")
+    print("  serve         open-loop served coordinator: arrivals, queueing, latency percentiles")
     return 0
 
 
@@ -556,6 +630,52 @@ def _command_compression(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serving.harness import serve_workload
+
+    serving = ServingConfig(
+        arrival=args.arrival,
+        arrival_rate=args.arrival_rate,
+        trace_path=args.trace,
+        queue_capacity=args.queue_capacity,
+        queue_policy=args.queue_policy,
+        staleness_rule=args.staleness_rule,
+        max_staleness=args.max_staleness,
+        poly_alpha=args.poly_alpha,
+        service_seconds=args.service_seconds,
+        protocol=args.protocol,
+        arrival_seed=args.seed,
+    )
+    workload = _WORKLOAD_BUILDERS[args.workload](
+        num_workers=args.workers, seed=args.seed
+    )
+    workload = workload.with_fabric(
+        topology=args.topology,
+        network=None if args.network == "none" else args.network,
+    ).with_serving(serving)
+    report = serve_workload(
+        workload, args.theta, args.updates, variant=args.variant
+    )
+    latency = report.latency
+    print(f"served run: {serving.describe()} on {args.workload} (K={args.workers})")
+    print(f"  updates served   : {report.updates_served} / {report.updates_offered} offered")
+    print(
+        f"  lost             : {report.updates_dropped} dropped, "
+        f"{report.updates_shed} shed, {report.stale_rejected} stale-rejected"
+    )
+    print(f"  synchronizations : {report.sync_count}")
+    print(f"  virtual time     : {format_duration(report.virtual_seconds)}")
+    print(f"  throughput       : {report.throughput:.3f} updates/s (virtual)")
+    print(f"  max queue depth  : {report.max_queue_depth}")
+    print(f"  bytes            : {format_bytes(report.total_bytes)}")
+    if latency.get("count"):
+        print(
+            f"  latency p50/p95/p99 : "
+            f"{latency['p50']:.4f} / {latency['p95']:.4f} / {latency['p99']:.4f} s"
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -574,6 +694,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_faults(args)
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command in registry.ALL_FIGURES:
         return _command_figure(args.command, full=getattr(args, "full", False))
     parser.error(f"unknown command {args.command!r}")

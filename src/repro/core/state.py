@@ -17,7 +17,7 @@ the AllReduce of local states computes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -35,7 +35,9 @@ class LocalState:
         """Number of float32 elements transmitted for this state (for cost accounting)."""
         return 1
 
-    def _combine(self, states: Sequence["LocalState"]) -> "LocalState":
+    def _combine(
+        self, states: Sequence["LocalState"], weights: Optional[np.ndarray] = None
+    ) -> "LocalState":
         raise NotImplementedError
 
 
@@ -49,7 +51,9 @@ class LinearState(LocalState):
     def num_elements(self) -> int:
         return 2
 
-    def _combine(self, states: Sequence["LocalState"]) -> "LinearState":
+    def _combine(
+        self, states: Sequence["LocalState"], weights: Optional[np.ndarray] = None
+    ) -> "LinearState":
         projections = []
         norms = []
         for state in states:
@@ -57,7 +61,12 @@ class LinearState(LocalState):
                 raise CommunicationError("cannot average LinearState with other state types")
             projections.append(state.projection)
             norms.append(state.drift_sq_norm)
-        return LinearState(float(np.mean(norms)), float(np.mean(projections)))
+        if weights is None:
+            return LinearState(float(np.mean(norms)), float(np.mean(projections)))
+        return LinearState(
+            float(np.average(norms, weights=weights)),
+            float(np.average(projections, weights=weights)),
+        )
 
 
 @dataclass(frozen=True)
@@ -77,7 +86,9 @@ class SketchState(LocalState):
     def num_elements(self) -> int:
         return 1 + int(self.sketch.size)
 
-    def _combine(self, states: Sequence["LocalState"]) -> "SketchState":
+    def _combine(
+        self, states: Sequence["LocalState"], weights: Optional[np.ndarray] = None
+    ) -> "SketchState":
         norms = []
         sketches = []
         for state in states:
@@ -89,7 +100,13 @@ class SketchState(LocalState):
                 )
             norms.append(state.drift_sq_norm)
             sketches.append(state.sketch)
-        return SketchState(float(np.mean(norms)), np.mean(np.stack(sketches, axis=0), axis=0))
+        stacked = np.stack(sketches, axis=0)
+        if weights is None:
+            return SketchState(float(np.mean(norms)), np.mean(stacked, axis=0))
+        return SketchState(
+            float(np.average(norms, weights=weights)),
+            np.average(stacked, axis=0, weights=weights),
+        )
 
 
 @dataclass(frozen=True)
@@ -114,7 +131,9 @@ class ExactState(LocalState):
     def num_elements(self) -> int:
         return 1 + int(self.drift.size)
 
-    def _combine(self, states: Sequence["LocalState"]) -> "ExactState":
+    def _combine(
+        self, states: Sequence["LocalState"], weights: Optional[np.ndarray] = None
+    ) -> "ExactState":
         norms = []
         drifts = []
         for state in states:
@@ -126,14 +145,34 @@ class ExactState(LocalState):
                 )
             norms.append(state.drift_sq_norm)
             drifts.append(state.drift)
-        return ExactState(float(np.mean(norms)), np.mean(np.stack(drifts, axis=0), axis=0))
+        stacked = np.stack(drifts, axis=0)
+        if weights is None:
+            return ExactState(float(np.mean(norms)), np.mean(stacked, axis=0))
+        return ExactState(
+            float(np.average(norms, weights=weights)),
+            np.average(stacked, axis=0, weights=weights),
+        )
 
 
-def average_states(states: Sequence[LocalState]) -> LocalState:
-    """Element-wise average of per-worker states (the AllReduce of local states)."""
+def average_states(
+    states: Sequence[LocalState], weights: Optional[np.ndarray] = None
+) -> LocalState:
+    """Element-wise average of per-worker states (the AllReduce of local states).
+
+    ``weights`` (optional, already validated/normalized by the caller — see
+    :func:`repro.distributed.weights.renormalized_weights`) turns the mean
+    into a weighted average; ``None`` keeps the exact legacy ``np.mean`` path
+    bit-for-bit, which the serving plane's degenerate-mode parity relies on.
+    """
     if not states:
         raise CommunicationError("average_states requires at least one state")
-    return states[0]._combine(states)
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (len(states),):
+            raise CommunicationError(
+                f"weights shape {weights.shape} does not match {len(states)} states"
+            )
+    return states[0]._combine(states, weights)
 
 
 def state_to_dict(state: LocalState) -> dict:

@@ -115,8 +115,13 @@ class Timeline:
         # Churn ledger: (time, "crash" | "rejoin", worker_id) events recorded
         # by the fault-injection plane, in virtual-time order.
         self.churn_events: List[Tuple[float, str, int]] = []
-        # Event mode: a heap of (completion_time, worker_id) step completions.
-        self._queue: List[Tuple[float, int]] = []
+        # Event mode: a heap of (completion_time, worker_id, seq) step
+        # completions.  The tie-break is part of the contract, not an accident
+        # of heap layout: equal completion times pop in ascending worker id,
+        # and two completions of the *same* worker at the same instant pop in
+        # scheduling (FIFO) order via the monotone sequence number.
+        self._queue: List[Tuple[float, int, int]] = []
+        self._event_seq = 0
 
     # -- durations -------------------------------------------------------------
 
@@ -189,14 +194,20 @@ class Timeline:
     # -- event mode -------------------------------------------------------------
 
     def schedule_step(self, worker_id: int, start_time: Optional[float] = None) -> float:
-        """Schedule ``worker_id``'s next step completion; returns its time."""
+        """Schedule ``worker_id``'s next step completion; returns its time.
+
+        Completions with equal times are guaranteed to pop in ascending
+        worker id (and, within one worker, in scheduling order) — protocol
+        trajectories must not depend on how the heap happens to lay out ties.
+        """
         if not 0 <= worker_id < self.num_workers:
             raise ConfigurationError(
                 f"worker_id must lie in [0, {self.num_workers}), got {worker_id}"
             )
         start = self.now if start_time is None else float(start_time)
         completion = start + self.step_duration(worker_id)
-        heapq.heappush(self._queue, (completion, worker_id))
+        heapq.heappush(self._queue, (completion, worker_id, self._event_seq))
+        self._event_seq += 1
         return completion
 
     def next_completion_time(self) -> Optional[float]:
@@ -207,7 +218,7 @@ class Timeline:
         """Advance the clock to the next completion and return ``(time, worker)``."""
         if not self._queue:
             raise ExperimentError("no pending step completions in the timeline")
-        completion_time, worker_id = heapq.heappop(self._queue)
+        completion_time, worker_id, _ = heapq.heappop(self._queue)
         elapsed = completion_time - self.now
         self.now = completion_time
         self.compute_seconds += max(elapsed, 0.0)
@@ -217,7 +228,7 @@ class Timeline:
         """Push every pending completion ``seconds`` into the future (a barrier)."""
         if seconds <= 0:
             return
-        self._queue = [(time + seconds, worker) for time, worker in self._queue]
+        self._queue = [(time + seconds, worker, seq) for time, worker, seq in self._queue]
         heapq.heapify(self._queue)
 
     # -- communication & bookkeeping --------------------------------------------

@@ -112,6 +112,7 @@ def workload_fingerprint(config: WorkloadConfig, setup: SetupCache) -> Dict[str,
         "dtype": str(config.dtype),
         "faults": canonical_value(config.faults),
         "population": canonical_value(config.population),
+        "serving": canonical_value(config.serving),
         "seed": int(config.seed),
         "train_dataset": setup.dataset_digest(config.train_dataset),
         "test_dataset": setup.dataset_digest(config.test_dataset),

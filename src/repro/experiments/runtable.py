@@ -1,0 +1,115 @@
+"""Declarative run tables: topology × size × repetition grids.
+
+A :class:`RunTableSpec` names the axes of an experiment grid once —
+fabric cells (topology × network), cluster sizes, repetitions — and lowers
+them onto concrete artifacts: labeled :class:`~repro.experiments.setup.WorkloadConfig`
+variants via :meth:`~RunTableSpec.workloads`, or executable
+:class:`~repro.experiments.executor.SweepCell` lists via
+:meth:`~RunTableSpec.cells` for the streaming sweep executor.  The serving
+benchmark builds its fabric grid this way, and the same spec drops straight
+into :meth:`~repro.experiments.executor.SweepExecutor.execute`.
+
+Repetitions become seed offsets (``seed + repetition``), so every repetition
+is a genuinely different stochastic run while staying reproducible and
+cache-addressable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.executor import SweepCell
+from repro.experiments.setup import WorkloadConfig
+
+__all__ = ["RunTableSpec", "RunTableEntry"]
+
+
+@dataclass(frozen=True)
+class RunTableEntry:
+    """One lowered grid cell: a workload plus its label and structured tags."""
+
+    workload: WorkloadConfig
+    label: str
+    tags: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class RunTableSpec:
+    """A topology × size × repetition grid, declared once.
+
+    ``fabrics`` is a tuple of ``(topology, network)`` name pairs (``None``
+    keeps the workload's current value for that axis); ``sizes`` is a tuple
+    of worker counts (empty = keep the workload's ``num_workers``);
+    ``repetitions`` replicates every cell with stepped seeds.
+    """
+
+    fabrics: Tuple[Tuple[Optional[str], Optional[str]], ...] = ((None, None),)
+    sizes: Tuple[int, ...] = ()
+    repetitions: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.fabrics:
+            raise ConfigurationError("run table needs at least one fabric cell")
+        if self.repetitions < 1:
+            raise ConfigurationError(
+                f"repetitions must be >= 1, got {self.repetitions}"
+            )
+        for size in self.sizes:
+            if size <= 0:
+                raise ConfigurationError(f"sizes must be positive, got {size}")
+
+    def __len__(self) -> int:
+        return len(self.fabrics) * max(len(self.sizes), 1) * self.repetitions
+
+    @staticmethod
+    def _fabric_label(topology: Optional[str], network: Optional[str]) -> str:
+        return f"{topology or 'default'}x{network or 'none'}"
+
+    def workloads(self, base: WorkloadConfig) -> List[RunTableEntry]:
+        """Lower the grid onto labeled workload variants of ``base``."""
+        entries: List[RunTableEntry] = []
+        sizes = self.sizes or (base.num_workers,)
+        for topology, network in self.fabrics:
+            workload_fabric = base.with_fabric(topology=topology, network=network)
+            for size in sizes:
+                sized = workload_fabric.with_workers(size)
+                for repetition in range(self.repetitions):
+                    cell = sized.with_seed(base.seed + repetition)
+                    label = (
+                        f"{self._fabric_label(topology, network)}-K{size}"
+                        + (f"-rep{repetition}" if self.repetitions > 1 else "")
+                    )
+                    entries.append(
+                        RunTableEntry(
+                            workload=cell,
+                            label=label,
+                            tags={
+                                "topology": topology,
+                                "network": network,
+                                "num_workers": int(size),
+                                "repetition": int(repetition),
+                            },
+                        )
+                    )
+        return entries
+
+    def cells(
+        self,
+        base: WorkloadConfig,
+        strategy_factory,
+        run,
+        label_prefix: str = "",
+    ) -> List[SweepCell]:
+        """Lower the grid onto :class:`SweepCell` lists for the executor."""
+        return [
+            SweepCell(
+                workload=entry.workload,
+                strategy_factory=strategy_factory,
+                run=run,
+                label=f"{label_prefix}{entry.label}",
+                tags=dict(entry.tags),
+            )
+            for entry in self.workloads(base)
+        ]

@@ -35,6 +35,7 @@ from repro.optim.adam import Adam, AdamW
 from repro.optim.base import Optimizer
 from repro.optim.sgd import SGD
 from repro.population.config import PopulationConfig
+from repro.serving.config import ServingConfig
 from repro.utils.rng import RngFactory
 
 ModelFactory = Callable[[], Sequential]
@@ -128,6 +129,12 @@ class WorkloadConfig:
     #: cohort size).  ``None`` (the default) trains the materialized cluster
     #: directly — bit-identical to the pre-population behaviour.
     population: Optional[PopulationConfig] = None
+    #: Serving plane: a :class:`~repro.serving.config.ServingConfig` drives
+    #: the workload as a served system — open-loop client-update arrivals,
+    #: a bounded coordinator ingress queue, staleness-aware aggregation —
+    #: instead of the closed-loop trainer.  ``None`` (the default) leaves
+    #: training untouched.
+    serving: Optional[ServingConfig] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -243,6 +250,16 @@ class WorkloadConfig:
         if population is None:
             return replace(self, population=None)
         return replace(self, population=population, num_workers=population.cohort_size)
+
+    def with_serving(self, serving: Optional[ServingConfig]) -> "WorkloadConfig":
+        """A copy of this workload driven as a served system.
+
+        ``serving`` is a :class:`~repro.serving.config.ServingConfig` (the
+        open-loop arrival/queue/staleness knobs) or ``None`` to return to the
+        closed-loop trainer; used by the CLI's ``serve`` command and the
+        serving benchmark's run table.
+        """
+        return replace(self, serving=serving)
 
 
 # ---------------------------------------------------------------------------

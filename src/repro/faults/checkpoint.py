@@ -161,7 +161,8 @@ class ClusterCheckpoint:
                 "churn_events": [
                     [float(t), kind, int(w)] for t, kind, w in timeline.churn_events
                 ],
-                "queue": [[float(t), int(w)] for t, w in timeline._queue],
+                "queue": [[float(t), int(w), int(s)] for t, w, s in timeline._queue],
+                "event_seq": int(timeline._event_seq),
                 "durations": np.array(timeline._durations),
                 "rng": _rng_state(timeline._rng),
             },
@@ -240,8 +241,16 @@ class ClusterCheckpoint:
         timeline.churn_events = [
             (float(t), str(kind), int(w)) for t, kind, w in timeline_state["churn_events"]
         ]
-        timeline._queue = [(float(t), int(w)) for t, w in timeline_state["queue"]]
+        # Legacy checkpoints (pre tie-break fix) stored [time, worker] pairs;
+        # assign sequence numbers in list order so their relative FIFO order
+        # within equal (time, worker) keys is preserved.
+        timeline._queue = [
+            (float(entry[0]), int(entry[1]), int(entry[2]) if len(entry) > 2 else index)
+            for index, entry in enumerate(timeline_state["queue"])
+        ]
         heapq.heapify(timeline._queue)
+        default_seq = 1 + max((s for _, _, s in timeline._queue), default=-1)
+        timeline._event_seq = int(timeline_state.get("event_seq", default_seq))
         timeline._durations[...] = timeline_state["durations"]
         timeline._rng.bit_generator.state = timeline_state["rng"]
         fabric_state = payload["fabric"]

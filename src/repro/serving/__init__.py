@@ -1,0 +1,53 @@
+"""Plane 8: the open-loop serving harness.
+
+Turns the closed-loop coordinator simulation into a *served system*:
+stochastic client-update arrivals (:mod:`~repro.serving.arrivals`), a bounded
+coordinator ingress queue (:mod:`~repro.serving.queueing`), staleness-aware
+aggregation rules (:mod:`~repro.serving.aggregation`), streaming latency
+percentiles (:mod:`~repro.serving.metrics`), and the served coordinator that
+ties them onto the event-mode timeline (:mod:`~repro.serving.harness`).
+"""
+
+from repro.serving.aggregation import STALENESS_RULES, staleness_weight, staleness_weights
+from repro.serving.arrivals import (
+    ArrivalProcess,
+    DeterministicArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    build_arrival_process,
+    write_arrival_trace,
+)
+from repro.serving.config import ARRIVAL_KINDS, PROTOCOLS, QUEUE_POLICIES, ServingConfig
+from repro.serving.harness import ServedFDATrainer, ServingReport, serve_workload
+from repro.serving.metrics import (
+    P2_RANK_ERROR_BOUND,
+    LatencyTracker,
+    P2Quantile,
+    PercentileLedger,
+)
+from repro.serving.queueing import IngressQueue, PendingUpdate
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalProcess",
+    "DeterministicArrivals",
+    "IngressQueue",
+    "LatencyTracker",
+    "P2Quantile",
+    "P2_RANK_ERROR_BOUND",
+    "PROTOCOLS",
+    "PendingUpdate",
+    "PercentileLedger",
+    "PoissonArrivals",
+    "QUEUE_POLICIES",
+    "STALENESS_RULES",
+    "ServedFDATrainer",
+    "ServingConfig",
+    "ServingReport",
+    "TraceArrivals",
+    "build_arrival_process",
+    "serve_workload",
+    "staleness_weight",
+    "staleness_weights",
+    "write_arrival_trace",
+]

@@ -69,6 +69,13 @@ FLOAT64_ALLOWLIST = {
     # mask vectors normalized in double precision, cast to the plane dtype
     # only at the weighted-mean matmul — never a streamed (K, d) tensor.
     "distributed/weights.py",
+    # Serving plane: staleness weights are O(K) aggregation metadata (the
+    # distributed/weights.py rationale), and latency percentiles / P²
+    # marker heights are virtual-time seconds (the core/timeline.py
+    # rationale) — neither is ever a streamed (K, d) tensor.
+    "serving/aggregation.py",
+    "serving/harness.py",
+    "serving/metrics.py",
 }
 
 _PATTERN = re.compile(r"np\.float64")

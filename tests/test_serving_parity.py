@@ -1,0 +1,213 @@
+"""Parity pins for the serving plane.
+
+Two contracts, both asserted on *both* execution engines:
+
+* **Golden Poisson fixture** — a small open-loop Poisson-arrival FDA run has
+  its sync count, byte ledger, virtual clock, and p50/p95/p99 latency digits
+  frozen here.  Any change to arrival draws, queue ordering, staleness
+  weighting, upload charging, or the timeline tie-break shifts at least one
+  pinned digit and fails loudly.
+* **Degenerate-mode bit-exactness** — ``ServingConfig(arrival="closed")``
+  (no exogenous arrivals, unbounded queue, instant service) must reproduce
+  the pre-serving :class:`~repro.core.async_fda.AsynchronousFDATrainer`
+  trajectory *bit-exactly*: identical parameters on every worker, identical
+  event streams, identical byte and clock ledgers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.async_fda import AsynchronousFDATrainer
+from repro.core.monitor import make_monitor
+from repro.core.timeline import StragglerProfile
+from repro.data.datasets import Dataset
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.worker import Worker
+from repro.nn.architectures import mlp
+from repro.optim.adam import Adam
+from repro.serving import ServedFDATrainer, ServingConfig
+
+pytestmark = pytest.mark.serving
+
+ENGINES = ["sequential", "batched"]
+
+
+def build_cluster(execution, **cluster_kwargs):
+    rng = np.random.default_rng(7)
+    workers = []
+    for worker_id in range(4):
+        x = rng.normal(size=(40, 6))
+        y = rng.integers(0, 3, size=40)
+        workers.append(
+            Worker(
+                worker_id,
+                mlp(6, 3, hidden_units=(10,), seed=11),
+                Dataset(x, y, 3),
+                Adam(0.01),
+                batch_size=8,
+                seed=worker_id,
+            )
+        )
+    return SimulatedCluster(workers, execution=execution, **cluster_kwargs)
+
+
+#: Frozen digits of the golden Poisson run (150 updates, K=4, star x fl,
+#: rate 0.5/worker, queue 64/drop, staleness-weighted, 50 ms service,
+#: linear monitor, theta = 0.05, arrival seed 2026).
+GOLDEN = {
+    "sync_count": 6,
+    "total_bytes": 22176,
+    "updates_served": 150,
+    "updates_offered": 150,
+    "virtual_seconds": 70.34103951051148,
+    "p50": 0.04999999999999982,
+    "p95": 0.08595376964713072,
+    "p99": 0.12407261982686359,
+}
+
+
+def run_golden(execution):
+    cluster = build_cluster(execution, topology="star", network="fl")
+    monitor = make_monitor("linear", cluster.model_dimension, seed=3)
+    config = ServingConfig(
+        arrival="poisson",
+        arrival_rate=0.5,
+        queue_capacity=64,
+        queue_policy="drop",
+        staleness_rule="staleness-weighted",
+        service_seconds=0.05,
+        arrival_seed=2026,
+    )
+    trainer = ServedFDATrainer(cluster, monitor, 0.05, config)
+    trainer.serve_updates(150)
+    return trainer
+
+
+class TestGoldenPoissonFixture:
+    @pytest.mark.parametrize("execution", ENGINES)
+    def test_golden_run_digits_are_frozen(self, execution):
+        report = run_golden(execution).report()
+        assert report.sync_count == GOLDEN["sync_count"]
+        assert report.total_bytes == GOLDEN["total_bytes"]
+        assert report.updates_served == GOLDEN["updates_served"]
+        assert report.updates_offered == GOLDEN["updates_offered"]
+        assert report.virtual_seconds == GOLDEN["virtual_seconds"]
+        assert report.latency["p50"] == GOLDEN["p50"]
+        assert report.latency["p95"] == GOLDEN["p95"]
+        assert report.latency["p99"] == GOLDEN["p99"]
+
+    def test_both_engines_agree_bit_exactly(self):
+        sequential = run_golden("sequential")
+        batched = run_golden("batched")
+        np.testing.assert_array_equal(
+            sequential.cluster.parameter_matrix, batched.cluster.parameter_matrix
+        )
+        assert sequential.cluster.total_bytes == batched.cluster.total_bytes
+        assert sequential.latency.ledger.values().tolist() == (
+            batched.latency.ledger.values().tolist()
+        )
+
+
+class TestDegenerateModeBitExactness:
+    @pytest.mark.parametrize("execution", ENGINES)
+    def test_closed_mode_reproduces_async_trainer(self, execution):
+        events = 60
+        profile = StragglerProfile(straggler_fraction=0.25, straggler_factor=3.0)
+
+        reference_cluster = build_cluster(execution, topology="star", network="fl")
+        reference_monitor = make_monitor("linear", reference_cluster.model_dimension, seed=3)
+        reference = AsynchronousFDATrainer(
+            reference_cluster, reference_monitor, threshold=0.05,
+            profile=profile, seed=5,
+        )
+        reference.run_events(events)
+
+        served_cluster = build_cluster(execution, topology="star", network="fl")
+        served_monitor = make_monitor("linear", served_cluster.model_dimension, seed=3)
+        served = ServedFDATrainer(
+            served_cluster, served_monitor, 0.05, ServingConfig(arrival="closed"),
+            profile=profile, seed=5,
+        )
+        assert served.serve_updates(events) == events
+
+        # Bit-exact parameters, clock, byte ledger, and event stream.
+        np.testing.assert_array_equal(
+            reference_cluster.parameter_matrix, served_cluster.parameter_matrix
+        )
+        assert reference.virtual_time == served.virtual_time
+        assert reference_cluster.total_bytes == served_cluster.total_bytes
+        assert reference.synchronization_count == served.sync_count
+        assert len(reference.events) == len(served._inner.events)
+        for expected, actual in zip(reference.events, served._inner.events):
+            assert (expected.time, expected.worker_id, expected.step_index) == (
+                actual.time, actual.worker_id, actual.step_index
+            )
+            assert expected.synchronized == actual.synchronized
+            # NaN-aware: the estimate is NaN until every worker has reported.
+            np.testing.assert_array_equal(
+                expected.variance_estimate, actual.variance_estimate
+            )
+
+    @pytest.mark.parametrize("execution", ENGINES)
+    def test_closed_mode_latency_is_identically_zero(self, execution):
+        cluster = build_cluster(execution)
+        monitor = make_monitor("linear", cluster.model_dimension, seed=3)
+        served = ServedFDATrainer(
+            cluster, monitor, 0.05, ServingConfig(arrival="closed")
+        )
+        served.serve_updates(20)
+        summary = served.latency.summary()
+        assert summary["count"] == 20
+        assert summary["p99"] == 0.0
+        assert summary["max"] == 0.0
+        assert served.queue.conservation_holds()
+
+
+class TestOpenLoopInvariants:
+    @pytest.mark.parametrize("execution", ENGINES)
+    def test_uniform_rule_matches_unweighted_averaging(self, execution):
+        """The uniform rule must take the exact np.mean path (None weights)."""
+
+        def run(rule):
+            cluster = build_cluster(execution)
+            monitor = make_monitor("linear", cluster.model_dimension, seed=3)
+            config = ServingConfig(
+                arrival="deterministic", arrival_rate=1.0, staleness_rule=rule
+            )
+            trainer = ServedFDATrainer(cluster, monitor, 0.05, config)
+            trainer.serve_updates(80)
+            return trainer
+
+        uniform = run("uniform")
+        # With deterministic arrivals and instant service no update is ever
+        # stale, so staleness-weighted weights are all equal and the weighted
+        # path must land on the same synchronization schedule.
+        weighted = run("staleness-weighted")
+        assert uniform.sync_count == weighted.sync_count
+        np.testing.assert_allclose(
+            uniform.cluster.parameter_matrix,
+            weighted.cluster.parameter_matrix,
+            rtol=0,
+            atol=1e-12,
+        )
+
+    def test_saturation_inflates_tail_latency(self):
+        def run(rate):
+            cluster = build_cluster("sequential")
+            monitor = make_monitor("linear", cluster.model_dimension, seed=3)
+            config = ServingConfig(
+                arrival="poisson",
+                arrival_rate=rate,
+                staleness_rule="uniform",
+                service_seconds=0.4,
+            )
+            trainer = ServedFDATrainer(cluster, monitor, float("inf"), config)
+            trainer.serve_updates(200)
+            return trainer.report()
+
+        # Aggregate service rate is 1/0.4 = 2.5 updates/s; K=4 workers at
+        # 0.25/s offer 1.0/s (stable), at 2.5/s offer 10/s (4x overload).
+        stable = run(0.25)
+        saturated = run(2.5)
+        assert saturated.latency["p99"] > 10 * stable.latency["p99"]
+        assert saturated.max_queue_depth > 10 * max(stable.max_queue_depth, 1)

@@ -137,3 +137,32 @@ class TestEventMode:
         timeline.advance_to(5.0)
         timeline.advance_to(1.0)
         assert timeline.now == 5.0
+
+    def test_duplicate_completion_times_pop_in_worker_order(self):
+        # With a uniform profile every worker scheduled at t=0 completes at
+        # the same instant; the contract says ties break by ascending worker
+        # id regardless of heap insertion order.
+        timeline = Timeline(5)
+        for worker in (3, 0, 4, 1, 2):
+            timeline.schedule_step(worker, start_time=0.0)
+        order = [timeline.pop_completion() for _ in range(5)]
+        assert [worker for _, worker in order] == [0, 1, 2, 3, 4]
+        assert all(time == pytest.approx(1.0) for time, _ in order)
+
+    def test_same_worker_duplicate_times_pop_fifo(self):
+        # Two completions of the same worker at the same instant pop in
+        # scheduling order (the monotone sequence number, not heap luck).
+        timeline = Timeline(2)
+        first = timeline.schedule_step(1, start_time=0.0)
+        second = timeline.schedule_step(1, start_time=0.0)
+        assert first == second
+        popped = [timeline.pop_completion() for _ in range(2)]
+        assert popped == [(first, 1), (second, 1)]
+
+    def test_delay_pending_preserves_tie_break_order(self):
+        timeline = Timeline(4)
+        for worker in (2, 0, 3, 1):
+            timeline.schedule_step(worker, start_time=0.0)
+        timeline.add_communication(3.0)  # barrier delays all pending equally
+        order = [timeline.pop_completion()[1] for _ in range(4)]
+        assert order == [0, 1, 2, 3]
